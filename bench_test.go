@@ -1,0 +1,191 @@
+package pqfastscan
+
+// This file regenerates every table and figure of the paper's evaluation
+// section as testing.B benchmarks, one per experiment. The experiment
+// drivers live in internal/bench; cmd/pqbench runs the same drivers at
+// larger scales. Each benchmark reports the experiment's table on first
+// run (b.N iterations only re-time the scan work, not the output).
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks share one lazily built environment (dataset + index) so
+// the suite stays fast on a single core.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"pqfastscan/internal/bench"
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/perf"
+	"pqfastscan/internal/scan"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *bench.Env
+	benchEnvErr  error
+)
+
+func sharedEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = bench.NewEnv(bench.SmallScale)
+	})
+	if benchEnvErr != nil {
+		b.Fatalf("building benchmark environment: %v", benchEnvErr)
+	}
+	return benchEnv
+}
+
+// runExperiment executes a registered experiment driver once, emitting
+// its table, and leaves kernel-level timing to the dedicated scan
+// benchmarks below.
+func runExperiment(b *testing.B, name string, out io.Writer) {
+	b.Helper()
+	exp, ok := bench.Find(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	var env *bench.Env
+	if exp.NeedsEnv {
+		env = sharedEnv(b)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := out
+		if i > 0 {
+			w = io.Discard // print the table once, time the rest
+		}
+		if err := exp.Run(env, w); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func experimentBenchmark(name string) func(*testing.B) {
+	return func(b *testing.B) {
+		fmt.Fprintf(os.Stderr, "\n--- %s ---\n", name)
+		runExperiment(b, name, os.Stderr)
+	}
+}
+
+// One benchmark per paper table/figure (see DESIGN.md §4 for the mapping).
+func BenchmarkTable1CacheLevels(b *testing.B)           { experimentBenchmark("table1")(b) }
+func BenchmarkTable2InstructionProperties(b *testing.B) { experimentBenchmark("table2")(b) }
+func BenchmarkFigure3ScanImplementations(b *testing.B)  { experimentBenchmark("fig3")(b) }
+func BenchmarkTable3PartitionSizes(b *testing.B)        { experimentBenchmark("table3")(b) }
+func BenchmarkFigure14ResponseTimes(b *testing.B)       { experimentBenchmark("fig14")(b) }
+func BenchmarkFigure15PerfCounters(b *testing.B)        { experimentBenchmark("fig15")(b) }
+func BenchmarkFigure16KeepParameter(b *testing.B)       { experimentBenchmark("fig16")(b) }
+func BenchmarkFigure17QuantizationOnly(b *testing.B)    { experimentBenchmark("fig17")(b) }
+func BenchmarkFigure18TopkParameter(b *testing.B)       { experimentBenchmark("fig18")(b) }
+func BenchmarkFigure19PartitionSize(b *testing.B)       { experimentBenchmark("fig19")(b) }
+func BenchmarkFigure20LargeScale(b *testing.B)          { experimentBenchmark("fig20")(b) }
+func BenchmarkFigure11AssignmentAblation(b *testing.B)  { experimentBenchmark("fig11")(b) }
+func BenchmarkGroupingComponentsAblation(b *testing.B)  { experimentBenchmark("grouping")(b) }
+func BenchmarkGroupOrderingAblation(b *testing.B)       { experimentBenchmark("ordering")(b) }
+func BenchmarkMemoryFootprint(b *testing.B)             { experimentBenchmark("memory")(b) }
+func BenchmarkWideRegisters(b *testing.B)               { experimentBenchmark("wide")(b) }
+func BenchmarkMemoryBandwidth(b *testing.B)             { experimentBenchmark("bandwidth")(b) }
+func BenchmarkRecall(b *testing.B)                      { experimentBenchmark("recall")(b) }
+func BenchmarkAlgorithmSteps(b *testing.B)              { experimentBenchmark("steps")(b) }
+
+// Kernel micro-benchmarks: measured Go ns/vector for every scan kernel on
+// the largest partition. These are the wall-clock counterparts of the
+// modeled counters (the simd package emulates SIMD semantics in scalar
+// Go, so measured ratios differ from the modeled silicon ratios; see
+// DESIGN.md "Substitutions").
+func benchmarkKernel(b *testing.B, kern index.Kernel, fsOpt scan.FastScanOptions) {
+	env := sharedEnv(b)
+	part := 0
+	bestN := -1
+	for i, p := range env.Index.Parts {
+		if p.N > bestN {
+			part, bestN = i, p.N
+		}
+	}
+	t := env.TablesFor(0, part)
+	p := env.Index.Parts[part]
+	var fs *scan.FastScan
+	if kern == index.KernelFastScan || kern == index.KernelFastScan256 {
+		var err error
+		fs, err = env.FastScanner(part, fsOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch kern {
+		case index.KernelNaive:
+			scan.Naive(p, t, 100)
+		case index.KernelLibpq:
+			scan.Libpq(p, t, 100)
+		case index.KernelAVX:
+			scan.AVX(p, t, 100)
+		case index.KernelGather:
+			scan.Gather(p, t, 100)
+		case index.KernelQuantOnly:
+			scan.QuantizationOnly(p, t, 100, fsOpt.Keep)
+		case index.KernelFastScan:
+			fs.Scan(t, 100)
+		case index.KernelFastScan256:
+			fs.Scan256(t, 100)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(p.N), "ns/vec")
+}
+
+func BenchmarkScanNaive(b *testing.B)  { benchmarkKernel(b, index.KernelNaive, bench.PaperFastOpts()) }
+func BenchmarkScanLibpq(b *testing.B)  { benchmarkKernel(b, index.KernelLibpq, bench.PaperFastOpts()) }
+func BenchmarkScanAVX(b *testing.B)    { benchmarkKernel(b, index.KernelAVX, bench.PaperFastOpts()) }
+func BenchmarkScanGather(b *testing.B) { benchmarkKernel(b, index.KernelGather, bench.PaperFastOpts()) }
+func BenchmarkScanQuantizationOnly(b *testing.B) {
+	benchmarkKernel(b, index.KernelQuantOnly, bench.PaperFastOpts())
+}
+func BenchmarkScanFastScan256(b *testing.B) {
+	env := sharedEnv(b)
+	bestN := -1
+	for _, p := range env.Index.Parts {
+		if p.N > bestN {
+			bestN = p.N
+		}
+	}
+	benchmarkKernel(b, index.KernelFastScan256, bench.HeadlineFastOpts(bestN, 100))
+}
+
+func BenchmarkScanFastScan(b *testing.B) {
+	env := sharedEnv(b)
+	bestN := -1
+	for _, p := range env.Index.Parts {
+		if p.N > bestN {
+			bestN = p.N
+		}
+	}
+	benchmarkKernel(b, index.KernelFastScan, bench.HeadlineFastOpts(bestN, 100))
+}
+
+// BenchmarkDistanceTables times Step 2 of Algorithm 1 (per-query table
+// computation), which the paper reports as <1% of query time.
+func BenchmarkDistanceTables(b *testing.B) {
+	env := sharedEnv(b)
+	q := env.Queries.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Index.Tables(q, 0)
+	}
+}
+
+// BenchmarkCostModel times the analytic counter pricing itself.
+func BenchmarkCostModel(b *testing.B) {
+	ops := perf.OpCounts{ScalarLoadF: 8e5, ScalarLoad8: 8e5, ScalarALU: 1.2e6, ScalarBranch: 2e5}
+	for i := 0; i < b.N; i++ {
+		perf.Estimate(ops, perf.Haswell)
+	}
+}

@@ -1,0 +1,177 @@
+// Command pqscan builds an IVFADC index over a dataset file and answers
+// nearest-neighbor queries with a selectable scan kernel, reporting
+// response times, pruning statistics and (when ground truth is supplied)
+// recall — the end-to-end search pipeline of the paper's Algorithm 1.
+//
+// Usage:
+//
+//	pqscan -base synth_base.fvecs -learn synth_learn.fvecs \
+//	       -query synth_query.fvecs -gt synth_groundtruth.ivecs \
+//	       -kernel fastpq -topk 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/persist"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/vec"
+)
+
+func readVectors(path string, limit int) (vec.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return vec.Matrix{}, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bvecs") {
+		return dataset.ReadBvecs(f, limit)
+	}
+	return dataset.ReadFvecs(f, limit)
+}
+
+func kernelByName(name string) (index.Kernel, error) {
+	for _, k := range []index.Kernel{
+		index.KernelNaive, index.KernelLibpq, index.KernelAVX,
+		index.KernelGather, index.KernelFastScan, index.KernelQuantOnly,
+		index.KernelFastScan256,
+	} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kernel %q (naive, libpq, avx, gather, fastpq, fastpq256, quantonly)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pqscan: ")
+	var (
+		basePath   = flag.String("base", "", "base vectors (.fvecs or .bvecs)")
+		learnPath  = flag.String("learn", "", "learning vectors (defaults to base)")
+		queryPath  = flag.String("query", "", "query vectors")
+		gtPath     = flag.String("gt", "", "ground truth (.ivecs), optional")
+		kernelName = flag.String("kernel", "fastpq", "scan kernel")
+		topk       = flag.Int("topk", 100, "neighbors per query")
+		partitions = flag.Int("partitions", 8, "IVF partitions")
+		keep       = flag.Float64("keep", scan.DefaultKeep, "keep fraction for qmax")
+		maxBase    = flag.Int("maxbase", 0, "limit base vectors read (0 = all)")
+		maxQuery   = flag.Int("maxquery", 0, "limit queries read (0 = all)")
+		seed       = flag.Uint64("seed", 1, "training seed")
+		ordered    = flag.Bool("ordered", true, "visit groups in lower-bound order (extension)")
+		savePath   = flag.String("save", "", "write the built index to this path")
+		loadPath   = flag.String("load", "", "load a previously saved index instead of building")
+	)
+	flag.Parse()
+
+	if *basePath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	kernel, err := kernelByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := readVectors(*basePath, *maxBase)
+	if err != nil {
+		log.Fatalf("reading base: %v", err)
+	}
+	learn := base
+	if *learnPath != "" {
+		if learn, err = readVectors(*learnPath, 0); err != nil {
+			log.Fatalf("reading learn: %v", err)
+		}
+	}
+	queries, err := readVectors(*queryPath, *maxQuery)
+	if err != nil {
+		log.Fatalf("reading queries: %v", err)
+	}
+	fmt.Printf("base: %d vectors, dim %d; queries: %d\n", base.Rows(), base.Dim, queries.Rows())
+
+	var ix *index.Index
+	if *loadPath != "" {
+		start := time.Now()
+		ix, err = persist.LoadIndex(*loadPath)
+		if err != nil {
+			log.Fatalf("loading index: %v", err)
+		}
+		fmt.Printf("index loaded in %v, partitions: %v\n", time.Since(start).Round(time.Millisecond), ix.PartitionSizes())
+	} else {
+		opt := index.DefaultOptions()
+		opt.Partitions = *partitions
+		opt.Seed = *seed
+		opt.FastScan = scan.FastScanOptions{Keep: *keep, GroupComponents: -1, OrderGroups: *ordered}
+		start := time.Now()
+		ix, err = index.Build(learn, base, opt)
+		if err != nil {
+			log.Fatalf("building index: %v", err)
+		}
+		fmt.Printf("index built in %v, partitions: %v\n", time.Since(start).Round(time.Millisecond), ix.PartitionSizes())
+	}
+	if *savePath != "" {
+		if err := persist.SaveIndex(*savePath, ix); err != nil {
+			log.Fatalf("saving index: %v", err)
+		}
+		fmt.Printf("index saved to %s\n", *savePath)
+	}
+
+	var (
+		totalScan   time.Duration
+		scanned     int
+		pruned, lbs int
+		results     [][]int64
+	)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		t0 := time.Now()
+		res, stats, _, err := ix.Search(q, *topk, kernel)
+		if err != nil {
+			log.Fatalf("query %d: %v", qi, err)
+		}
+		totalScan += time.Since(t0)
+		scanned += stats.Scanned
+		pruned += stats.Pruned
+		lbs += stats.LowerBounds
+		ids := make([]int64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		results = append(results, ids)
+	}
+	nq := queries.Rows()
+	fmt.Printf("kernel=%s topk=%d: mean response %.3f ms, %.1f Mvecs/s (measured)\n",
+		kernel, *topk,
+		float64(totalScan.Microseconds())/float64(nq)/1e3,
+		float64(scanned)/totalScan.Seconds()/1e6)
+	if lbs > 0 {
+		fmt.Printf("pruned %.2f%% of %d lower-bounded vectors\n", 100*float64(pruned)/float64(lbs), lbs)
+	}
+
+	if *gtPath != "" {
+		f, err := os.Open(*gtPath)
+		if err != nil {
+			log.Fatalf("reading ground truth: %v", err)
+		}
+		gt, err := dataset.ReadIvecs(f, 0)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading ground truth: %v", err)
+		}
+		if len(gt) < nq {
+			log.Fatalf("ground truth has %d rows for %d queries", len(gt), nq)
+		}
+		for _, r := range []int{1, 10, 100} {
+			if r <= *topk {
+				fmt.Printf("recall@%d = %.4f\n", r, dataset.Recall(results, gt, r))
+			}
+		}
+	}
+}

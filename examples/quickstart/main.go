@@ -1,0 +1,54 @@
+// Quickstart: build a small index over synthetic SIFT-like vectors and
+// answer one nearest-neighbor query with PQ Fast Scan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pqfastscan"
+)
+
+func main() {
+	// Deterministic synthetic data standing in for SIFT descriptors
+	// (128-dimensional image feature vectors).
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 7})
+	learn := gen.Generate(5000)  // training set for the quantizers
+	base := gen.Generate(100000) // the database
+	queries := gen.Generate(3)   // query vectors
+
+	start := time.Now()
+	idx, err := pqfastscan.Build(learn, base, pqfastscan.DefaultBuildOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d vectors in %v (partitions: %v)\n",
+		base.Rows(), time.Since(start).Round(time.Millisecond), idx.PartitionSizes())
+
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		start = time.Now()
+		res, err := idx.Search(q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: top-5 in %v\n", qi, time.Since(start).Round(time.Microsecond))
+		for rank, r := range res {
+			fmt.Printf("  #%d id=%d distance=%.1f\n", rank+1, r.ID, r.Distance)
+		}
+	}
+
+	// Every kernel returns identical results; Fast Scan just gets there
+	// with ~4-6x fewer CPU cycles on real SIMD hardware.
+	q := queries.Row(0)
+	fast, _ := idx.SearchKernel(q, 5, pqfastscan.KernelFastScan)
+	slow, _ := idx.SearchKernel(q, 5, pqfastscan.KernelNaive)
+	same := len(fast) == len(slow)
+	for i := range fast {
+		if fast[i] != slow[i] {
+			same = false
+		}
+	}
+	fmt.Printf("FastScan results identical to naive PQ Scan: %v\n", same)
+}

@@ -1,0 +1,287 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pqfastscan/internal/vec"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 5}).Generate(100)
+	b := NewGenerator(Config{Seed: 5}).Generate(100)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same-seed generators differ")
+		}
+	}
+	c := NewGenerator(Config{Seed: 6}).Generate(100)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGeneratorStreamContinues(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7})
+	first := g.Generate(50)
+	second := g.Generate(50)
+	// Different draws, not a restart of the stream.
+	if first.Row(0)[0] == second.Row(0)[0] && first.Row(0)[1] == second.Row(0)[1] {
+		t.Fatal("second batch appears to restart the stream")
+	}
+}
+
+func TestGeneratorRangeAndShape(t *testing.T) {
+	m := NewGenerator(Config{Seed: 1}).Generate(500)
+	if m.Dim != SIFTDim {
+		t.Fatalf("dim = %d, want %d", m.Dim, SIFTDim)
+	}
+	if m.Rows() != 500 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+	for _, v := range m.Data {
+		if v < 0 || v > SIFTMax {
+			t.Fatalf("component %v outside SIFT range [0,%d]", v, SIFTMax)
+		}
+		if v != float32(int(v)) {
+			t.Fatalf("component %v not integer-valued", v)
+		}
+	}
+}
+
+func TestGeneratorClustered(t *testing.T) {
+	// Clustered data: the average distance to the nearest other vector
+	// must be much smaller than the average distance to a random vector.
+	// Fully coherent sub-spaces give the strongest cluster signal.
+	m := NewGenerator(Config{Seed: 3, Clusters: 8, SubspaceMixing: 1}).Generate(400)
+	var nearSum, randSum float64
+	for i := 0; i < 100; i++ {
+		near := float32(1e30)
+		for j := 0; j < m.Rows(); j++ {
+			if j == i {
+				continue
+			}
+			if d := vec.L2Squared(m.Row(i), m.Row(j)); d < near {
+				near = d
+			}
+		}
+		nearSum += float64(near)
+		randSum += float64(vec.L2Squared(m.Row(i), m.Row((i*37+211)%m.Rows())))
+	}
+	if nearSum >= randSum/4 {
+		t.Fatalf("data does not look clustered: nearest %.0f vs random %.0f", nearSum/100, randSum/100)
+	}
+}
+
+func TestFvecsRoundtrip(t *testing.T) {
+	m := NewGenerator(Config{Seed: 9, Dim: 16}).Generate(33)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 16 || got.Rows() != 33 {
+		t.Fatalf("roundtrip shape %dx%d", got.Rows(), got.Dim)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("fvecs roundtrip differs at %d", i)
+		}
+	}
+}
+
+func TestFvecsReadLimit(t *testing.T) {
+	m := NewGenerator(Config{Seed: 9, Dim: 8}).Generate(20)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 5 {
+		t.Fatalf("limited read returned %d rows", got.Rows())
+	}
+}
+
+func TestBvecsRoundtrip(t *testing.T) {
+	m := NewGenerator(Config{Seed: 10}).Generate(17)
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generator output is integer-valued in [0,255], so the byte format
+	// is lossless for it.
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("bvecs roundtrip differs at %d: %v vs %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestBvecsClamps(t *testing.T) {
+	m := vec.Matrix{Data: []float32{-5, 300, 17.4, 17.6}, Dim: 4}
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 255, 17, 18}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("clamp/round: got %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestIvecsRoundtrip(t *testing.T) {
+	rows := [][]int64{{1, 2, 3}, {}, {42}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d length %d, want %d", i, len(got[i]), len(rows[i]))
+		}
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestReadFvecsRejectsGarbage(t *testing.T) {
+	if _, err := ReadFvecs(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), 0); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := ReadFvecs(bytes.NewReader([]byte{4, 0, 0, 0, 1, 2}), 0); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestGroundTruthExact(t *testing.T) {
+	base := vec.NewMatrix(5, 2)
+	for i := 0; i < 5; i++ {
+		base.Row(i)[0] = float32(i * 10)
+	}
+	queries := vec.NewMatrix(1, 2)
+	queries.Row(0)[0] = 19
+	gt, err := GroundTruth(base, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 1, 3} // distances 1, 81, 121
+	for i, id := range want {
+		if gt[0][i] != id {
+			t.Fatalf("ground truth %v, want %v", gt[0], want)
+		}
+	}
+}
+
+func TestGroundTruthTieBreaksByID(t *testing.T) {
+	base := vec.NewMatrix(3, 1)
+	base.Row(0)[0] = 1
+	base.Row(1)[0] = -1
+	base.Row(2)[0] = 1
+	queries := vec.NewMatrix(1, 1)
+	gt, err := GroundTruth(base, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2}
+	for i := range want {
+		if gt[0][i] != want[i] {
+			t.Fatalf("tie order %v, want %v", gt[0], want)
+		}
+	}
+}
+
+func TestGroundTruthErrors(t *testing.T) {
+	if _, err := GroundTruth(vec.NewMatrix(2, 3), vec.NewMatrix(1, 4), 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := GroundTruth(vec.NewMatrix(2, 3), vec.NewMatrix(1, 3), 5); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	gt := [][]int64{{7}, {8}, {9}}
+	results := [][]int64{
+		{7, 1, 2}, // hit at rank 1
+		{1, 8, 3}, // hit at rank 2
+		{1, 2, 3}, // miss
+	}
+	if got := Recall(results, gt, 1); got != 1.0/3 {
+		t.Errorf("recall@1 = %v, want 1/3", got)
+	}
+	if got := Recall(results, gt, 3); got != 2.0/3 {
+		t.Errorf("recall@3 = %v, want 2/3", got)
+	}
+	if got := Recall(nil, gt, 1); got != 0 {
+		t.Errorf("recall of empty results = %v", got)
+	}
+}
+
+// TestSubspaceMixing: lower mixing must decorrelate sub-space cluster
+// membership — measured as the drop in correlation between sub-space
+// block sums across blocks of the same vector.
+func TestSubspaceMixing(t *testing.T) {
+	blockCorr := func(mix float64) float64 {
+		m := NewGenerator(Config{Seed: 9, Clusters: 8, SubspaceMixing: mix, SubspaceMixingSet: true}).Generate(600)
+		// Correlation proxy: covariance of block-0 and block-4 sums.
+		var s0, s4, s00, s44, s04 float64
+		n := float64(m.Rows())
+		for i := 0; i < m.Rows(); i++ {
+			row := m.Row(i)
+			var b0, b4 float64
+			for d := 0; d < 16; d++ {
+				b0 += float64(row[d])
+				b4 += float64(row[64+d])
+			}
+			s0 += b0
+			s4 += b4
+			s00 += b0 * b0
+			s44 += b4 * b4
+			s04 += b0 * b4
+		}
+		cov := s04/n - s0/n*s4/n
+		v0 := s00/n - s0/n*s0/n
+		v4 := s44/n - s4/n*s4/n
+		return cov / (1e-12 + math.Sqrt(v0*v4))
+	}
+	coherent := blockCorr(1)
+	independent := blockCorr(0)
+	if coherent < independent+0.2 {
+		t.Errorf("mixing=1 correlation %.3f not clearly above mixing=0 correlation %.3f",
+			coherent, independent)
+	}
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pqfastscan/internal/vec"
+)
+
+// This file implements the TEXMEX corpus file formats used by
+// ANN_SIFT1B (http://corpus-texmex.irisa.fr/, §5.1 of the paper):
+//
+//	.fvecs — each vector is a little-endian int32 dimension d followed by
+//	         d float32 components;
+//	.bvecs — int32 dimension followed by d uint8 components (SIFT bytes);
+//	.ivecs — int32 dimension followed by d int32 entries (ground truth).
+//
+// Implementing the real formats keeps the CLI tools drop-in compatible
+// with the public corpus should it be available.
+
+// WriteFvecs writes every row of m to w in .fvecs format.
+func WriteFvecs(w io.Writer, m vec.Matrix) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 4+4*m.Dim)
+	binary.LittleEndian.PutUint32(buf, uint32(m.Dim))
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for d, v := range row {
+			binary.LittleEndian.PutUint32(buf[4+4*d:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: writing fvecs: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFvecs reads all vectors from r. maxVectors <= 0 reads to EOF.
+func ReadFvecs(r io.Reader, maxVectors int) (vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var data []float32
+	dim := 0
+	var head [4]byte
+	for n := 0; maxVectors <= 0 || n < maxVectors; n++ {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return vec.Matrix{}, fmt.Errorf("dataset: reading fvecs header: %w", err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(head[:])))
+		if d <= 0 || d > 1<<20 {
+			return vec.Matrix{}, fmt.Errorf("dataset: implausible fvecs dimension %d", d)
+		}
+		if dim == 0 {
+			dim = d
+		} else if d != dim {
+			return vec.Matrix{}, fmt.Errorf("dataset: inconsistent fvecs dimensions %d and %d", dim, d)
+		}
+		body := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return vec.Matrix{}, fmt.Errorf("dataset: reading fvecs body: %w", err)
+		}
+		for i := 0; i < d; i++ {
+			data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:])))
+		}
+	}
+	return vec.Matrix{Data: data, Dim: dim}, nil
+}
+
+// WriteBvecs writes every row of m to w in .bvecs format, rounding
+// components to the nearest byte (SIFT descriptors are byte-valued).
+func WriteBvecs(w io.Writer, m vec.Matrix) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 4+m.Dim)
+	binary.LittleEndian.PutUint32(buf, uint32(m.Dim))
+	for i := 0; i < m.Rows(); i++ {
+		for d, v := range m.Row(i) {
+			x := int(v + 0.5)
+			if x < 0 {
+				x = 0
+			}
+			if x > 255 {
+				x = 255
+			}
+			buf[4+d] = uint8(x)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: writing bvecs: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBvecs reads byte vectors from r into a float32 matrix.
+// maxVectors <= 0 reads to EOF.
+func ReadBvecs(r io.Reader, maxVectors int) (vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var data []float32
+	dim := 0
+	var head [4]byte
+	for n := 0; maxVectors <= 0 || n < maxVectors; n++ {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return vec.Matrix{}, fmt.Errorf("dataset: reading bvecs header: %w", err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(head[:])))
+		if d <= 0 || d > 1<<20 {
+			return vec.Matrix{}, fmt.Errorf("dataset: implausible bvecs dimension %d", d)
+		}
+		if dim == 0 {
+			dim = d
+		} else if d != dim {
+			return vec.Matrix{}, fmt.Errorf("dataset: inconsistent bvecs dimensions %d and %d", dim, d)
+		}
+		body := make([]byte, d)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return vec.Matrix{}, fmt.Errorf("dataset: reading bvecs body: %w", err)
+		}
+		for _, b := range body {
+			data = append(data, float32(b))
+		}
+	}
+	return vec.Matrix{Data: data, Dim: dim}, nil
+}
+
+// WriteIvecs writes integer id lists (e.g. ground truth) in .ivecs format.
+func WriteIvecs(w io.Writer, rows [][]int64) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range rows {
+		var head [4]byte
+		binary.LittleEndian.PutUint32(head[:], uint32(len(row)))
+		if _, err := bw.Write(head[:]); err != nil {
+			return fmt.Errorf("dataset: writing ivecs: %w", err)
+		}
+		var cell [4]byte
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(cell[:], uint32(int32(v)))
+			if _, err := bw.Write(cell[:]); err != nil {
+				return fmt.Errorf("dataset: writing ivecs: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs reads integer id lists from r. maxRows <= 0 reads to EOF.
+func ReadIvecs(r io.Reader, maxRows int) ([][]int64, error) {
+	br := bufio.NewReader(r)
+	var out [][]int64
+	var head [4]byte
+	for n := 0; maxRows <= 0 || n < maxRows; n++ {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("dataset: reading ivecs header: %w", err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(head[:])))
+		if d < 0 || d > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible ivecs length %d", d)
+		}
+		body := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("dataset: reading ivecs body: %w", err)
+		}
+		row := make([]int64, d)
+		for i := range row {
+			row[i] = int64(int32(binary.LittleEndian.Uint32(body[4*i:])))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

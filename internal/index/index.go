@@ -1,0 +1,396 @@
+// Package index implements the IVFADC search system of the paper's §2.2:
+// a coarse quantizer partitions the database into inverted lists (its
+// Voronoi cells); a query is routed to its cell, per-query distance
+// tables are computed from the query residual, and the partition is
+// scanned with one of the kernels of internal/scan (Algorithm 1).
+//
+// Residual encoding follows Jégou et al. [14]: each database vector is
+// encoded as the pqcode of x - c(x), where c(x) is its coarse centroid,
+// and the product quantizer is trained on residuals.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"pqfastscan/internal/kmeans"
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/par"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/topk"
+	"pqfastscan/internal/vec"
+)
+
+// Kernel selects the scan implementation used for a search.
+type Kernel int
+
+const (
+	// KernelNaive is Algorithm 1 verbatim.
+	KernelNaive Kernel = iota
+	// KernelLibpq is the libpq-optimized PQ Scan.
+	KernelLibpq
+	// KernelAVX is the vertical-SIMD-additions PQ Scan variant.
+	KernelAVX
+	// KernelGather is the SIMD-gather PQ Scan variant.
+	KernelGather
+	// KernelFastScan is PQ Fast Scan (§4).
+	KernelFastScan
+	// KernelQuantOnly is the quantization-only ablation (§5.5).
+	KernelQuantOnly
+	// KernelFastScan256 is the AVX2 widening of PQ Fast Scan (§6
+	// extension): 32 lookups per shuffle instruction.
+	KernelFastScan256
+)
+
+// String names the kernel with the labels used in the paper's figures.
+func (k Kernel) String() string {
+	switch k {
+	case KernelNaive:
+		return "naive"
+	case KernelLibpq:
+		return "libpq"
+	case KernelAVX:
+		return "avx"
+	case KernelGather:
+		return "gather"
+	case KernelFastScan:
+		return "fastpq"
+	case KernelQuantOnly:
+		return "quantonly"
+	case KernelFastScan256:
+		return "fastpq256"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// Options configures index construction.
+type Options struct {
+	// Partitions is the number of coarse-quantizer cells (8 for the
+	// paper's ANN_SIFT100M1 index, 128 for ANN_SIFT1B).
+	Partitions int
+	// PQ is the product quantizer configuration (PQ 8×8 by default).
+	PQ quantizer.Config
+	// Seed drives every stochastic step deterministically.
+	Seed uint64
+	// KMeansIter bounds coarse and sub-quantizer training iterations.
+	KMeansIter int
+	// OptimizeAssignment applies the §4.3 optimized centroid index
+	// assignment after PQ training. Disable only for the Figure 11
+	// ablation; PQ Scan results are unaffected either way.
+	OptimizeAssignment bool
+	// FastScan configures the PQ Fast Scan layout built per partition.
+	FastScan scan.FastScanOptions
+}
+
+// DefaultOptions returns the paper's default setup.
+func DefaultOptions() Options {
+	return Options{
+		Partitions:         8,
+		PQ:                 quantizer.PQ8x8,
+		KMeansIter:         20,
+		OptimizeAssignment: true,
+		FastScan: scan.FastScanOptions{
+			Keep:            scan.DefaultKeep,
+			GroupComponents: -1,
+		},
+	}
+}
+
+// Index is a built IVFADC index.
+type Index struct {
+	Dim    int
+	Coarse vec.Matrix // Partitions x Dim coarse centroids
+	PQ     *quantizer.ProductQuantizer
+	Parts  []*scan.Partition
+
+	opt  Options
+	fast []*scan.FastScan // lazily built per partition
+}
+
+// Build trains the coarse quantizer and product quantizer on learn and
+// indexes every row of base. learn and base must share base.Dim.
+func Build(learn, base vec.Matrix, opt Options) (*Index, error) {
+	if opt.Partitions <= 0 {
+		return nil, fmt.Errorf("index: partition count %d must be positive", opt.Partitions)
+	}
+	if learn.Dim != base.Dim {
+		return nil, fmt.Errorf("index: learn dim %d != base dim %d", learn.Dim, base.Dim)
+	}
+	if opt.PQ.M == 0 {
+		opt.PQ = quantizer.PQ8x8
+	}
+
+	// Step 1: coarse quantizer (the inverted index of §2.2).
+	coarse, err := kmeans.Train(learn, kmeans.Config{
+		K: opt.Partitions, MaxIter: opt.KMeansIter, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("index: coarse quantizer: %w", err)
+	}
+
+	// Step 2: product quantizer on learn-set residuals.
+	residuals := vec.NewMatrix(learn.Rows(), learn.Dim)
+	for i := 0; i < learn.Rows(); i++ {
+		c, _ := vec.ArgminL2(learn.Row(i), coarse.Centroids.Data, learn.Dim)
+		dst := residuals.Row(i)
+		cRow := coarse.Centroids.Row(c)
+		for d, v := range learn.Row(i) {
+			dst[d] = v - cRow[d]
+		}
+	}
+	pq, err := quantizer.Train(residuals, opt.PQ, quantizer.TrainOptions{
+		MaxIter: opt.KMeansIter, Seed: opt.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("index: product quantizer: %w", err)
+	}
+	if opt.OptimizeAssignment {
+		if _, err := pq.OptimizeAssignment(opt.Seed + 2); err != nil {
+			return nil, fmt.Errorf("index: optimized assignment: %w", err)
+		}
+	}
+
+	ix := &Index{
+		Dim:    base.Dim,
+		Coarse: coarse.Centroids,
+		PQ:     pq,
+		Parts:  make([]*scan.Partition, opt.Partitions),
+		opt:    opt,
+		fast:   make([]*scan.FastScan, opt.Partitions),
+	}
+
+	// Step 3: route and encode the base set. Encoding is embarrassingly
+	// parallel and dominates construction time, so it is chunked over
+	// cores (offline preprocessing; queries remain single-threaded).
+	n := base.Rows()
+	cells := make([]int, n)
+	allCodes := make([]uint8, n*pq.M)
+	par.ForChunk(n, func(lo, hi int) {
+		residual := make([]float32, base.Dim)
+		for i := lo; i < hi; i++ {
+			row := base.Row(i)
+			c, _ := vec.ArgminL2(row, coarse.Centroids.Data, base.Dim)
+			cells[i] = c
+			cRow := coarse.Centroids.Row(c)
+			for d, v := range row {
+				residual[d] = v - cRow[d]
+			}
+			pq.Encode(residual, allCodes[i*pq.M:(i+1)*pq.M])
+		}
+	})
+	type bucket struct {
+		codes []uint8
+		ids   []int64
+	}
+	buckets := make([]bucket, opt.Partitions)
+	for i := 0; i < n; i++ {
+		c := cells[i]
+		buckets[c].codes = append(buckets[c].codes, allCodes[i*pq.M:(i+1)*pq.M]...)
+		buckets[c].ids = append(buckets[c].ids, int64(i))
+	}
+	for c := range buckets {
+		ix.Parts[c] = scan.NewPartition(buckets[c].codes, buckets[c].ids)
+	}
+	return ix, nil
+}
+
+// Options returns the options the index was built (or loaded) with.
+func (ix *Index) Options() Options { return ix.opt }
+
+// Restore reassembles an Index from its persisted parts; used by the
+// persist package. The caller guarantees consistency of the components.
+func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts []*scan.Partition, opt Options) *Index {
+	return &Index{
+		Dim:    dim,
+		Coarse: coarse,
+		PQ:     pq,
+		Parts:  parts,
+		opt:    opt,
+		fast:   make([]*scan.FastScan, len(parts)),
+	}
+}
+
+// PartitionSizes returns the vector count of every partition (Table 3).
+func (ix *Index) PartitionSizes() []int {
+	sizes := make([]int, len(ix.Parts))
+	for i, p := range ix.Parts {
+		sizes[i] = p.N
+	}
+	return sizes
+}
+
+// RoutePartition returns the coarse cell the query falls in (Step 1 of
+// Algorithm 1).
+func (ix *Index) RoutePartition(query []float32) int {
+	c, _ := vec.ArgminL2(query, ix.Coarse.Data, ix.Dim)
+	return c
+}
+
+// Tables computes the per-query distance tables for scanning partition
+// part (Step 2 of Algorithm 1), using the query residual against that
+// partition's coarse centroid.
+func (ix *Index) Tables(query []float32, part int) quantizer.Tables {
+	residual := make([]float32, ix.Dim)
+	cRow := ix.Coarse.Row(part)
+	for d, v := range query {
+		residual[d] = v - cRow[d]
+	}
+	return ix.PQ.DistanceTables(residual)
+}
+
+// FastScanner returns (building on first use) the PQ Fast Scan state of
+// partition part.
+func (ix *Index) FastScanner(part int) (*scan.FastScan, error) {
+	if ix.fast[part] == nil {
+		fs, err := scan.NewFastScan(ix.Parts[part], ix.opt.FastScan)
+		if err != nil {
+			return nil, err
+		}
+		ix.fast[part] = fs
+	}
+	return ix.fast[part], nil
+}
+
+// Result is re-exported for callers that only import index.
+type Result = topk.Result
+
+// Search answers a k-NN query with the requested kernel, scanning the
+// single most relevant partition (Step 3 of Algorithm 1). It returns the
+// neighbors, the scan statistics and the partition scanned.
+func (ix *Index) Search(query []float32, k int, kernel Kernel) ([]Result, scan.Stats, int, error) {
+	part := ix.RoutePartition(query)
+	res, stats, err := ix.SearchPartition(query, k, kernel, part)
+	return res, stats, part, err
+}
+
+// SearchPartition scans one specific partition for the query.
+func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int) ([]Result, scan.Stats, error) {
+	if part < 0 || part >= len(ix.Parts) {
+		return nil, scan.Stats{}, fmt.Errorf("index: partition %d out of range", part)
+	}
+	t := ix.Tables(query, part)
+	p := ix.Parts[part]
+	switch kernel {
+	case KernelNaive:
+		r, s := scan.Naive(p, t, k)
+		return r, s, nil
+	case KernelLibpq:
+		r, s := scan.Libpq(p, t, k)
+		return r, s, nil
+	case KernelAVX:
+		r, s := scan.AVX(p, t, k)
+		return r, s, nil
+	case KernelGather:
+		r, s := scan.Gather(p, t, k)
+		return r, s, nil
+	case KernelFastScan:
+		fs, err := ix.FastScanner(part)
+		if err != nil {
+			return nil, scan.Stats{}, err
+		}
+		r, s := fs.Scan(t, k)
+		return r, s, nil
+	case KernelQuantOnly:
+		r, s := scan.QuantizationOnly(p, t, k, ix.opt.FastScan.Keep)
+		return r, s, nil
+	case KernelFastScan256:
+		fs, err := ix.FastScanner(part)
+		if err != nil {
+			return nil, scan.Stats{}, err
+		}
+		r, s := fs.Scan256(t, k)
+		return r, s, nil
+	default:
+		return nil, scan.Stats{}, fmt.Errorf("index: unknown kernel %v", kernel)
+	}
+}
+
+// SearchMulti scans the nprobe closest partitions and merges their
+// results — a standard IVFADC extension beyond the paper's single-cell
+// routing, useful when recall matters more than latency.
+func (ix *Index) SearchMulti(query []float32, k, nprobe int, kernel Kernel) ([]Result, scan.Stats, error) {
+	if nprobe <= 0 || nprobe > len(ix.Parts) {
+		return nil, scan.Stats{}, fmt.Errorf("index: nprobe %d out of range [1,%d]", nprobe, len(ix.Parts))
+	}
+	// Order cells by centroid distance.
+	type cell struct {
+		id int
+		d  float32
+	}
+	cells := make([]cell, len(ix.Parts))
+	for i := range ix.Parts {
+		cells[i] = cell{id: i, d: vec.L2Squared(query, ix.Coarse.Row(i))}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
+
+	heap := topk.New(k)
+	var total scan.Stats
+	for _, c := range cells[:nprobe] {
+		res, s, err := ix.SearchPartition(query, k, kernel, c.id)
+		if err != nil {
+			return nil, scan.Stats{}, err
+		}
+		for _, r := range res {
+			heap.Push(r.ID, r.Distance)
+		}
+		total.Scanned += s.Scanned
+		total.KeepScanned += s.KeepScanned
+		total.LowerBounds += s.LowerBounds
+		total.Pruned += s.Pruned
+		total.Candidates += s.Candidates
+		total.Groups += s.Groups
+		total.Blocks += s.Blocks
+		total.Ops.Add(s.Ops)
+	}
+	return heap.Results(), total, nil
+}
+
+// SearchBatch answers many queries concurrently, one goroutine per core —
+// the deployment model the paper assumes ("PQ Scan parallelizes naturally
+// over multiple queries by running each query on a different core",
+// §3.1). Each query is answered exactly as Search would; results are
+// returned in query order. FastScan layouts for every partition are built
+// up front so worker goroutines never mutate shared state.
+func (ix *Index) SearchBatch(queries vec.Matrix, k int, kernel Kernel) ([][]Result, error) {
+	if queries.Dim != ix.Dim {
+		return nil, fmt.Errorf("index: query dim %d != index dim %d", queries.Dim, ix.Dim)
+	}
+	if kernel == KernelFastScan || kernel == KernelFastScan256 {
+		for part := range ix.Parts {
+			if _, err := ix.FastScanner(part); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n := queries.Rows()
+	out := make([][]Result, n)
+	errs := make([]error, n)
+	par.For(n, func(i int) {
+		res, _, _, err := ix.Search(queries.Row(i), k, kernel)
+		out[i], errs[i] = res, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GroupedMemoryBytes returns the packed grouped-layout footprint across
+// all partitions (Figure 20's memory-use comparison) along with the
+// row-major baseline.
+func (ix *Index) GroupedMemoryBytes() (packed, rowMajor int, err error) {
+	for part := range ix.Parts {
+		fs, err := ix.FastScanner(part)
+		if err != nil {
+			return 0, 0, err
+		}
+		g := fs.Grouped()
+		packed += g.PackedBytes() + fs.KeepN()*layout.M
+		rowMajor += g.RowMajorBytes() + fs.KeepN()*layout.M
+	}
+	return packed, rowMajor, nil
+}

@@ -1,0 +1,384 @@
+package index
+
+import (
+	"sync"
+	"testing"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/vec"
+)
+
+// Shared small index across tests: building is the expensive part.
+var (
+	testOnce    sync.Once
+	testIndex   *Index
+	testBase    vec.Matrix
+	testQueries vec.Matrix
+	testErr     error
+)
+
+func sharedIndex(t *testing.T) (*Index, vec.Matrix, vec.Matrix) {
+	t.Helper()
+	testOnce.Do(func() {
+		gen := dataset.NewGenerator(dataset.Config{Seed: 31})
+		learn := gen.Generate(4000)
+		testBase = gen.Generate(30000)
+		testQueries = gen.Generate(8)
+		opt := DefaultOptions()
+		opt.Partitions = 4
+		opt.Seed = 31
+		testIndex, testErr = Build(learn, testBase, opt)
+	})
+	if testErr != nil {
+		t.Fatal(testErr)
+	}
+	return testIndex, testBase, testQueries
+}
+
+func TestBuildErrors(t *testing.T) {
+	gen := dataset.NewGenerator(dataset.Config{Seed: 1, Dim: 32})
+	learn := gen.Generate(300)
+	base := gen.Generate(100)
+	if _, err := Build(learn, base, Options{Partitions: 0}); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	other := dataset.NewGenerator(dataset.Config{Seed: 1, Dim: 64}).Generate(100)
+	if _, err := Build(learn, other, Options{Partitions: 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestPartitionsCoverBase(t *testing.T) {
+	ix, base, _ := sharedIndex(t)
+	seen := make([]bool, base.Rows())
+	total := 0
+	for _, p := range ix.Parts {
+		total += p.N
+		for i := 0; i < p.N; i++ {
+			id := p.ID(i)
+			if id < 0 || int(id) >= base.Rows() || seen[id] {
+				t.Fatalf("partition id %d invalid or duplicated", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != base.Rows() {
+		t.Fatalf("partitions hold %d of %d vectors", total, base.Rows())
+	}
+}
+
+func TestRoutingIsNearestCentroid(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		got := ix.RoutePartition(q)
+		want, _ := vec.ArgminL2(q, ix.Coarse.Data, ix.Dim)
+		if got != want {
+			t.Fatalf("query %d routed to %d, nearest centroid is %d", qi, got, want)
+		}
+	}
+}
+
+func TestPartitionMembersNearestToTheirCentroid(t *testing.T) {
+	ix, base, _ := sharedIndex(t)
+	for pi, p := range ix.Parts {
+		for i := 0; i < p.N; i += 97 {
+			row := base.Row(int(p.ID(i)))
+			want, _ := vec.ArgminL2(row, ix.Coarse.Data, ix.Dim)
+			if want != pi {
+				t.Fatalf("vector %d stored in partition %d but nearest cell is %d", p.ID(i), pi, want)
+			}
+		}
+	}
+}
+
+// TestAllKernelsAgree is the end-to-end exactness invariant: every scan
+// kernel returns identical results through the full IVFADC pipeline.
+func TestAllKernelsAgree(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	kernels := []Kernel{KernelNaive, KernelLibpq, KernelAVX, KernelGather, KernelFastScan, KernelQuantOnly}
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		ref, _, refPart, err := ix.Search(q, 50, KernelNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kern := range kernels[1:] {
+			got, _, part, err := ix.Search(q, 50, kern)
+			if err != nil {
+				t.Fatalf("kernel %v: %v", kern, err)
+			}
+			if part != refPart {
+				t.Fatalf("kernel %v routed differently", kern)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("kernel %v returned %d results, want %d", kern, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("query %d kernel %v result %d: %+v != %+v", qi, kern, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchReturnsSortedDistances(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	res, _, _, err := ix.Search(queries.Row(0), 20, KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Distance < res[i-1].Distance {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+}
+
+// TestADCDistancesMatchDecodedVectors: the reported distance must equal
+// the exact distance between the query residual and the decoded residual
+// code (the ADC definition).
+func TestADCDistancesMatchDecodedVectors(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	q := queries.Row(0)
+	res, _, part, err := ix.Search(q, 5, KernelNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := ix.Tables(q, part)
+	p := ix.Parts[part]
+	// Locate each result position to recompute its ADC.
+	for _, r := range res {
+		found := false
+		for i := 0; i < p.N; i++ {
+			if p.ID(i) == r.ID {
+				code := p.Code(i)
+				var d float32
+				for j := 0; j < ix.PQ.M; j++ {
+					d += tables.Row(j)[code[j]]
+				}
+				if d != r.Distance {
+					t.Fatalf("result id %d distance %v, recomputed %v", r.ID, r.Distance, d)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("result id %d not in routed partition", r.ID)
+		}
+	}
+}
+
+func TestSearchMulti(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	q := queries.Row(1)
+	single, _, _, err := ix.Search(q, 30, KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, _, err := ix.SearchMulti(q, 30, len(ix.Parts), KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing every cell can only improve (or tie) each rank's distance.
+	for i := range single {
+		if multi[i].Distance > single[i].Distance {
+			t.Fatalf("rank %d worsened with full probing: %v > %v", i, multi[i].Distance, single[i].Distance)
+		}
+	}
+	if _, _, err := ix.SearchMulti(q, 10, 0, KernelFastScan); err == nil {
+		t.Error("nprobe=0 accepted")
+	}
+	if _, _, err := ix.SearchMulti(q, 10, 99, KernelFastScan); err == nil {
+		t.Error("nprobe beyond partitions accepted")
+	}
+}
+
+func TestSearchPartitionErrors(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	if _, _, err := ix.SearchPartition(queries.Row(0), 5, KernelNaive, -1); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if _, _, err := ix.SearchPartition(queries.Row(0), 5, Kernel(42), 0); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	names := map[Kernel]string{
+		KernelNaive: "naive", KernelLibpq: "libpq", KernelAVX: "avx",
+		KernelGather: "gather", KernelFastScan: "fastpq", KernelQuantOnly: "quantonly",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestGroupedMemoryBytes(t *testing.T) {
+	ix, base, _ := sharedIndex(t)
+	packed, rowMajor, err := ix.GroupedMemoryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowMajor != base.Rows()*8 {
+		t.Fatalf("row-major bytes %d, want %d", rowMajor, base.Rows()*8)
+	}
+	if packed >= rowMajor {
+		t.Fatalf("packed layout (%d) not smaller than row-major (%d)", packed, rowMajor)
+	}
+}
+
+func TestFastScannerCached(t *testing.T) {
+	ix, _, _ := sharedIndex(t)
+	a, err := ix.FastScanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.FastScanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("FastScanner not cached per partition")
+	}
+}
+
+func TestRecallAgainstGroundTruth(t *testing.T) {
+	ix, base, queries := sharedIndex(t)
+	gt, err := dataset.GroundTruth(base, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results [][]int64
+	for qi := 0; qi < queries.Rows(); qi++ {
+		res, _, _, err := ix.Search(queries.Row(qi), 100, KernelFastScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		results = append(results, ids)
+	}
+	// PQ 8x8 with a single-probe IVF on clustered synthetic data should
+	// place the true NN in the top-100 most of the time.
+	if r := dataset.Recall(results, gt, 100); r < 0.5 {
+		t.Errorf("recall@100 = %v, unexpectedly low", r)
+	}
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	batch, err := ix.SearchBatch(testQueries, 15, KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != queries.Rows() {
+		t.Fatalf("batch returned %d result sets", len(batch))
+	}
+	for qi := 0; qi < queries.Rows(); qi++ {
+		want, _, _, err := ix.Search(queries.Row(qi), 15, KernelFastScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if batch[qi][i] != want[i] {
+				t.Fatalf("query %d batch result %d differs", qi, i)
+			}
+		}
+	}
+}
+
+func TestSearchBatchDimMismatch(t *testing.T) {
+	ix, _, _ := sharedIndex(t)
+	bad := vec.NewMatrix(2, ix.Dim+1)
+	if _, err := ix.SearchBatch(bad, 5, KernelFastScan); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFastScan256KernelThroughIndex(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	for qi := 0; qi < 3; qi++ {
+		want, _, _, err := ix.Search(queries.Row(qi), 20, KernelLibpq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := ix.Search(queries.Row(qi), 20, KernelFastScan256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fastpq256 differs at rank %d", i)
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic: identical seeds must produce identical indexes
+// (codes, centroids and therefore query answers).
+func TestBuildDeterministic(t *testing.T) {
+	gen1 := dataset.NewGenerator(dataset.Config{Seed: 99, Dim: 32})
+	learn1 := gen1.Generate(1500)
+	base1 := gen1.Generate(4000)
+	gen2 := dataset.NewGenerator(dataset.Config{Seed: 99, Dim: 32})
+	learn2 := gen2.Generate(1500)
+	base2 := gen2.Generate(4000)
+	opt := DefaultOptions()
+	opt.Partitions = 3
+	opt.Seed = 5
+	a, err := Build(learn1, base1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(learn2, base2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coarse.Data {
+		if a.Coarse.Data[i] != b.Coarse.Data[i] {
+			t.Fatal("coarse centroids differ between same-seed builds")
+		}
+	}
+	for pi := range a.Parts {
+		if a.Parts[pi].N != b.Parts[pi].N {
+			t.Fatalf("partition %d sizes differ", pi)
+		}
+		for ci := range a.Parts[pi].Codes {
+			if a.Parts[pi].Codes[ci] != b.Parts[pi].Codes[ci] {
+				t.Fatalf("partition %d codes differ", pi)
+			}
+		}
+	}
+}
+
+// TestSearchKLargerThanPartition: k beyond the partition size returns
+// every vector, still sorted and identical across kernels.
+func TestSearchKLargerThanPartition(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	q := queries.Row(0)
+	part := ix.RoutePartition(q)
+	k := ix.Parts[part].N + 50
+	ref, _, _, err := ix.Search(q, k, KernelNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != ix.Parts[part].N {
+		t.Fatalf("got %d results for k beyond partition size %d", len(ref), ix.Parts[part].N)
+	}
+	got, _, _, err := ix.Search(q, k, KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("oversized-k results differ at rank %d", i)
+		}
+	}
+}

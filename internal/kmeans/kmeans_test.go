@@ -1,0 +1,219 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"pqfastscan/internal/rng"
+	"pqfastscan/internal/vec"
+)
+
+// blobs generates k well-separated Gaussian clusters of m points each.
+func blobs(k, m, dim int, seed uint64) (data vec.Matrix, labels []int) {
+	r := rng.New(seed)
+	data = vec.NewMatrix(k*m, dim)
+	labels = make([]int, k*m)
+	centers := vec.NewMatrix(k, dim)
+	for c := 0; c < k; c++ {
+		for d := 0; d < dim; d++ {
+			centers.Row(c)[d] = float32(r.NormFloat64() * 50)
+		}
+	}
+	for i := 0; i < k*m; i++ {
+		c := i % k
+		labels[i] = c
+		for d := 0; d < dim; d++ {
+			data.Row(i)[d] = centers.Row(c)[d] + float32(r.NormFloat64())
+		}
+	}
+	return data, labels
+}
+
+func TestTrainRecoversBlobs(t *testing.T) {
+	data, labels := blobs(5, 100, 8, 1)
+	res, err := Train(data, Config{K: 5, MaxIter: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All members of a true cluster must map to the same learned centroid.
+	clusterOf := map[int]int{}
+	for i, lab := range labels {
+		if prev, ok := clusterOf[lab]; ok {
+			if res.Assign[i] != prev {
+				t.Fatalf("true cluster %d split across learned centroids", lab)
+			}
+		} else {
+			clusterOf[lab] = res.Assign[i]
+		}
+	}
+	if len(clusterOf) != 5 {
+		t.Fatalf("learned %d distinct centroids for 5 blobs", len(clusterOf))
+	}
+}
+
+func TestTrainAssignmentsAreNearest(t *testing.T) {
+	data, _ := blobs(4, 50, 6, 3)
+	res, err := Train(data, Config{K: 7, MaxIter: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Rows(); i++ {
+		want, _ := vec.ArgminL2(data.Row(i), res.Centroids.Data, data.Dim)
+		if res.Assign[i] != want {
+			t.Fatalf("vector %d assigned to %d, nearest is %d", i, res.Assign[i], want)
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	data, _ := blobs(3, 60, 4, 5)
+	a, err := Train(data, Config{K: 6, MaxIter: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, Config{K: 6, MaxIter: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids.Data {
+		if a.Centroids.Data[i] != b.Centroids.Data[i] {
+			t.Fatal("same-seed training produced different centroids")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("same-seed training produced different inertia")
+	}
+}
+
+func TestTrainInertiaBeatsRandomAssignment(t *testing.T) {
+	data, _ := blobs(8, 40, 8, 7)
+	res, err := Train(data, Config{K: 8, MaxIter: 30, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inertia of a single global centroid is the upper reference.
+	global := vec.NewMatrix(1, data.Dim)
+	for i := 0; i < data.Rows(); i++ {
+		vec.Add(global.Row(0), data.Row(i))
+	}
+	vec.Scale(global.Row(0), 1/float32(data.Rows()))
+	worst := 0.0
+	for i := 0; i < data.Rows(); i++ {
+		worst += float64(vec.L2Squared(data.Row(i), global.Row(0)))
+	}
+	if res.Inertia >= worst/10 {
+		t.Fatalf("inertia %.1f not far below single-centroid %.1f", res.Inertia, worst)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data := vec.NewMatrix(3, 2)
+	if _, err := Train(data, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Train(data, Config{K: 10}); err == nil {
+		t.Error("K larger than training set accepted")
+	}
+}
+
+func TestTrainKEqualsN(t *testing.T) {
+	data, _ := blobs(4, 1, 3, 11)
+	res, err := Train(data, Config{K: 4, MaxIter: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-6 {
+		t.Fatalf("K = N should reach ~zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestSameSizeExactSizes(t *testing.T) {
+	data, _ := blobs(4, 64, 8, 13)
+	for _, nClusters := range []int{2, 4, 8, 16} {
+		assign, err := SameSize(data, nClusters, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, nClusters)
+		for _, c := range assign {
+			if c < 0 || c >= nClusters {
+				t.Fatalf("cluster id %d out of range", c)
+			}
+			counts[c]++
+		}
+		want := data.Rows() / nClusters
+		for c, n := range counts {
+			if n != want {
+				t.Fatalf("cluster %d has %d members, want exactly %d", c, n, want)
+			}
+		}
+	}
+}
+
+func TestSameSizeRejectsIndivisible(t *testing.T) {
+	data := vec.NewMatrix(10, 2)
+	if _, err := SameSize(data, 3, 1); err == nil {
+		t.Error("indivisible clustering accepted")
+	}
+}
+
+// TestSameSizeBeatsRandomGrouping: the same-size clustering objective
+// (sum of point-to-cluster-centroid distances) must be meaningfully lower
+// than a random equal-size grouping — the property §4.3 relies on for
+// tight minimum tables.
+func TestSameSizeBeatsRandomGrouping(t *testing.T) {
+	data, _ := blobs(16, 16, 8, 17)
+	assign, err := SameSize(data, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objective := func(assign []int) float64 {
+		centroids := vec.NewMatrix(16, data.Dim)
+		counts := make([]int, 16)
+		for i, c := range assign {
+			vec.Add(centroids.Row(c), data.Row(i))
+			counts[c]++
+		}
+		for c := 0; c < 16; c++ {
+			vec.Scale(centroids.Row(c), 1/float32(counts[c]))
+		}
+		total := 0.0
+		for i, c := range assign {
+			total += float64(vec.L2Squared(data.Row(i), centroids.Row(c)))
+		}
+		return total
+	}
+	got := objective(assign)
+	r := rng.New(23)
+	randAssign := make([]int, data.Rows())
+	for i, p := range r.Perm(data.Rows()) {
+		randAssign[p] = i % 16
+	}
+	random := objective(randAssign)
+	if got > random/2 {
+		t.Fatalf("same-size objective %.1f not well below random %.1f", got, random)
+	}
+}
+
+func TestSameSizeDeterministic(t *testing.T) {
+	data, _ := blobs(8, 32, 4, 19)
+	a, err := SameSize(data, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SameSize(data, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed SameSize differs")
+		}
+	}
+}
+
+func TestBenefitFinite(t *testing.T) {
+	if b := benefit([]float32{1, 2, 3}); math.IsInf(float64(b), 0) || b != 2 {
+		t.Fatalf("benefit = %v, want 2", b)
+	}
+}

@@ -1,0 +1,305 @@
+// Package layout implements the three database memory layouts of the
+// paper for PQ 8×8 codes:
+//
+//   - row-major pqcodes (Figure 1), scanned by the naive and libpq kernels;
+//   - the 8-vector transposed layout (Figure 5) required by the avx and
+//     gather kernels, storing the first components of 8 vectors
+//     contiguously so one 64-bit load fetches them;
+//   - the grouped layout of PQ Fast Scan (Figure 9b): vectors are grouped
+//     by the 4 most significant bits of their first c components, stored
+//     in 16-vector blocks, with the grouped components packed to 4 bits.
+//     With c = 4 this is the 25 % memory reduction of §4.2 and the 6
+//     bytes loaded per lower-bound computation reported in §5.8.
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// M is the number of components per code; all scan kernels operate on
+// PQ 8×8, the configuration the paper adopts (§3.1).
+const M = 8
+
+// BlockVectors is the number of vectors per grouped block: one SIMD
+// register holds 16 lanes, so lower bounds are computed 16 vectors at a
+// time.
+const BlockVectors = 16
+
+// MaxGroupComponents is the deepest grouping the paper uses (c = 4).
+const MaxGroupComponents = 4
+
+// GroupSizeFloor is the paper's minimum useful average group size: "For
+// best performance, s should exceed about 50 vectors" (§4.2), giving the
+// partition-size rule nmin(c) = 50·16^c.
+const GroupSizeFloor = 50
+
+// BlockBytes returns the size of one packed block when grouping on c
+// components: the c grouped components store only their low nibble
+// (8 bytes per component per 16-vector block) while the remaining 8-c
+// components keep full bytes (16 bytes each): 8c + 16(8-c) = 128 - 8c.
+// For the paper's c = 4 this is 96 bytes, i.e. 6 bytes per vector.
+func BlockBytes(c int) int { return 128 - 8*c }
+
+// AutoComponents returns the number of grouping components for a
+// partition of n vectors: the largest c in [0, 4] with n >= 50·16^c.
+// This encodes §4.2 and the §5.6 observation that partitions below
+// nmin(4) = 3.2 M vectors should group on fewer components.
+func AutoComponents(n int) int {
+	c := 0
+	for c < MaxGroupComponents && n >= GroupSizeFloor*pow16(c+1) {
+		c++
+	}
+	return c
+}
+
+// MinPartitionSize returns nmin(c) = 50·16^c, the smallest partition for
+// which grouping on c components keeps groups above the size floor.
+func MinPartitionSize(c int) int { return GroupSizeFloor * pow16(c) }
+
+func pow16(c int) int {
+	p := 1
+	for i := 0; i < c; i++ {
+		p *= 16
+	}
+	return p
+}
+
+// Transposed stores codes in 8-vector blocks with component-major order
+// inside each block (Figure 5): block b holds
+// a[0] b[0] ... h[0], a[1] ... h[1], ..., a[7] ... h[7].
+// The tail (n mod 8 vectors) remains row-major in Tail.
+type Transposed struct {
+	N      int
+	Blocks []uint8 // full 8-vector blocks, 64 bytes each
+	Tail   []uint8 // row-major remainder codes
+}
+
+// NewTransposed builds the transposed layout from row-major codes (n x M).
+func NewTransposed(codes []uint8) *Transposed {
+	if len(codes)%M != 0 {
+		panic("layout: codes not a multiple of M")
+	}
+	n := len(codes) / M
+	full := n / 8
+	t := &Transposed{N: n, Blocks: make([]uint8, full*64)}
+	for b := 0; b < full; b++ {
+		dst := t.Blocks[b*64 : (b+1)*64]
+		for j := 0; j < M; j++ {
+			for v := 0; v < 8; v++ {
+				dst[j*8+v] = codes[(b*8+v)*M+j]
+			}
+		}
+	}
+	t.Tail = append([]uint8(nil), codes[full*8*M:]...)
+	return t
+}
+
+// Component returns the j-th components of the 8 vectors of block b as a
+// slice aliasing the block storage (the 64-bit word the gather and libpq
+// variants load in one instruction).
+func (t *Transposed) Component(b, j int) []uint8 {
+	return t.Blocks[b*64+j*8 : b*64+j*8+8]
+}
+
+// FullBlocks returns the number of complete 8-vector blocks.
+func (t *Transposed) FullBlocks() int { return len(t.Blocks) / 64 }
+
+// Group describes one vector group of the grouped layout: all member
+// vectors p satisfy, for each grouped component j < C,
+// Key[j] == p[j] >> 4 (§4.2).
+type Group struct {
+	Key        [MaxGroupComponents]uint8 // high nibbles of components 0..C-1
+	Start      int                       // first vector position (grouped order)
+	Count      int                       // number of vectors in the group
+	BlockStart int                       // index of the group's first block
+	BlockCount int                       // number of 16-vector blocks
+}
+
+// Grouped is the PQ Fast Scan database layout.
+type Grouped struct {
+	N      int
+	C      int     // number of grouped components (0..4)
+	IDs    []int64 // original vector id of each grouped position
+	Codes  []uint8 // row-major codes in grouped order (exact re-check path)
+	Groups []Group
+	Blocks []uint8 // packed blocks, BlockBytes(C) each, grouped order
+
+	blockBytes int
+}
+
+// padNibble / padByte fill the unused lanes of a group's final block.
+// Padding lanes can produce arbitrary lower bounds; kernels mask them out
+// by comparing lane positions against Group.Count.
+const (
+	padNibble = 0x0f
+	padByte   = 0xff
+)
+
+// NewGrouped builds the grouped layout from row-major codes and their
+// original ids, grouping on the first c components. ids may be nil, in
+// which case positions 0..n-1 are used.
+func NewGrouped(codes []uint8, ids []int64, c int) (*Grouped, error) {
+	if c < 0 || c > MaxGroupComponents {
+		return nil, fmt.Errorf("layout: grouping components %d out of range [0,4]", c)
+	}
+	if len(codes)%M != 0 {
+		return nil, fmt.Errorf("layout: code array length %d not a multiple of %d", len(codes), M)
+	}
+	n := len(codes) / M
+	if ids != nil && len(ids) != n {
+		return nil, fmt.Errorf("layout: %d ids for %d vectors", len(ids), n)
+	}
+
+	// Order vector positions by group key (stable, so within-group order
+	// is the original database order).
+	keys := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		var k uint32
+		for j := 0; j < c; j++ {
+			k = k<<4 | uint32(codes[i*M+j]>>4)
+		}
+		keys[i] = k
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	g := &Grouped{
+		N:          n,
+		C:          c,
+		IDs:        make([]int64, n),
+		Codes:      make([]uint8, n*M),
+		blockBytes: BlockBytes(c),
+	}
+	for pos, src := range order {
+		if ids != nil {
+			g.IDs[pos] = ids[src]
+		} else {
+			g.IDs[pos] = int64(src)
+		}
+		copy(g.Codes[pos*M:(pos+1)*M], codes[src*M:(src+1)*M])
+	}
+
+	// Delimit groups over the sorted order.
+	start := 0
+	for start < n {
+		end := start + 1
+		for end < n && keys[order[end]] == keys[order[start]] {
+			end++
+		}
+		grp := Group{Start: start, Count: end - start}
+		k := keys[order[start]]
+		for j := c - 1; j >= 0; j-- {
+			grp.Key[j] = uint8(k & 0x0f)
+			k >>= 4
+		}
+		g.Groups = append(g.Groups, grp)
+		start = end
+	}
+
+	// Pack blocks group by group.
+	totalBlocks := 0
+	for i := range g.Groups {
+		g.Groups[i].BlockStart = totalBlocks
+		g.Groups[i].BlockCount = (g.Groups[i].Count + BlockVectors - 1) / BlockVectors
+		totalBlocks += g.Groups[i].BlockCount
+	}
+	g.Blocks = make([]uint8, totalBlocks*g.blockBytes)
+	for _, grp := range g.Groups {
+		for b := 0; b < grp.BlockCount; b++ {
+			g.packBlock(grp, b)
+		}
+	}
+	return g, nil
+}
+
+// packBlock encodes 16 vectors (or the padded remainder) of grp into its
+// b-th block.
+func (g *Grouped) packBlock(grp Group, b int) {
+	blk := g.Block(grp.BlockStart + b)
+	base := grp.Start + b*BlockVectors
+	for lane := 0; lane < BlockVectors; lane++ {
+		pos := base + lane
+		inGroup := pos < grp.Start+grp.Count
+		var code []uint8
+		if inGroup {
+			code = g.Codes[pos*M : (pos+1)*M]
+		}
+		// Grouped components: low nibble only, two lanes per byte.
+		for j := 0; j < g.C; j++ {
+			nib := uint8(padNibble)
+			if inGroup {
+				nib = code[j] & 0x0f
+			}
+			idx := j*8 + lane/2
+			if lane%2 == 0 {
+				blk[idx] = blk[idx]&0xf0 | nib
+			} else {
+				blk[idx] = blk[idx]&0x0f | nib<<4
+			}
+		}
+		// Ungrouped components: full byte.
+		for j := g.C; j < M; j++ {
+			v := uint8(padByte)
+			if inGroup {
+				v = code[j]
+			}
+			blk[g.C*8+(j-g.C)*16+lane] = v
+		}
+	}
+}
+
+// Block returns the i-th packed block, aliasing the backing store.
+func (g *Grouped) Block(i int) []uint8 {
+	return g.Blocks[i*g.blockBytes : (i+1)*g.blockBytes]
+}
+
+// LowNibbles decodes the packed low nibbles of grouped component j
+// (j < C) of block i into dst[0:16], one lane per vector.
+func (g *Grouped) LowNibbles(i, j int, dst *[BlockVectors]uint8) {
+	if j < 0 || j >= g.C {
+		panic("layout: LowNibbles is defined for grouped components only")
+	}
+	src := g.Block(i)[j*8 : j*8+8]
+	for k, b := range src {
+		dst[2*k] = b & 0x0f
+		dst[2*k+1] = b >> 4
+	}
+}
+
+// FullComponents returns the full bytes of ungrouped component j
+// (C <= j < 8) of block i, aliasing the backing store.
+func (g *Grouped) FullComponents(i, j int) []uint8 {
+	if j < g.C || j >= M {
+		panic("layout: FullComponents is defined for ungrouped components only")
+	}
+	blk := g.Block(i)
+	off := g.C*8 + (j-g.C)*16
+	return blk[off : off+16]
+}
+
+// Code returns the full row-major code of the vector at grouped position
+// pos (the exact re-check path of Figure 6).
+func (g *Grouped) Code(pos int) []uint8 {
+	return g.Codes[pos*M : (pos+1)*M]
+}
+
+// BlockSize returns the packed block size in bytes for this layout's C.
+func (g *Grouped) BlockSize() int { return g.blockBytes }
+
+// PackedBytes returns the memory used by the packed block representation.
+func (g *Grouped) PackedBytes() int { return len(g.Blocks) }
+
+// RowMajorBytes returns the memory the same vectors use row-major
+// (8 bytes per vector), the baseline for the §4.2 saving.
+func (g *Grouped) RowMajorBytes() int { return g.N * M }
+
+// MemorySaving returns the fractional reduction of the packed layout over
+// row-major storage. With c = 4 and group sizes that are multiples of 16
+// it is exactly 25 %; block padding in small groups reduces it.
+func (g *Grouped) MemorySaving() float64 {
+	return 1 - float64(g.PackedBytes())/float64(g.RowMajorBytes())
+}

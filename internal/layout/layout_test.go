@@ -1,0 +1,291 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pqfastscan/internal/rng"
+)
+
+func randomCodes(n int, seed uint64) []uint8 {
+	r := rng.New(seed)
+	codes := make([]uint8, n*M)
+	for i := range codes {
+		codes[i] = uint8(r.Intn(256))
+	}
+	return codes
+}
+
+func TestBlockBytes(t *testing.T) {
+	cases := map[int]int{0: 128, 1: 120, 2: 112, 3: 104, 4: 96}
+	for c, want := range cases {
+		if got := BlockBytes(c); got != want {
+			t.Errorf("BlockBytes(%d) = %d, want %d", c, got, want)
+		}
+	}
+	// The paper's headline: 6 bytes per vector at c=4 (§5.8).
+	if BlockBytes(4)/BlockVectors != 6 {
+		t.Errorf("c=4 packed bytes per vector = %d, want 6", BlockBytes(4)/BlockVectors)
+	}
+}
+
+func TestAutoComponentsRule(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {100, 0},
+		{799, 0}, {800, 1},
+		{12799, 1}, {12800, 2},
+		{204799, 2}, {204800, 3},
+		{3276799, 3}, {3276800, 4},
+		{25000000, 4},
+	}
+	for _, c := range cases {
+		if got := AutoComponents(c.n); got != c.want {
+			t.Errorf("AutoComponents(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMinPartitionSize(t *testing.T) {
+	// nmin(c) = 50·16^c: the paper quotes nmin(4) = 50·16^4 = 3.2768 M,
+	// "we target partitions of n = 3.2 - 25 million vectors".
+	if MinPartitionSize(4) != 3276800 {
+		t.Errorf("nmin(4) = %d, want 3276800", MinPartitionSize(4))
+	}
+	if MinPartitionSize(0) != 50 {
+		t.Errorf("nmin(0) = %d, want 50", MinPartitionSize(0))
+	}
+}
+
+func TestTransposedRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 100} {
+		codes := randomCodes(n, uint64(n+1))
+		tr := NewTransposed(codes)
+		if tr.N != n {
+			t.Fatalf("n=%d: transposed N=%d", n, tr.N)
+		}
+		full := tr.FullBlocks()
+		if full != n/8 {
+			t.Fatalf("n=%d: %d full blocks, want %d", n, full, n/8)
+		}
+		for b := 0; b < full; b++ {
+			for j := 0; j < M; j++ {
+				comp := tr.Component(b, j)
+				for v := 0; v < 8; v++ {
+					if comp[v] != codes[(b*8+v)*M+j] {
+						t.Fatalf("n=%d block %d comp %d lane %d mismatch", n, b, j, v)
+					}
+				}
+			}
+		}
+		// Tail must be the original row-major remainder.
+		tail := codes[full*8*M:]
+		if len(tr.Tail) != len(tail) {
+			t.Fatalf("n=%d: tail length %d, want %d", n, len(tr.Tail), len(tail))
+		}
+		for i := range tail {
+			if tr.Tail[i] != tail[i] {
+				t.Fatalf("n=%d: tail differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestGroupedInvariants(t *testing.T) {
+	for _, c := range []int{0, 1, 2, 3, 4} {
+		codes := randomCodes(3000, uint64(c)*7+1)
+		g, err := NewGrouped(codes, nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N != 3000 || g.C != c {
+			t.Fatalf("c=%d: N=%d C=%d", c, g.N, g.C)
+		}
+		// IDs are a permutation of 0..n-1.
+		seen := make([]bool, g.N)
+		for _, id := range g.IDs {
+			if id < 0 || int(id) >= g.N || seen[id] {
+				t.Fatalf("c=%d: ids are not a permutation", c)
+			}
+			seen[id] = true
+		}
+		// Codes in grouped order match the original codes by id, and
+		// every group member's high nibbles match the group key.
+		total := 0
+		for _, grp := range g.Groups {
+			total += grp.Count
+			for pos := grp.Start; pos < grp.Start+grp.Count; pos++ {
+				orig := codes[int(g.IDs[pos])*M : int(g.IDs[pos])*M+M]
+				for j := 0; j < M; j++ {
+					if g.Code(pos)[j] != orig[j] {
+						t.Fatalf("c=%d: grouped code differs from original", c)
+					}
+				}
+				for j := 0; j < c; j++ {
+					if g.Code(pos)[j]>>4 != grp.Key[j] {
+						t.Fatalf("c=%d: member violates group key", c)
+					}
+				}
+			}
+		}
+		if total != g.N {
+			t.Fatalf("c=%d: groups cover %d of %d vectors", c, total, g.N)
+		}
+	}
+}
+
+// TestGroupedBlockContents: the packed nibble and full-byte block
+// sections must decode back to the member codes, with padding only past
+// the group count.
+func TestGroupedBlockContents(t *testing.T) {
+	for _, c := range []int{1, 2, 4} {
+		codes := randomCodes(777, uint64(c)+99)
+		g, err := NewGrouped(codes, nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nib [BlockVectors]uint8
+		for _, grp := range g.Groups {
+			for b := 0; b < grp.BlockCount; b++ {
+				blockIdx := grp.BlockStart + b
+				base := grp.Start + b*BlockVectors
+				for j := 0; j < c; j++ {
+					g.LowNibbles(blockIdx, j, &nib)
+					for lane := 0; lane < BlockVectors; lane++ {
+						pos := base + lane
+						if pos < grp.Start+grp.Count {
+							if nib[lane] != g.Code(pos)[j]&0x0f {
+								t.Fatalf("c=%d: low nibble mismatch", c)
+							}
+						} else if nib[lane] != padNibble {
+							t.Fatalf("c=%d: padding nibble = %#x", c, nib[lane])
+						}
+					}
+				}
+				for j := c; j < M; j++ {
+					comps := g.FullComponents(blockIdx, j)
+					for lane := 0; lane < BlockVectors; lane++ {
+						pos := base + lane
+						if pos < grp.Start+grp.Count {
+							if comps[lane] != g.Code(pos)[j] {
+								t.Fatalf("c=%d: full component mismatch", c)
+							}
+						} else if comps[lane] != padByte {
+							t.Fatalf("c=%d: padding byte = %#x", c, comps[lane])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGroupedMemorySaving(t *testing.T) {
+	// With c=4 and group sizes that are multiples of 16 the saving is
+	// exactly 25% (§4.2). Use identical high nibbles so there is a single
+	// group and pad only one block.
+	n := 1600
+	codes := make([]uint8, n*M)
+	r := rng.New(5)
+	for i := 0; i < n; i++ {
+		for j := 0; j < M; j++ {
+			codes[i*M+j] = 0x30 | uint8(r.Intn(16)) // high nibble fixed
+		}
+	}
+	g, err := NewGrouped(codes, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(g.Groups))
+	}
+	if got := g.MemorySaving(); got != 0.25 {
+		t.Fatalf("memory saving = %v, want exactly 0.25", got)
+	}
+	// c=0 stores full bytes in blocks: no saving.
+	g0, err := NewGrouped(codes, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.MemorySaving() > 0 {
+		t.Fatalf("c=0 saving = %v, want <= 0", g0.MemorySaving())
+	}
+}
+
+func TestGroupedCustomIDs(t *testing.T) {
+	codes := randomCodes(100, 3)
+	ids := make([]int64, 100)
+	for i := range ids {
+		ids[i] = int64(1000 + i)
+	}
+	g, err := NewGrouped(codes, ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < g.N; pos++ {
+		orig := int(g.IDs[pos]) - 1000
+		if orig < 0 || orig >= 100 {
+			t.Fatalf("unexpected id %d", g.IDs[pos])
+		}
+		if g.Code(pos)[0] != codes[orig*M] {
+			t.Fatal("id does not match code")
+		}
+	}
+}
+
+func TestGroupedErrors(t *testing.T) {
+	codes := randomCodes(10, 1)
+	if _, err := NewGrouped(codes, nil, 5); err == nil {
+		t.Error("c=5 accepted")
+	}
+	if _, err := NewGrouped(codes[:9], nil, 2); err == nil {
+		t.Error("misaligned codes accepted")
+	}
+	if _, err := NewGrouped(codes, make([]int64, 3), 2); err == nil {
+		t.Error("id count mismatch accepted")
+	}
+}
+
+func TestGroupedSortedKeys(t *testing.T) {
+	// Groups must appear in ascending key order with no duplicates.
+	if err := quick.Check(func(seed uint16) bool {
+		codes := randomCodes(500, uint64(seed))
+		g, err := NewGrouped(codes, nil, 2)
+		if err != nil {
+			return false
+		}
+		prev := int64(-1)
+		for _, grp := range g.Groups {
+			k := int64(grp.Key[0])<<4 | int64(grp.Key[1])
+			if k <= prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	codes := randomCodes(64, 2)
+	g, err := NewGrouped(codes, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nib [BlockVectors]uint8
+	for name, fn := range map[string]func(){
+		"LowNibbles on ungrouped":     func() { g.LowNibbles(0, 2, &nib) },
+		"FullComponents on grouped":   func() { g.FullComponents(0, 1) },
+		"FullComponents out of range": func() { g.FullComponents(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

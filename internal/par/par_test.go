@@ -1,0 +1,55 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndexes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+		var hits int64
+		seen := make([]int32, n)
+		For(n, func(i int) {
+			atomic.AddInt64(&hits, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if hits != int64(n) {
+			t.Fatalf("n=%d: %d calls", n, hits)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkCoversAllIndexes(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 999} {
+		seen := make([]int32, n)
+		ForChunk(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkChunksAreContiguousAndDisjoint(t *testing.T) {
+	const n = 1000
+	var total int64
+	ForChunk(n, func(lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != n {
+		t.Fatalf("chunks cover %d of %d", total, n)
+	}
+}

@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"testing"
+)
+
+// TestTable1CacheResidency pins the paper's Table 1: PQ 16x4 and PQ 8x8
+// distance tables fit the L1 cache; PQ 4x16 tables only fit the L3.
+func TestTable1CacheResidency(t *testing.T) {
+	cases := []struct {
+		bytes     int
+		wantLevel string
+	}{
+		{16 * 16 * 4, "L1"},    // PQ 16x4: 1 KiB
+		{8 * 256 * 4, "L1"},    // PQ 8x8: 8 KiB
+		{4 * 65536 * 4, "L3"},  // PQ 4x16: 1 MiB
+		{64 * 1 << 20, "DRAM"}, // larger than L3
+	}
+	for _, c := range cases {
+		level, lat := CacheLevel(Haswell, c.bytes)
+		if level != c.wantLevel {
+			t.Errorf("CacheLevel(%d bytes) = %s, want %s", c.bytes, level, c.wantLevel)
+		}
+		if lat <= 0 {
+			t.Errorf("CacheLevel(%d bytes) latency %v", c.bytes, lat)
+		}
+	}
+	// L3 latency must dominate L1 latency by the factor the paper cites
+	// ("the L3 cache which has a 5 times higher latency than the L1").
+	if Haswell.L3Latency < 5*Haswell.L1Latency {
+		t.Errorf("L3/L1 latency ratio %.1f below the paper's 5x",
+			Haswell.L3Latency/Haswell.L1Latency)
+	}
+}
+
+// TestTable2InstructionProperties pins the gather and pshufb rows of the
+// paper's Table 2 exactly.
+func TestTable2InstructionProperties(t *testing.T) {
+	g := GatherCost()
+	if g.Latency != 18 || g.RecipTP != 10 || g.Uops != 34 {
+		t.Errorf("gather cost %+v, want lat=18 tp=10 uops=34 (paper Table 2)", g)
+	}
+	p := PshufbCost()
+	if p.Latency != 1 || p.RecipTP != 0.5 || p.Uops != 1 {
+		t.Errorf("pshufb cost %+v, want lat=1 tp=0.5 uops=1 (paper Table 2)", p)
+	}
+}
+
+func TestOpCountsAccounting(t *testing.T) {
+	c := OpCounts{ScalarLoad8: 8, ScalarLoadF: 8, ScalarALU: 12, ScalarBranch: 2}
+	if got := c.Instructions(); got != 30 {
+		t.Errorf("Instructions = %v, want 30", got)
+	}
+	if got := c.L1Loads(); got != 16 {
+		t.Errorf("L1Loads = %v, want 16", got)
+	}
+	c.Add(OpCounts{Gather256: 1})
+	if got := c.L1Loads(); got != 24 {
+		t.Errorf("L1Loads after gather = %v, want 24 (8 accesses per gather)", got)
+	}
+	if got := c.Uops(); got != 31+34-1 {
+		t.Errorf("Uops = %v, want 64", got)
+	}
+	scaled := c.Scale(2)
+	if scaled.ScalarALU != 24 || scaled.Gather256 != 2 {
+		t.Errorf("Scale: %+v", scaled)
+	}
+}
+
+// TestEstimateShape verifies the model reproduces the ordering the paper
+// measures in its Figure 3: libpq is not faster than naive on Haswell,
+// and gather is the slowest implementation despite its low instruction
+// count.
+func TestEstimateShape(t *testing.T) {
+	naive := OpCounts{ScalarLoad8: 8, ScalarLoadF: 8, ScalarALU: 12, ScalarBranch: 2}
+	libpq := OpCounts{ScalarLoad64: 1, ScalarLoadF: 8, ScalarALU: 24, ScalarBranch: 2}
+	gather := OpCounts{SIMDLoad: 1, SIMDALU: 3, Gather256: 1, ScalarALU: 2, ScalarBranch: 1} // per vector
+	fast := OpCounts{SIMDLoad: 0.5, SIMDALU: 1.5, SIMDShuffle: 0.5, SIMDCompare: 0.0625, SIMDMovmsk: 0.0625, ScalarALU: 0.5}
+
+	en := Estimate(naive, Haswell)
+	el := Estimate(libpq, Haswell)
+	eg := Estimate(gather, Haswell)
+	ef := Estimate(fast, Haswell)
+
+	if el.Cycles < en.Cycles {
+		t.Errorf("libpq (%.2f cycles) modeled faster than naive (%.2f); paper finds it slightly slower", el.Cycles, en.Cycles)
+	}
+	if eg.Cycles <= en.Cycles {
+		t.Errorf("gather (%.2f cycles) not slower than naive (%.2f)", eg.Cycles, en.Cycles)
+	}
+	if eg.Instructions >= en.Instructions {
+		t.Errorf("gather instruction count %.1f not below naive %.1f", eg.Instructions, en.Instructions)
+	}
+	if eg.Uops <= en.Uops {
+		t.Errorf("gather uops %.1f not above naive %.1f", eg.Uops, en.Uops)
+	}
+	if eg.IPC() >= 1.5 {
+		t.Errorf("gather IPC %.2f, want the low pipeline utilization the paper reports", eg.IPC())
+	}
+	// The Fast Scan mix must beat libpq by roughly the paper's factor.
+	speedup := el.Cycles / ef.Cycles
+	if speedup < 3 || speedup > 10 {
+		t.Errorf("fast-scan inner loop speedup %.1fx outside the plausible 3-10x band", speedup)
+	}
+}
+
+// TestEstimateMonotonic: adding work never reduces modeled cycles.
+func TestEstimateMonotonic(t *testing.T) {
+	base := OpCounts{ScalarLoadF: 8, ScalarALU: 10}
+	more := base
+	more.Add(OpCounts{ScalarALU: 100})
+	if Estimate(more, Haswell).Cycles < Estimate(base, Haswell).Cycles {
+		t.Error("cycles decreased when adding instructions")
+	}
+}
+
+// TestNehalemLoadPorts: the single load port of the Nehalem profile makes
+// load-heavy mixes slower than on Haswell at equal frequency.
+func TestNehalemLoadPorts(t *testing.T) {
+	loads := OpCounts{ScalarLoadF: 16}
+	h := Estimate(loads, Haswell)
+	n := Estimate(loads, Nehalem)
+	if n.Cycles <= h.Cycles {
+		t.Errorf("Nehalem (%.1f cycles) should need more cycles than Haswell (%.1f) for pure loads", n.Cycles, h.Cycles)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := Counters{Cycles: 3.3e9}
+	got := c.Seconds(Haswell)
+	if got < 0.99 || got > 1.01 {
+		t.Errorf("3.3G cycles at 3.3GHz = %v s, want 1", got)
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 {
+		t.Error("IPC of empty counters should be 0")
+	}
+}
+
+func TestArchitecturesList(t *testing.T) {
+	if len(Architectures) != 4 {
+		t.Fatalf("expected the paper's 4 platforms, got %d", len(Architectures))
+	}
+	if !Architectures[0].HasGather {
+		t.Error("Haswell must support gather (it introduced it, §3.2)")
+	}
+	for _, a := range Architectures[1:] {
+		if a.HasGather {
+			t.Errorf("%s predates AVX2 gather", a.Name)
+		}
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	for r := ResFrontend; r < numResources; r++ {
+		if r.String() == "" {
+			t.Errorf("resource %d has empty name", r)
+		}
+	}
+	if Resource(99).String() == "" {
+		t.Error("unknown resource should still format")
+	}
+}
+
+// TestConfigScanCycles reproduces the paper's §3.1 conclusion: PQ 8x8 is
+// the fastest of the three 64-bit configurations — PQ 16x4 pays double
+// the loads, PQ 4x16 pays L3 latency.
+func TestConfigScanCycles(t *testing.T) {
+	c16x4 := ConfigScanCycles(16, 16, Haswell)
+	c8x8 := ConfigScanCycles(8, 256, Haswell)
+	c4x16 := ConfigScanCycles(4, 65536, Haswell)
+	if !(c8x8 < c16x4) {
+		t.Errorf("PQ 8x8 (%.1f cycles) not faster than PQ 16x4 (%.1f)", c8x8, c16x4)
+	}
+	if !(c8x8 < c4x16) {
+		t.Errorf("PQ 8x8 (%.1f cycles) not faster than PQ 4x16 (%.1f)", c8x8, c4x16)
+	}
+	// PQ 4x16 must be latency-dominated despite having the fewest loads.
+	if c4x16 < c16x4 {
+		t.Errorf("PQ 4x16 (%.1f) should pay more than PQ 16x4 (%.1f) via L3 latency", c4x16, c16x4)
+	}
+}

@@ -1,0 +1,314 @@
+// Package persist serializes trained indexes so the expensive
+// construction pipeline (coarse quantizer, product quantizer, residual
+// encoding, optimized assignment) runs once and queries can start
+// immediately on reload — the operational mode the paper assumes
+// ("database vectors are stored as pqcodes", §2.1; the index is built
+// offline).
+//
+// The format is a simple little-endian binary layout with a magic header
+// and version byte:
+//
+//	"PQFSIDX\x01"
+//	u32 dim, u32 partitions
+//	u32 m, u32 bits, u32 subdim
+//	m codebooks: k* x subdim float32
+//	coarse centroids: partitions x dim float32
+//	options: f64 keep, i32 groupComponents, u8 orderGroups, u8 optimized
+//	per partition: u32 n, n x m bytes codes, n x i64 ids
+//
+// Integrity is protected by a trailing CRC-32 (IEEE) over everything
+// after the magic.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/vec"
+)
+
+var magic = []byte("PQFSIDX\x01")
+
+// maxReasonable bounds untrusted size fields while decoding.
+const maxReasonable = 1 << 31
+
+type countingWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	return n, err
+}
+
+// WriteIndex serializes ix to w.
+func WriteIndex(w io.Writer, ix *index.Index) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return fmt.Errorf("persist: writing magic: %w", err)
+	}
+	cw := &countingWriter{w: bw, crc: crc32.NewIEEE()}
+	le := binary.LittleEndian
+
+	writeU32 := func(v uint32) error {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		_, err := cw.Write(b[:])
+		return err
+	}
+	writeF32s := func(vs []float32) error {
+		buf := make([]byte, 4*len(vs))
+		for i, v := range vs {
+			le.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		_, err := cw.Write(buf)
+		return err
+	}
+
+	pq := ix.PQ
+	header := []uint32{
+		uint32(ix.Dim), uint32(len(ix.Parts)),
+		uint32(pq.M), uint32(pq.Bits), uint32(pq.SubDim),
+	}
+	for _, v := range header {
+		if err := writeU32(v); err != nil {
+			return fmt.Errorf("persist: writing header: %w", err)
+		}
+	}
+	for j := 0; j < pq.M; j++ {
+		if err := writeF32s(pq.Codebooks[j].Data); err != nil {
+			return fmt.Errorf("persist: writing codebook %d: %w", j, err)
+		}
+	}
+	if err := writeF32s(ix.Coarse.Data); err != nil {
+		return fmt.Errorf("persist: writing coarse centroids: %w", err)
+	}
+
+	opt := ix.Options()
+	var optBuf [14]byte
+	le.PutUint64(optBuf[0:], math.Float64bits(opt.FastScan.Keep))
+	le.PutUint32(optBuf[8:], uint32(int32(opt.FastScan.GroupComponents)))
+	if opt.FastScan.OrderGroups {
+		optBuf[12] = 1
+	}
+	if opt.OptimizeAssignment {
+		optBuf[13] = 1
+	}
+	if _, err := cw.Write(optBuf[:]); err != nil {
+		return fmt.Errorf("persist: writing options: %w", err)
+	}
+
+	for pi, p := range ix.Parts {
+		if err := writeU32(uint32(p.N)); err != nil {
+			return fmt.Errorf("persist: writing partition %d size: %w", pi, err)
+		}
+		if _, err := cw.Write(p.Codes); err != nil {
+			return fmt.Errorf("persist: writing partition %d codes: %w", pi, err)
+		}
+		idBuf := make([]byte, 8*p.N)
+		for i := 0; i < p.N; i++ {
+			le.PutUint64(idBuf[8*i:], uint64(p.ID(i)))
+		}
+		if _, err := cw.Write(idBuf); err != nil {
+			return fmt.Errorf("persist: writing partition %d ids: %w", pi, err)
+		}
+	}
+
+	var crcBuf [4]byte
+	le.PutUint32(crcBuf[:], cw.crc.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("persist: writing checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+type countingReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadIndex deserializes an index written by WriteIndex.
+func ReadIndex(r io.Reader) (*index.Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, fmt.Errorf("persist: bad magic %q (not a pqfastscan index, or unsupported version)", head)
+		}
+	}
+	cr := &countingReader{r: br, crc: crc32.NewIEEE()}
+	le := binary.LittleEndian
+
+	readU32 := func() (int, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return 0, err
+		}
+		v := le.Uint32(b[:])
+		if v > maxReasonable {
+			return 0, fmt.Errorf("persist: implausible size field %d", v)
+		}
+		return int(v), nil
+	}
+	readF32s := func(n int) ([]float32, error) {
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, err
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(le.Uint32(buf[4*i:]))
+		}
+		return out, nil
+	}
+
+	dim, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading dim: %w", err)
+	}
+	partitions, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading partition count: %w", err)
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading m: %w", err)
+	}
+	bits, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading bits: %w", err)
+	}
+	subdim, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading subdim: %w", err)
+	}
+	if m <= 0 || bits <= 0 || bits > 16 || subdim <= 0 || m*subdim != dim || partitions <= 0 {
+		return nil, fmt.Errorf("persist: inconsistent header (dim=%d partitions=%d m=%d bits=%d subdim=%d)",
+			dim, partitions, m, bits, subdim)
+	}
+	cfg := quantizer.Config{M: m, Bits: bits}
+	pq := &quantizer.ProductQuantizer{
+		Config:    cfg,
+		Dim:       dim,
+		SubDim:    subdim,
+		Codebooks: make([]vec.Matrix, m),
+	}
+	for j := 0; j < m; j++ {
+		data, err := readF32s(cfg.KStar() * subdim)
+		if err != nil {
+			return nil, fmt.Errorf("persist: reading codebook %d: %w", j, err)
+		}
+		pq.Codebooks[j] = vec.Matrix{Data: data, Dim: subdim}
+	}
+	coarseData, err := readF32s(partitions * dim)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading coarse centroids: %w", err)
+	}
+	coarse := vec.Matrix{Data: coarseData, Dim: dim}
+
+	var optBuf [14]byte
+	if _, err := io.ReadFull(cr, optBuf[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading options: %w", err)
+	}
+	opt := index.Options{
+		Partitions:         partitions,
+		PQ:                 cfg,
+		OptimizeAssignment: optBuf[13] == 1,
+		FastScan: scan.FastScanOptions{
+			Keep:            math.Float64frombits(le.Uint64(optBuf[0:])),
+			GroupComponents: int(int32(le.Uint32(optBuf[8:]))),
+			OrderGroups:     optBuf[12] == 1,
+		},
+	}
+
+	parts := make([]*scan.Partition, partitions)
+	for pi := 0; pi < partitions; pi++ {
+		n, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("persist: reading partition %d size: %w", pi, err)
+		}
+		codes := make([]uint8, n*m)
+		if _, err := io.ReadFull(cr, codes); err != nil {
+			return nil, fmt.Errorf("persist: reading partition %d codes: %w", pi, err)
+		}
+		idBuf := make([]byte, 8*n)
+		if _, err := io.ReadFull(cr, idBuf); err != nil {
+			return nil, fmt.Errorf("persist: reading partition %d ids: %w", pi, err)
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(le.Uint64(idBuf[8*i:]))
+		}
+		parts[pi] = scan.NewPartition(codes, ids)
+	}
+
+	sum := cr.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading checksum: %w", err)
+	}
+	if got := le.Uint32(crcBuf[:]); got != sum {
+		return nil, fmt.Errorf("persist: checksum mismatch (file %#x, computed %#x)", got, sum)
+	}
+	return index.Restore(dim, coarse, pq, parts, opt), nil
+}
+
+// SaveIndex writes ix to path atomically (write to a temp file in the
+// same directory, then rename).
+func SaveIndex(path string, ix *index.Index) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".pqfsidx-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteIndex(tmp, ix); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: renaming into place: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex reads an index from path.
+func LoadIndex(path string) (*index.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening index: %w", err)
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

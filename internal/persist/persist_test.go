@@ -1,0 +1,169 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/index"
+)
+
+func buildSmall(t *testing.T) (*index.Index, *dataset.Generator) {
+	t.Helper()
+	gen := dataset.NewGenerator(dataset.Config{Seed: 55, Dim: 32})
+	learn := gen.Generate(2000)
+	base := gen.Generate(8000)
+	opt := index.DefaultOptions()
+	opt.Partitions = 3
+	opt.Seed = 55
+	ix, err := index.Build(learn, base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, gen
+}
+
+func TestRoundtripIdenticalResults(t *testing.T) {
+	ix, gen := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim != ix.Dim || len(loaded.Parts) != len(ix.Parts) {
+		t.Fatalf("shape mismatch after reload")
+	}
+	if loaded.Options().FastScan.Keep != ix.Options().FastScan.Keep {
+		t.Fatal("options lost in roundtrip")
+	}
+	queries := gen.Generate(5)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		for _, kern := range []index.Kernel{index.KernelLibpq, index.KernelFastScan} {
+			want, _, wantPart, err := ix.Search(q, 20, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, gotPart, err := loaded.Search(q, 20, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantPart != gotPart {
+				t.Fatalf("query %d routed differently after reload", qi)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("query %d kernel %v result %d differs after reload", qi, kern, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ix, gen := buildSmall(t)
+	path := filepath.Join(t.TempDir(), "test.pqfsidx")
+	if err := SaveIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gen.Generate(1).Row(0)
+	want, _, _, _ := ix.Search(q, 5, index.KernelFastScan)
+	got, _, _, _ := loaded.Search(q, 5, index.KernelFastScan)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("results differ after file roundtrip")
+		}
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOTANIDX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	ix, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{9, 20, len(data) / 2, len(data) - 2} {
+		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	ix, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// Flip a bit in the middle of the payload: the CRC must catch it.
+	data[len(data)/2] ^= 0x40
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}
+
+func TestRejectsInconsistentHeader(t *testing.T) {
+	ix, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// dim field is right after the 8-byte magic; make m*subdim != dim.
+	data[8] = 0xff
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Fatal("inconsistent header accepted")
+	}
+}
+
+// TestTruncationSweep: no prefix of a valid index file may load
+// successfully (systematic failure injection across the whole file).
+func TestTruncationSweep(t *testing.T) {
+	ix, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	step := len(data)/200 + 1
+	for cut := 0; cut < len(data); cut += step {
+		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d loaded successfully", cut, len(data))
+		}
+	}
+}
+
+// TestBitFlipSweep: single-bit corruption anywhere in the payload must be
+// detected (CRC) or rejected (header validation).
+func TestBitFlipSweep(t *testing.T) {
+	ix, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	step := len(orig)/64 + 1
+	for pos := 8; pos < len(orig); pos += step {
+		data := append([]byte(nil), orig...)
+		data[pos] ^= 0x01
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Fatalf("bit flip at byte %d loaded successfully", pos)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic component of the repository (dataset
+// synthesis, k-means seeding, query sampling).
+//
+// Experiments in the paper must be reproducible run-to-run; relying on the
+// global math/rand state would couple unrelated components. Each component
+// instead derives an independent stream with Split, so adding randomness to
+// one module never perturbs another module's stream.
+//
+// The generator is xoshiro256**, a public-domain generator by Blackman and
+// Vigna with 256 bits of state, full 64-bit output and a period of 2^256-1.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not valid; use New.
+type Source struct {
+	s         [4]uint64
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a Source seeded from seed using SplitMix64, which guarantees
+// a well-mixed nonzero state for any seed value (including zero).
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. The receiver advances by one step.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0, matching the contract of math/rand.Intn.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		threshold := -uint64(n) % uint64(n)
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Float32 returns a uniformly distributed float32 in [0, 1).
+func (r *Source) Float32() float32 {
+	return float32(r.Uint64()>>40) * 0x1p-24
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, generated with the polar Box-Muller method.
+func (r *Source) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes n elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

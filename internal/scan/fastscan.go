@@ -1,0 +1,523 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/perf"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/simd"
+	"pqfastscan/internal/topk"
+)
+
+// FastScanOptions configures PQ Fast Scan.
+type FastScanOptions struct {
+	// Keep is the fraction of vectors at the beginning of the partition
+	// scanned with plain PQ Scan to find a temporary nearest neighbor
+	// whose distance becomes the quantization bound qmax (§4.4). The
+	// paper finds "Any keep value between 0.1% and 1% is suitable" and
+	// uses 0.5% by default.
+	Keep float64
+	// GroupComponents is the number c of leading components used for
+	// vector grouping (§4.2). Negative selects automatically with the
+	// paper's rule nmin(c) = 50·16^c.
+	GroupComponents int
+	// OrderGroups is an extension beyond the paper: groups are visited
+	// in ascending order of a per-group lower-bound estimate instead of
+	// key order, so vectors close to the query are scanned first and the
+	// pruning threshold converges almost immediately. The paper scans
+	// groups in database order, which at its 25 M-vector scale converges
+	// fast anyway; at smaller scales ordering recovers most of the lost
+	// pruning power (see the GroupOrdering ablation bench). Results are
+	// unchanged — only the amount of pruning varies.
+	OrderGroups bool
+}
+
+// DefaultKeep is the paper's default keep fraction (0.5 %).
+const DefaultKeep = 0.005
+
+// FastScan is the PQ Fast Scan kernel of §4 bound to one partition: the
+// grouped/packed layout is built once and reused across queries, like the
+// database reorganization the paper performs at index-construction time.
+type FastScan struct {
+	part        *Partition
+	keepN       int
+	c           int
+	grouped     *layout.Grouped
+	orderGroups bool
+}
+
+// NewFastScan prepares PQ Fast Scan over p. The first Keep fraction of
+// the partition stays in row-major order for the temporary-NN phase; the
+// remainder is grouped on c components and packed into 16-vector blocks.
+func NewFastScan(p *Partition, opt FastScanOptions) (*FastScan, error) {
+	if opt.Keep < 0 || opt.Keep >= 1 {
+		return nil, fmt.Errorf("scan: keep fraction %v out of [0,1)", opt.Keep)
+	}
+	keepN := int(opt.Keep * float64(p.N))
+	rest := p.N - keepN
+	c := opt.GroupComponents
+	if c < 0 {
+		c = layout.AutoComponents(rest)
+	}
+	if c > layout.MaxGroupComponents {
+		return nil, fmt.Errorf("scan: grouping components %d out of range", c)
+	}
+	ids := make([]int64, rest)
+	for i := range ids {
+		ids[i] = p.ID(keepN + i)
+	}
+	g, err := layout.NewGrouped(p.Codes[keepN*M:], ids, c)
+	if err != nil {
+		return nil, err
+	}
+	return &FastScan{part: p, keepN: keepN, c: c, grouped: g, orderGroups: opt.OrderGroups}, nil
+}
+
+// GroupComponents returns the grouping depth c in use.
+func (fs *FastScan) GroupComponents() int { return fs.c }
+
+// KeepN returns the number of vectors in the plain-scanned keep region.
+func (fs *FastScan) KeepN() int { return fs.keepN }
+
+// Grouped exposes the packed layout (memory-footprint experiments).
+func (fs *FastScan) Grouped() *layout.Grouped { return fs.grouped }
+
+// groupVisitOrder returns the order groups are scanned in: database
+// (key) order by default, or — with the OrderGroups extension — ascending
+// by a conservative per-group distance estimate: the sum of each grouped
+// component's portion minimum plus each ungrouped component's global
+// table minimum. The estimate lower-bounds every member's ADC distance,
+// so visiting small-estimate groups first front-loads the true nearest
+// neighbors and tightens the pruning threshold early.
+func (fs *FastScan) groupVisitOrder(t quantizer.Tables) []int {
+	g := fs.grouped
+	order := make([]int, len(g.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	if !fs.orderGroups {
+		return order
+	}
+	est := make([]float64, len(g.Groups))
+	var globalMin [M]float64
+	for j := fs.c; j < M; j++ {
+		row := t.Row(j)
+		m := float64(row[0])
+		for _, v := range row[1:] {
+			if float64(v) < m {
+				m = float64(v)
+			}
+		}
+		globalMin[j] = m
+	}
+	for gi, grp := range g.Groups {
+		e := 0.0
+		for j := 0; j < fs.c; j++ {
+			row := t.Row(j)[int(grp.Key[j])*16 : int(grp.Key[j])*16+16]
+			m := float64(row[0])
+			for _, v := range row[1:] {
+				if float64(v) < m {
+					m = float64(v)
+				}
+			}
+			e += m
+		}
+		for j := fs.c; j < M; j++ {
+			e += globalMin[j]
+		}
+		est[gi] = e
+	}
+	sort.Slice(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })
+	return order
+}
+
+// distQuantizer maps float32 distances to the signed 8-bit bins of §4.4.
+//
+// Safety contract (the exactness invariant): for every quantized entry q
+// of value v, v >= qmin + q·delta holds in real arithmetic; therefore for
+// any code the true ADC distance is bounded below by
+// 8·qmin + delta·qsat, where qsat is the saturated sum of the 8 quantized
+// small-table entries. pruneThreshold then chooses the comparison bound
+// so that a pruned vector is strictly worse than the current topk-th
+// neighbor, with one bin of slack absorbing accumulated float64 rounding.
+type distQuantizer struct {
+	qmin  float64
+	delta float64
+}
+
+func newDistQuantizer(qmin, qmax float32) distQuantizer {
+	d := (float64(qmax) - float64(qmin)) / 127
+	if d <= 0 {
+		// Degenerate table (all distances equal): every entry quantizes
+		// to bin 0 and pruning is disabled by the threshold clamp.
+		d = math.Inf(1)
+	}
+	return distQuantizer{qmin: float64(qmin), delta: d}
+}
+
+// quantize returns the bin of v, guaranteeing v >= qmin + bin·delta.
+func (q distQuantizer) quantize(v float32) uint8 {
+	if math.IsInf(q.delta, 1) {
+		return 0
+	}
+	x := (float64(v) - q.qmin) / q.delta
+	n := int(math.Floor(x))
+	if n > 127 {
+		return 127
+	}
+	for n > 0 && q.qmin+float64(n)*q.delta > float64(v) {
+		n--
+	}
+	if n < 0 {
+		n = 0
+	}
+	return uint8(n)
+}
+
+// pruneThreshold returns the largest int8 t such that pruning every
+// vector with qsat > t is safe against the current topk threshold min:
+// qsat > t implies trueDistance > min, so the vector cannot displace any
+// retained neighbor. When no pruning is safe (heap not full or degenerate
+// delta) it returns 127, for which qsat > t is unsatisfiable.
+//
+// Saturated lanes (qsat = 127) deserve care: a saturating sum reaching
+// 127 proves the un-saturated sum is at least 127, hence
+// trueDistance >= 8·qmin + 127·delta = qmax + 7·qmin. Whenever that
+// exceeds min — in particular always once the running threshold has
+// dropped to qmax or below, which holds from the start when qmax is
+// taken from the keep-phase heap — lanes above the representable range
+// are prunable even though min itself lies beyond it ("All distances
+// above qmax are quantized to 127", §4.4). Without this rule a scaled
+// threshold beyond qmax would disable pruning entirely.
+func (q distQuantizer) pruneThreshold(min float32, haveMin bool) int8 {
+	if !haveMin || math.IsInf(q.delta, 1) {
+		return 127
+	}
+	t := int(math.Floor((float64(min)-8*q.qmin)/q.delta)) + 1
+	if t > 126 {
+		if 8*q.qmin+127*q.delta > float64(min) {
+			// Saturated lanes are provably worse than min: let them fail
+			// the qsat > t test.
+			return 126
+		}
+		return 127
+	}
+	if t < -128 {
+		t = -128
+	}
+	return int8(t)
+}
+
+// smallTables holds the eight 16-entry in-register tables of §4.1/§4.5:
+// groupTables (S_0..S_{C-1}) are rebuilt per group from quantized
+// distance-table portions; minTables (S_C..S_7) are built once per query
+// from minimum tables.
+type smallTables struct {
+	minTables [M]simd.Reg // entries C..7 used
+}
+
+// buildMinTables computes, for each ungrouped component, the 16-entry
+// minimum table: entry h is the minimum of portion h of the distance
+// table (Figure 10), quantized.
+func buildMinTables(t quantizer.Tables, c int, dq distQuantizer) smallTables {
+	var st smallTables
+	for j := c; j < M; j++ {
+		row := t.Row(j)
+		var reg simd.Reg
+		for h := 0; h < 16; h++ {
+			m := row[h*16]
+			for _, v := range row[h*16+1 : h*16+16] {
+				if v < m {
+					m = v
+				}
+			}
+			reg[h] = dq.quantize(m)
+		}
+		st.minTables[j] = reg
+	}
+	return st
+}
+
+// buildGroupTable quantizes portion key of distance table j (the solid
+// arrows of Figure 13).
+func buildGroupTable(t quantizer.Tables, j int, key uint8, dq distQuantizer) simd.Reg {
+	row := t.Row(j)[int(key)*16 : int(key)*16+16]
+	var reg simd.Reg
+	for i, v := range row {
+		reg[i] = dq.quantize(v)
+	}
+	return reg
+}
+
+// Scan runs PQ Fast Scan for the query described by its distance tables,
+// returning the k nearest neighbors — bit-identical to the PQ Scan
+// kernels — and the dynamic statistics of the run.
+func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	stats := Stats{Scanned: fs.part.N, KeepScanned: fs.keepN}
+
+	// Phase 1 (§4.4): plain PQ Scan over the keep region to obtain the
+	// temporary nearest neighbor bounding qmax.
+	libpqRange(fs.part.Codes, fs.part.IDs, 0, fs.keepN, t, heap)
+	stats.Ops.Add(libpqPerVector.Scale(float64(fs.keepN)))
+
+	qmin := t.Min()
+	qmax := t.MaxSum()
+	if thr, ok := heap.Threshold(); ok {
+		// §4.4 generalized to topk search (§5.4): the distance to the
+		// temporary topk-th nearest neighbor bounds the representable
+		// range. The running pruning threshold starts exactly at qmax and
+		// only decreases, so every distance quantized to 127 is already
+		// prunable (see pruneThreshold) and the quantizer spends its 127
+		// bins on the only range pruning decisions ever involve.
+		qmax = thr
+	} else if worst, ok := heap.Worst(); ok {
+		// Keep region smaller than k: fall back to the worst temporary
+		// distance, keeping the quantized range on the scale future
+		// thresholds will occupy.
+		qmax = worst
+	}
+	dq := newDistQuantizer(qmin, qmax)
+
+	// Phase 2: build the query-lifetime minimum tables S_C..S_7
+	// (Figure 10). Quantizing the 8x256 table entries and reducing the
+	// portions costs one pass over the distance tables.
+	st := buildMinTables(t, fs.c, dq)
+	stats.Ops.Add(perf.OpCounts{ScalarLoadF: 256 * M, ScalarALU: 512 * M})
+
+	thrVal, haveThr := heap.Threshold()
+	t8 := dq.pruneThreshold(thrVal, haveThr)
+	thrReg := simd.Broadcast(uint8(t8))
+
+	g := fs.grouped
+	var groupTables [layout.MaxGroupComponents]simd.Reg
+	var nibbles [layout.BlockVectors]uint8
+	// Per-block operation mix of the inner loop: c packed-nibble loads
+	// plus (8-c) full-byte loads, nibble unpacking (2 ops per grouped
+	// component) and high-nibble extraction (psrlw+pand per ungrouped
+	// component), 8 pshufb lookups, 7 saturated additions, one compare,
+	// one movemask, and scalar mask/loop handling.
+	perBlock := perf.OpCounts{
+		SIMDLoad:     8,
+		SIMDALU:      float64(2*fs.c+2*(M-fs.c)) + 7,
+		SIMDShuffle:  8,
+		SIMDCompare:  1,
+		SIMDMovmsk:   1,
+		ScalarALU:    2,
+		ScalarBranch: 2,
+	}
+
+	groupOrder := fs.groupVisitOrder(t)
+
+	for _, gi := range groupOrder {
+		grp := g.Groups[gi]
+		stats.Groups++
+		// Load the group's small tables S_0..S_{C-1} (solid arrows of
+		// Figure 13).
+		for j := 0; j < fs.c; j++ {
+			groupTables[j] = buildGroupTable(t, j, grp.Key[j], dq)
+		}
+
+		for b := 0; b < grp.BlockCount; b++ {
+			stats.Blocks++
+			blockIdx := grp.BlockStart + b
+			valid := grp.Count - b*layout.BlockVectors
+			if valid > layout.BlockVectors {
+				valid = layout.BlockVectors
+			}
+
+			// Lower-bound accumulation (§4.5): grouped components use the
+			// 4 least significant bits against S_0..S_{C-1}; ungrouped
+			// components use the 4 most significant bits against the
+			// minimum tables.
+			var acc simd.Reg
+			first := true
+			for j := 0; j < fs.c; j++ {
+				g.LowNibbles(blockIdx, j, &nibbles)
+				idx := simd.Load(nibbles[:])
+				lookup := simd.Pshufb(groupTables[j], idx)
+				if first {
+					acc = lookup
+					first = false
+				} else {
+					acc = simd.PaddsB(acc, lookup)
+				}
+			}
+			for j := fs.c; j < M; j++ {
+				comps := simd.Load(g.FullComponents(blockIdx, j))
+				hi := simd.Pand(simd.Psrlw4(comps), simd.LowNibbleMask())
+				lookup := simd.Pshufb(st.minTables[j], hi)
+				if first {
+					acc = lookup
+					first = false
+				} else {
+					acc = simd.PaddsB(acc, lookup)
+				}
+			}
+
+			// Compare against the quantized pruning threshold; lanes with
+			// acc > t8 are pruned (Figure 6).
+			prunedMask := simd.PmovmskB(simd.PcmpgtB(acc, thrReg))
+
+			base := grp.Start + b*layout.BlockVectors
+			stats.LowerBounds += valid
+			if prunedMask == 0xffff {
+				stats.Pruned += valid
+				continue
+			}
+			for lane := 0; lane < valid; lane++ {
+				if prunedMask&(1<<lane) != 0 {
+					stats.Pruned++
+					continue
+				}
+				// Candidate: exact pqdistance re-check (right-hand path
+				// of Figure 6), then threshold refresh if the heap
+				// changed.
+				stats.Candidates++
+				pos := base + lane
+				d := adc8(g.Code(pos), t)
+				if heap.Push(g.IDs[pos], d) {
+					if thr, ok := heap.Threshold(); ok {
+						nt := dq.pruneThreshold(thr, true)
+						if nt != t8 {
+							t8 = nt
+							thrReg = simd.Broadcast(uint8(t8))
+						}
+					}
+				}
+			}
+		}
+	}
+	// Aggregate operation accounting (hoisted out of the hot loop): the
+	// per-block inner-loop mix, the per-group small-table loads, and one
+	// exact re-check per surviving candidate.
+	stats.Ops.Add(perBlock.Scale(float64(stats.Blocks)))
+	stats.Ops.Add(perf.OpCounts{
+		SIMDLoad:    float64(fs.c),
+		ScalarALU:   4,
+		ScalarLoadF: float64(16 * fs.c),
+	}.Scale(float64(stats.Groups)))
+	stats.Ops.Add(libpqPerVector.Scale(float64(stats.Candidates)))
+	return heap.Results(), stats
+}
+
+// QuantizationOnly is the §5.5 ablation: lower bounds use full 256-entry
+// quantized tables (8-bit entries, exact 8-bit indexes) with no grouping
+// and no minimum tables. Such tables do not fit SIMD registers, so this
+// variant offers no speedup; it isolates the pruning power of the
+// distance-quantization technique alone. Results remain bit-identical to
+// PQ Scan.
+func QuantizationOnly(p *Partition, t quantizer.Tables, k int, keep float64) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	keepN := int(keep * float64(p.N))
+	stats := Stats{Scanned: p.N, KeepScanned: keepN}
+	libpqRange(p.Codes, p.IDs, 0, keepN, t, heap)
+	stats.Ops.Add(libpqPerVector.Scale(float64(keepN)))
+
+	qmin := t.Min()
+	qmax := t.MaxSum()
+	if thr, ok := heap.Threshold(); ok {
+		qmax = thr
+	} else if worst, ok := heap.Worst(); ok {
+		qmax = worst
+	}
+	dq := newDistQuantizer(qmin, qmax)
+
+	// Quantize the full distance tables to 8-bit (256 entries per table).
+	qt := make([]uint8, M*256)
+	for j := 0; j < M; j++ {
+		row := t.Row(j)
+		for i, v := range row {
+			qt[j*256+i] = dq.quantize(v)
+		}
+	}
+	stats.Ops.Add(perf.OpCounts{ScalarLoadF: 256 * M, ScalarALU: 512 * M})
+
+	thrVal, haveThr := heap.Threshold()
+	t8 := dq.pruneThreshold(thrVal, haveThr)
+
+	for i := keepN; i < p.N; i++ {
+		code := p.Code(i)
+		// Saturated 8-bit accumulation, scalar (no SIMD possible with
+		// 256-entry tables).
+		s := int16(qt[int(code[0])])
+		s += int16(qt[256+int(code[1])])
+		s += int16(qt[2*256+int(code[2])])
+		s += int16(qt[3*256+int(code[3])])
+		s += int16(qt[4*256+int(code[4])])
+		s += int16(qt[5*256+int(code[5])])
+		s += int16(qt[6*256+int(code[6])])
+		s += int16(qt[7*256+int(code[7])])
+		if s > 127 {
+			s = 127
+		}
+		stats.LowerBounds++
+		if int8(s) > t8 {
+			stats.Pruned++
+			continue
+		}
+		stats.Candidates++
+		d := adc8(code, t)
+		if heap.Push(p.ID(i), d) {
+			if thr, ok := heap.Threshold(); ok {
+				t8 = dq.pruneThreshold(thr, true)
+			}
+		}
+	}
+	// Aggregate accounting: one scalar 8-bit lower bound per vector plus
+	// one exact re-check per candidate.
+	stats.Ops.Add(perf.OpCounts{
+		ScalarLoad64: 1, ScalarLoad8: 8, ScalarALU: 18, ScalarBranch: 2,
+	}.Scale(float64(stats.LowerBounds)))
+	stats.Ops.Add(libpqPerVector.Scale(float64(stats.Candidates)))
+	return heap.Results(), stats
+}
+
+// StaticPrune measures the pruning power of the Fast Scan lower bounds
+// against a fixed externally supplied threshold, removing the
+// threshold-convergence dynamics from the measurement. It is a diagnostic
+// used by tests and ablation studies, not a search path.
+func StaticPrune(p *Partition, t quantizer.Tables, threshold float32, keep float64, c int) (pruned, lowerBounds int) {
+	fs, err := NewFastScan(p, FastScanOptions{Keep: keep, GroupComponents: c})
+	if err != nil {
+		return 0, 0
+	}
+	keepRes, _ := Libpq(NewPartition(p.Codes[:fs.keepN*M], nil), t, 100)
+	qmax := t.MaxSum()
+	if len(keepRes) > 0 {
+		qmax = keepRes[len(keepRes)-1].Distance
+	}
+	dq := newDistQuantizer(t.Min(), qmax)
+	st := buildMinTables(t, fs.c, dq)
+	t8 := dq.pruneThreshold(threshold, true)
+	g := fs.grouped
+	var tables [layout.MaxGroupComponents][16]uint8
+	for _, grp := range g.Groups {
+		for j := 0; j < fs.c; j++ {
+			tables[j] = buildGroupTable(t, j, grp.Key[j], dq)
+		}
+		for pos := grp.Start; pos < grp.Start+grp.Count; pos++ {
+			code := g.Code(pos)
+			sum := 0
+			for j := 0; j < fs.c; j++ {
+				sum += int(tables[j][code[j]&0x0f])
+			}
+			for j := fs.c; j < M; j++ {
+				sum += int(st.minTables[j][code[j]>>4])
+			}
+			if sum > 127 {
+				sum = 127
+			}
+			lowerBounds++
+			if int8(sum) > t8 {
+				pruned++
+			}
+		}
+	}
+	return pruned, lowerBounds
+}

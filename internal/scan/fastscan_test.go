@@ -1,0 +1,329 @@
+package scan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/rng"
+)
+
+// TestDistQuantizerPerEntryBound is the core safety property of §4.4
+// quantization: every quantized value q of v satisfies
+// v >= qmin + q·delta, so sums of quantized entries lower-bound sums of
+// true entries.
+func TestDistQuantizerPerEntryBound(t *testing.T) {
+	if err := quick.Check(func(qminRaw, qmaxRaw, vRaw float32) bool {
+		// Squared L2 distances of byte-valued 128-dim vectors fit well
+		// inside [0, 1e10]; fold arbitrary floats into that range.
+		fold := func(x float32) float32 {
+			return float32(math.Mod(math.Abs(float64(x)), 1e10))
+		}
+		qmin := fold(qminRaw)
+		qmax := qmin + fold(qmaxRaw) + 1
+		v := qmin + fold(vRaw)
+		dq := newDistQuantizer(qmin, qmax)
+		q := dq.quantize(v)
+		if q > 127 {
+			return false
+		}
+		return float64(v) >= dq.qmin+float64(q)*dq.delta
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistQuantizerEndpoints(t *testing.T) {
+	dq := newDistQuantizer(10, 137) // delta = 1
+	if got := dq.quantize(10); got != 0 {
+		t.Errorf("quantize(qmin) = %d, want 0", got)
+	}
+	if got := dq.quantize(137); got != 127 {
+		t.Errorf("quantize(qmax) = %d, want 127", got)
+	}
+	if got := dq.quantize(1e9); got != 127 {
+		t.Errorf("quantize(huge) = %d, want 127", got)
+	}
+	if got := dq.quantize(5); got != 0 {
+		t.Errorf("quantize(below qmin) = %d, want clamp to 0", got)
+	}
+}
+
+func TestDistQuantizerDegenerate(t *testing.T) {
+	dq := newDistQuantizer(5, 5) // qmax == qmin
+	if got := dq.quantize(123); got != 0 {
+		t.Errorf("degenerate quantizer returned %d", got)
+	}
+	if got := dq.pruneThreshold(5, true); got != 127 {
+		t.Errorf("degenerate threshold = %d, want 127 (no pruning)", got)
+	}
+}
+
+// TestPruneThresholdSafety: whenever qsat > t for the returned t, the
+// guaranteed lower bound 8·qmin + delta·qsat must strictly exceed min.
+func TestPruneThresholdSafety(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 20000; trial++ {
+		qmin := r.Float32() * 100
+		qmax := qmin + r.Float32()*1000 + 0.001
+		min := qmin*8 + r.Float32()*2000 - 500
+		dq := newDistQuantizer(qmin, qmax)
+		t8 := dq.pruneThreshold(min, true)
+		for _, qsat := range []int8{t8 + 1, 127} {
+			if qsat <= t8 {
+				continue // saturating beyond 127 impossible
+			}
+			lb := 8*dq.qmin + dq.delta*float64(qsat)
+			if !(lb > float64(min)) {
+				t.Fatalf("trial %d: t=%d qsat=%d lb=%v not > min=%v (qmin=%v qmax=%v)",
+					trial, t8, qsat, lb, min, qmin, qmax)
+			}
+		}
+	}
+}
+
+func TestPruneThresholdNoMin(t *testing.T) {
+	dq := newDistQuantizer(0, 100)
+	if got := dq.pruneThreshold(50, false); got != 127 {
+		t.Errorf("threshold without a full heap = %d, want 127", got)
+	}
+}
+
+// TestPruneThresholdSaturationRule: once min <= qmax + 7·qmin, saturated
+// lanes must be prunable (t <= 126).
+func TestPruneThresholdSaturationRule(t *testing.T) {
+	dq := newDistQuantizer(10, 1000)
+	if got := dq.pruneThreshold(1000, true); got > 126 {
+		t.Errorf("min = qmax: t = %d, want <= 126 so saturated lanes prune", got)
+	}
+	// min far beyond the provable bound: no pruning of saturated lanes.
+	if got := dq.pruneThreshold(1e9, true); got != 127 {
+		t.Errorf("min >> qmax+7qmin: t = %d, want 127", got)
+	}
+}
+
+// TestBuildMinTablesAreMinima verifies Figure 10: entry h is the true
+// minimum of portion h, quantized.
+func TestBuildMinTablesAreMinima(t *testing.T) {
+	r := rng.New(5)
+	tables := quantizer.Tables{M: M, KStar: 256, Data: make([]float32, M*256)}
+	for i := range tables.Data {
+		tables.Data[i] = r.Float32() * 500
+	}
+	dq := newDistQuantizer(tables.Min(), tables.MaxSum())
+	st := buildMinTables(tables, 2, dq)
+	for j := 2; j < M; j++ {
+		row := tables.Row(j)
+		for h := 0; h < 16; h++ {
+			m := row[h*16]
+			for _, v := range row[h*16+1 : h*16+16] {
+				if v < m {
+					m = v
+				}
+			}
+			if st.minTables[j][h] != dq.quantize(m) {
+				t.Fatalf("min table %d portion %d: %d, want quantize(%v)=%d",
+					j, h, st.minTables[j][h], m, dq.quantize(m))
+			}
+		}
+	}
+}
+
+// TestLowerBoundNeverExceedsTrueDistance runs the block kernel's exact
+// arithmetic over random data and checks the fundamental invariant on
+// every vector: dequantized lower bound <= true ADC distance.
+func TestLowerBoundNeverExceedsTrueDistance(t *testing.T) {
+	p, tables := randomPartition(t, 4096, 123)
+	fs, err := NewFastScan(p, FastScanOptions{Keep: 0.01, GroupComponents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := newDistQuantizer(tables.Min(), tables.MaxSum())
+	st := buildMinTables(tables, fs.c, dq)
+	g := fs.grouped
+	for _, grp := range g.Groups {
+		var groupTables [4][16]uint8
+		for j := 0; j < fs.c; j++ {
+			groupTables[j] = buildGroupTable(tables, j, grp.Key[j], dq)
+		}
+		for pos := grp.Start; pos < grp.Start+grp.Count; pos++ {
+			code := g.Code(pos)
+			sum := 0
+			for j := 0; j < fs.c; j++ {
+				sum += int(groupTables[j][code[j]&0x0f])
+			}
+			for j := fs.c; j < M; j++ {
+				sum += int(st.minTables[j][code[j]>>4])
+			}
+			if sum > 127 {
+				sum = 127
+			}
+			lb := 8*dq.qmin + dq.delta*float64(sum)
+			trueD := float64(adc8(code, tables))
+			if lb > trueD+1e-3 {
+				t.Fatalf("lower bound %v exceeds true distance %v", lb, trueD)
+			}
+		}
+	}
+}
+
+// TestFastScanStatsAccounting: scanned = keep + lower bounds (+ padding
+// never counted), and pruned + candidates = lower bounds.
+func TestFastScanStatsAccounting(t *testing.T) {
+	p, tables := randomPartition(t, 5000, 9)
+	for _, keep := range []float64{0, 0.01, 0.1} {
+		fs, err := NewFastScan(p, FastScanOptions{Keep: keep, GroupComponents: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats := fs.Scan(tables, 10)
+		if stats.KeepScanned != fs.KeepN() {
+			t.Errorf("keep=%v: KeepScanned=%d, want %d", keep, stats.KeepScanned, fs.KeepN())
+		}
+		if stats.KeepScanned+stats.LowerBounds != p.N {
+			t.Errorf("keep=%v: keep %d + lower bounds %d != N %d",
+				keep, stats.KeepScanned, stats.LowerBounds, p.N)
+		}
+		if stats.Pruned+stats.Candidates != stats.LowerBounds {
+			t.Errorf("keep=%v: pruned %d + candidates %d != lower bounds %d",
+				keep, stats.Pruned, stats.Candidates, stats.LowerBounds)
+		}
+		if stats.Ops.Instructions() <= 0 || stats.Ops.L1Loads() <= 0 {
+			t.Errorf("keep=%v: empty op accounting", keep)
+		}
+	}
+}
+
+// TestFastScanPropertyAgainstNaive: randomized end-to-end equivalence
+// over many shapes, keep values, grouping depths and orderings.
+func TestFastScanPropertyAgainstNaive(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(3000) + 20
+		k := []int{1, 5, 37, 128}[r.Intn(4)]
+		p, tables := randomPartition(t, n, r.Uint64())
+		want, _ := Naive(p, tables, k)
+		fs, err := NewFastScan(p, FastScanOptions{
+			Keep:            []float64{0, 0.002, 0.05}[r.Intn(3)],
+			GroupComponents: r.Intn(5) - 1,
+			OrderGroups:     r.Intn(2) == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fs.Scan(tables, k)
+		sameResults(t, want, got, "naive", "fastscan")
+	}
+}
+
+// TestFastScanSkewedTables exercises the pruning-heavy regime: distance
+// tables with one clearly close centroid per sub-quantizer.
+func TestFastScanSkewedTables(t *testing.T) {
+	r := rng.New(6)
+	n := 20000
+	codes := make([]uint8, n*M)
+	for i := range codes {
+		codes[i] = uint8(r.Intn(256))
+	}
+	p := NewPartition(codes, nil)
+	// Portion-homogeneous tables: all 16 entries of a portion share a
+	// level, which is what the §4.3 optimized assignment produces (nearby
+	// centroids share a portion, so a query is roughly equidistant from
+	// all of them). One portion per table is close to the query.
+	tables := quantizer.Tables{M: M, KStar: 256, Data: make([]float32, M*256)}
+	for j := 0; j < M; j++ {
+		row := tables.Row(j)
+		for h := 0; h < 16; h++ {
+			level := 1000 + r.Float32()*5000
+			if h == r.Intn(16) {
+				level = r.Float32() * 20
+			}
+			for i := 0; i < 16; i++ {
+				row[h*16+i] = level + r.Float32()*50
+			}
+		}
+	}
+	want, _ := Libpq(p, tables, 10)
+	fs, err := NewFastScan(p, FastScanOptions{Keep: 0.01, GroupComponents: -1, OrderGroups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats := fs.Scan(tables, 10)
+	sameResults(t, want, got, "libpq", "fastscan")
+	if stats.PrunedFraction() < 0.9 {
+		t.Errorf("skewed tables pruned only %.1f%%", 100*stats.PrunedFraction())
+	}
+}
+
+func TestNewFastScanErrors(t *testing.T) {
+	p, _ := randomPartition(t, 100, 1)
+	if _, err := NewFastScan(p, FastScanOptions{Keep: -0.1}); err == nil {
+		t.Error("negative keep accepted")
+	}
+	if _, err := NewFastScan(p, FastScanOptions{Keep: 1.5}); err == nil {
+		t.Error("keep >= 1 accepted")
+	}
+	if _, err := NewFastScan(p, FastScanOptions{GroupComponents: 9}); err == nil {
+		t.Error("c=9 accepted")
+	}
+}
+
+func TestQuantizationOnlyStats(t *testing.T) {
+	p, tables := randomPartition(t, 3000, 4)
+	res, stats := QuantizationOnly(p, tables, 20, 0.02)
+	want, _ := Naive(p, tables, 20)
+	sameResults(t, want, res, "naive", "quantonly")
+	if stats.KeepScanned != 60 {
+		t.Errorf("KeepScanned = %d, want 60", stats.KeepScanned)
+	}
+	if stats.Pruned+stats.Candidates != stats.LowerBounds {
+		t.Error("quantonly accounting mismatch")
+	}
+}
+
+// TestScan256AgreesWithScan: the AVX2 widening must return bit-identical
+// results to the 128-bit kernel and to the exact baselines, across
+// shapes, odd block counts and orderings.
+func TestScan256AgreesWithScan(t *testing.T) {
+	r := rng.New(4242)
+	for trial := 0; trial < 25; trial++ {
+		n := r.Intn(4000) + 10
+		k := []int{1, 9, 64}[r.Intn(3)]
+		p, tables := randomPartition(t, n, r.Uint64())
+		want, _ := Naive(p, tables, k)
+		fs, err := NewFastScan(p, FastScanOptions{
+			Keep:            []float64{0, 0.01}[r.Intn(2)],
+			GroupComponents: r.Intn(5) - 1,
+			OrderGroups:     r.Intn(2) == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := fs.Scan256(tables, k)
+		sameResults(t, want, got, "naive", "fastscan256")
+		if stats.Pruned+stats.Candidates != stats.LowerBounds {
+			t.Fatalf("trial %d: scan256 accounting mismatch", trial)
+		}
+		if stats.KeepScanned+stats.LowerBounds != p.N {
+			t.Fatalf("trial %d: scan256 coverage mismatch", trial)
+		}
+	}
+}
+
+// TestScan256CheaperFrontend: per scanned vector, the wide kernel's
+// modeled instruction count must be below the 128-bit kernel's.
+func TestScan256CheaperFrontend(t *testing.T) {
+	p, tables := randomPartition(t, 30000, 77)
+	opt := FastScanOptions{Keep: 0.01, GroupComponents: 2}
+	fs, err := NewFastScan(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s128 := fs.Scan(tables, 10)
+	_, s256 := fs.Scan256(tables, 10)
+	if s256.Ops.Instructions() >= s128.Ops.Instructions() {
+		t.Errorf("scan256 instructions %.0f not below scan %.0f",
+			s256.Ops.Instructions(), s128.Ops.Instructions())
+	}
+}

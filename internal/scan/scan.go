@@ -1,0 +1,269 @@
+// Package scan implements the five scan kernels the paper studies over a
+// database partition of PQ 8×8 codes:
+//
+//   - Naive: Algorithm 1 verbatim — 8 mem1 loads (centroid indexes) and 8
+//     mem2 loads (distance-table entries) per vector (§3.1);
+//   - Libpq: the optimized PQ Scan of the libpq library — one 64-bit mem1
+//     load per vector, individual indexes extracted with shifts (§3.1);
+//   - AVX: vertical SIMD additions over 8 vectors at a time, with
+//     register ways set one by one, the structure of Figure 4 (§3.2);
+//   - Gather: SIMD gather-based table lookups over the transposed layout
+//     of Figure 5 (§3.2);
+//   - FastScan: the paper's contribution (§4), in fastscan.go.
+//
+// All kernels return bit-identical top-k results on identical input (the
+// exactness invariant of DESIGN.md §6): every kernel accumulates the same
+// float32 distance-table entries in the same j = 0..7 order, so even
+// floating-point rounding agrees.
+//
+// Each kernel also returns a Stats record with its exact dynamic operation
+// counts; internal/perf prices those counts to reproduce the paper's
+// performance-counter figures.
+package scan
+
+import (
+	"encoding/binary"
+
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/perf"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/topk"
+)
+
+// M is the code length of the PQ 8×8 configuration every kernel targets.
+const M = layout.M
+
+// Partition is one scannable unit of the database: the vectors of one
+// inverted-index cell, stored as row-major pqcodes (Figure 1).
+type Partition struct {
+	N     int
+	Codes []uint8 // row-major, N x M
+	IDs   []int64 // optional original ids; nil means position == id
+}
+
+// NewPartition wraps row-major codes (and optional ids) as a Partition.
+func NewPartition(codes []uint8, ids []int64) *Partition {
+	if len(codes)%M != 0 {
+		panic("scan: code array not a multiple of M")
+	}
+	n := len(codes) / M
+	if ids != nil && len(ids) != n {
+		panic("scan: id count mismatch")
+	}
+	return &Partition{N: n, Codes: codes, IDs: ids}
+}
+
+// ID maps a vector position to its external id.
+func (p *Partition) ID(i int) int64 {
+	if p.IDs == nil {
+		return int64(i)
+	}
+	return p.IDs[i]
+}
+
+// Code returns the pqcode of vector i.
+func (p *Partition) Code(i int) []uint8 {
+	return p.Codes[i*M : (i+1)*M]
+}
+
+// Stats describes one scan's dynamic behaviour. Counts of vectors are
+// exact; Ops is the operation mix handed to internal/perf.
+type Stats struct {
+	Scanned     int // vectors examined in total
+	KeepScanned int // vectors scanned with plain PQ Scan in the keep phase
+	LowerBounds int // SIMD lower-bound evaluations (FastScan)
+	Pruned      int // vectors whose exact distance computation was pruned
+	Candidates  int // exact pqdistance computations after a lower bound
+	Groups      int // groups visited (FastScan)
+	Blocks      int // 16-vector blocks processed (FastScan)
+
+	Ops perf.OpCounts
+}
+
+// PrunedFraction returns the fraction of lower-bounded vectors whose
+// exact distance computation was avoided — the paper's "Pruned [%]" axis.
+func (s Stats) PrunedFraction() float64 {
+	if s.LowerBounds == 0 {
+		return 0
+	}
+	return float64(s.Pruned) / float64(s.LowerBounds)
+}
+
+// Counters prices the scan on arch.
+func (s Stats) Counters(arch perf.Arch) perf.Counters {
+	return perf.Estimate(s.Ops, arch)
+}
+
+// Per-vector / per-block operation mixes of each kernel. These constants
+// are the analytical counterparts of the kernels' inner loops and are the
+// numbers priced by internal/perf; see the package comment of
+// internal/perf for why this reproduces the paper's counter studies.
+var (
+	// naivePerVector: Algorithm 1. 8 single-byte index loads, 8 float
+	// table loads, 8 float additions plus index arithmetic, loop control.
+	naivePerVector = perf.OpCounts{
+		ScalarLoad8: 8, ScalarLoadF: 8, ScalarALU: 12, ScalarBranch: 2,
+	}
+	// libpqPerVector: one 64-bit load, 8 shift+mask extractions, 8 float
+	// loads and additions. More instructions than naive but fewer loads,
+	// matching §3.1 ("the increase in the number of instructions offsets
+	// the increase in IPC and the decrease in L1 loads").
+	libpqPerVector = perf.OpCounts{
+		ScalarLoad64: 1, ScalarLoadF: 8, ScalarALU: 24, ScalarBranch: 2,
+	}
+	// avxPer8Vectors: Figure 4. Per component j: one 64-bit load of the 8
+	// indexes (transposed layout), 8 scalar table loads, 8 register-way
+	// inserts, one vertical SIMD addition. Then 8 extract+compare steps.
+	avxPer8Vectors = perf.OpCounts{
+		ScalarLoad64: 8, ScalarLoadF: 64, SIMDInsert: 64, SIMDALU: 8,
+		ScalarALU: 16, ScalarBranch: 8,
+	}
+	// gatherPer8Vectors: Figure 5. Per component j: one SIMD load of 8
+	// indexes, widening, one 8-way gather, one SIMD addition; then 8
+	// extract+compare steps. The gather's 34 µops and 10-cycle reciprocal
+	// throughput (paper Table 2) are priced by internal/perf.
+	gatherPer8Vectors = perf.OpCounts{
+		SIMDLoad: 8, SIMDALU: 24, Gather256: 8,
+		ScalarALU: 16, ScalarBranch: 8,
+	}
+)
+
+// adc8 computes the ADC distance of Equation 3 for one 8-component code,
+// accumulating in the fixed j = 0..7 order shared by all kernels.
+func adc8(code []uint8, t quantizer.Tables) float32 {
+	d := t.Data[int(code[0])]
+	d += t.Data[256+int(code[1])]
+	d += t.Data[2*256+int(code[2])]
+	d += t.Data[3*256+int(code[3])]
+	d += t.Data[4*256+int(code[4])]
+	d += t.Data[5*256+int(code[5])]
+	d += t.Data[6*256+int(code[6])]
+	d += t.Data[7*256+int(code[7])]
+	return d
+}
+
+func check8x8(t quantizer.Tables) {
+	if t.M != M || t.KStar != 256 {
+		panic("scan: kernels require PQ 8x8 distance tables")
+	}
+}
+
+// Naive scans the partition with Algorithm 1 and returns the k nearest
+// neighbors.
+func Naive(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	for i := 0; i < p.N; i++ {
+		heap.Push(p.ID(i), adc8(p.Code(i), t))
+	}
+	stats := Stats{Scanned: p.N}
+	stats.Ops = naivePerVector.Scale(float64(p.N))
+	return heap.Results(), stats
+}
+
+// Libpq scans the partition with the libpq optimization: the 8 centroid
+// indexes of a vector are fetched with a single 64-bit load and extracted
+// with shifts. The distance accumulation order is identical to Naive.
+func Libpq(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	libpqRange(p.Codes, p.IDs, 0, p.N, t, heap)
+	stats := Stats{Scanned: p.N}
+	stats.Ops = libpqPerVector.Scale(float64(p.N))
+	return heap.Results(), stats
+}
+
+// libpqRange scans positions [lo, hi) of row-major codes into heap, the
+// shared exact-scan path also used by FastScan's keep phase.
+func libpqRange(codes []uint8, ids []int64, lo, hi int, t quantizer.Tables, heap *topk.Heap) {
+	for i := lo; i < hi; i++ {
+		word := binary.LittleEndian.Uint64(codes[i*M : i*M+M])
+		d := t.Data[int(word&0xff)]
+		d += t.Data[256+int(word>>8&0xff)]
+		d += t.Data[2*256+int(word>>16&0xff)]
+		d += t.Data[3*256+int(word>>24&0xff)]
+		d += t.Data[4*256+int(word>>32&0xff)]
+		d += t.Data[5*256+int(word>>40&0xff)]
+		d += t.Data[6*256+int(word>>48&0xff)]
+		d += t.Data[7*256+int(word>>56&0xff)]
+		id := int64(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		heap.Push(id, d)
+	}
+}
+
+// AVX scans the partition with the vertical-addition structure of
+// Figure 4: distances to 8 vectors are accumulated simultaneously in an
+// 8-way register image, with each way set individually after a scalar
+// table lookup. Results are identical to Naive because each way performs
+// the same additions in the same order.
+func AVX(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	tr := layout.NewTransposed(p.Codes)
+	var acc [8]float32
+	full := tr.FullBlocks()
+	for b := 0; b < full; b++ {
+		for v := range acc {
+			acc[v] = 0
+		}
+		for j := 0; j < M; j++ {
+			comps := tr.Component(b, j)
+			row := t.Data[j*256:]
+			// The 8 scalar lookups and per-way inserts of Figure 4.
+			for v := 0; v < 8; v++ {
+				acc[v] += row[int(comps[v])]
+			}
+		}
+		for v := 0; v < 8; v++ {
+			heap.Push(p.ID(b*8+v), acc[v])
+		}
+	}
+	// Row-major tail, scanned naively.
+	tail := p.N - full*8
+	for i := full * 8; i < p.N; i++ {
+		heap.Push(p.ID(i), adc8(p.Code(i), t))
+	}
+	stats := Stats{Scanned: p.N}
+	stats.Ops = avxPer8Vectors.Scale(float64(full))
+	stats.Ops.Add(naivePerVector.Scale(float64(tail)))
+	return heap.Results(), stats
+}
+
+// Gather scans the partition with SIMD gather semantics (Figure 5): for
+// each component, the 8 indexes of a transposed block select 8 table
+// entries in one (expensive) gather, then one vertical addition
+// accumulates them. Results are identical to Naive.
+func Gather(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
+	check8x8(t)
+	heap := topk.New(k)
+	tr := layout.NewTransposed(p.Codes)
+	var acc [8]float32
+	full := tr.FullBlocks()
+	for b := 0; b < full; b++ {
+		for v := range acc {
+			acc[v] = 0
+		}
+		for j := 0; j < M; j++ {
+			comps := tr.Component(b, j)
+			row := t.Data[j*256:]
+			// One vpgatherdd: 8 table elements fetched by index.
+			for v := 0; v < 8; v++ {
+				acc[v] += row[int(comps[v])]
+			}
+		}
+		for v := 0; v < 8; v++ {
+			heap.Push(p.ID(b*8+v), acc[v])
+		}
+	}
+	tail := p.N - full*8
+	for i := full * 8; i < p.N; i++ {
+		heap.Push(p.ID(i), adc8(p.Code(i), t))
+	}
+	stats := Stats{Scanned: p.N}
+	stats.Ops = gatherPer8Vectors.Scale(float64(full))
+	stats.Ops.Add(naivePerVector.Scale(float64(tail)))
+	return heap.Results(), stats
+}

@@ -1,0 +1,254 @@
+// Package smalltab generalizes PQ Fast Scan's register-resident small
+// tables to dictionary-compressed database columns, implementing the
+// paper's §6 discussion:
+//
+//	"In the case of dictionary-based compression (or quantization), the
+//	database stores compact codes. [...] For top-k queries, it is
+//	possible to build small tables enabling computation of lower or
+//	upper bounds. [...] To compute upper bounds instead of lower bounds,
+//	maximum tables can be used instead of minimum tables. For
+//	approximate aggregate queries (e.g., approximate mean), tables of
+//	aggregates (e.g., tables of means) can be used instead of minimum
+//	tables."
+//
+// A column of one-byte dictionary codes is scanned 16 rows at a time: the
+// high nibble of each code selects one of 16 dictionary portions, and a
+// single in-register pshufb fetches the portion's precomputed aggregate
+// (min, max or mean), quantized to 8 bits. The resulting per-row values
+// are guaranteed bounds (min/max variants) or estimates (mean variant) of
+// the decoded column values.
+package smalltab
+
+import (
+	"fmt"
+	"math"
+
+	"pqfastscan/internal/simd"
+)
+
+// DictSize is the dictionary cardinality this package supports: one-byte
+// codes, 16 portions of 16 entries, exactly the PQ 8×8 geometry.
+const DictSize = 256
+
+// Kind selects the per-portion aggregate held in a small table.
+type Kind int
+
+const (
+	// Min tables yield lower bounds (top-k smallest pruning).
+	Min Kind = iota
+	// Max tables yield upper bounds (top-k largest pruning).
+	Max
+	// Mean tables yield estimates for approximate aggregation.
+	Mean
+)
+
+// String names the aggregate kind.
+func (k Kind) String() string {
+	switch k {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Mean:
+		return "mean"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Table is a 16-entry small table over a 256-entry dictionary, held in
+// (a software model of) one SIMD register, plus the affine dequantization
+// parameters.
+type Table struct {
+	Kind Kind
+	Reg  simd.Reg
+	Lo   float64 // value represented by bin 0
+	Step float64 // value per bin
+}
+
+// Build constructs the small table of the requested kind for dict.
+// Quantization direction preserves the bound property: Min tables round
+// down (true value >= dequantized bin), Max tables round up (true value
+// <= dequantized bin), Mean tables round to nearest.
+func Build(dict []float32, kind Kind) (Table, error) {
+	if len(dict) != DictSize {
+		return Table{}, fmt.Errorf("smalltab: dictionary has %d entries, want %d", len(dict), DictSize)
+	}
+	// Portion aggregates.
+	var agg [16]float64
+	for h := 0; h < 16; h++ {
+		portion := dict[h*16 : h*16+16]
+		switch kind {
+		case Min:
+			m := float64(portion[0])
+			for _, v := range portion[1:] {
+				if float64(v) < m {
+					m = float64(v)
+				}
+			}
+			agg[h] = m
+		case Max:
+			m := float64(portion[0])
+			for _, v := range portion[1:] {
+				if float64(v) > m {
+					m = float64(v)
+				}
+			}
+			agg[h] = m
+		case Mean:
+			s := 0.0
+			for _, v := range portion {
+				s += float64(v)
+			}
+			agg[h] = s / 16
+		default:
+			return Table{}, fmt.Errorf("smalltab: unknown kind %v", kind)
+		}
+	}
+	lo, hi := agg[0], agg[0]
+	for _, v := range agg[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	step := (hi - lo) / 255
+	if step == 0 {
+		step = 1
+	}
+	t := Table{Kind: kind, Lo: lo, Step: step}
+	for h := 0; h < 16; h++ {
+		x := (agg[h] - lo) / step
+		var bin int
+		switch kind {
+		case Min:
+			bin = int(math.Floor(x))
+			// Guarantee agg >= lo + bin*step against rounding.
+			for bin > 0 && lo+float64(bin)*step > agg[h] {
+				bin--
+			}
+		case Max:
+			bin = int(math.Ceil(x))
+			for bin < 255 && lo+float64(bin)*step < agg[h] {
+				bin++
+			}
+		case Mean:
+			bin = int(math.Floor(x + 0.5))
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		if bin > 255 {
+			bin = 255
+		}
+		t.Reg[h] = uint8(bin)
+	}
+	return t, nil
+}
+
+// Dequantize converts a table bin back to a column value.
+func (t Table) Dequantize(bin uint8) float64 {
+	return t.Lo + float64(bin)*t.Step
+}
+
+// Lookup16 evaluates the table over 16 dictionary codes at once: one
+// nibble extraction (psrlw+pand) followed by one pshufb, exactly the
+// Fast Scan inner-loop idiom. The returned register holds the quantized
+// per-row aggregates.
+func (t Table) Lookup16(codes []uint8) simd.Reg {
+	c := simd.Load(codes)
+	hi := simd.Pand(simd.Psrlw4(c), simd.LowNibbleMask())
+	return simd.Pshufb(t.Reg, hi)
+}
+
+// BoundRows dequantizes Lookup16 for 16 rows into dst. For Min tables
+// every dst value is <= the decoded row value; for Max tables it is >=;
+// for Mean tables it is the portion mean.
+func (t Table) BoundRows(codes []uint8, dst *[16]float64) {
+	r := t.Lookup16(codes)
+	for i := 0; i < 16; i++ {
+		dst[i] = t.Dequantize(r[i])
+	}
+}
+
+// ApproxSum estimates the sum of a compressed column using a Mean table:
+// rows are processed 16 at a time entirely through in-register lookups.
+// The estimate's error is bounded by the within-portion spread; for
+// dictionaries with sorted (order-preserving) codes it is typically well
+// under 1 %.
+func ApproxSum(t Table, codes []uint8) (float64, error) {
+	if t.Kind != Mean {
+		return 0, fmt.Errorf("smalltab: ApproxSum requires a Mean table, got %v", t.Kind)
+	}
+	sum := 0.0
+	i := 0
+	for ; i+16 <= len(codes); i += 16 {
+		r := t.Lookup16(codes[i:])
+		for lane := 0; lane < 16; lane++ {
+			sum += t.Dequantize(r[lane])
+		}
+	}
+	for ; i < len(codes); i++ {
+		sum += t.Dequantize(t.Reg[codes[i]>>4])
+	}
+	return sum, nil
+}
+
+// TopKSmallest returns the indexes of the k smallest decoded values of a
+// compressed column, pruning dictionary decodes with a Min small table —
+// the §6 top-k query pattern. It returns the selected row indexes (in
+// ascending value order) and the number of rows whose decode was skipped.
+func TopKSmallest(dict []float32, codes []uint8, k int) (rows []int, prunedRows int, err error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("smalltab: k must be positive")
+	}
+	t, err := Build(dict, Min)
+	if err != nil {
+		return nil, 0, err
+	}
+	type cand struct {
+		row int
+		val float32
+	}
+	best := make([]cand, 0, k)
+	worst := float32(math.Inf(1))
+	insert := func(row int, val float32) {
+		pos := len(best)
+		if pos < k {
+			best = append(best, cand{})
+		} else if val >= worst {
+			return
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && best[pos-1].val > val {
+			best[pos] = best[pos-1]
+			pos--
+		}
+		best[pos] = cand{row: row, val: val}
+		if len(best) == k {
+			worst = best[k-1].val
+		}
+	}
+	i := 0
+	for ; i+16 <= len(codes); i += 16 {
+		lb := t.Lookup16(codes[i:])
+		for lane := 0; lane < 16; lane++ {
+			if len(best) == k && t.Dequantize(lb[lane]) > float64(worst) {
+				prunedRows++
+				continue
+			}
+			insert(i+lane, dict[codes[i+lane]])
+		}
+	}
+	for ; i < len(codes); i++ {
+		insert(i, dict[codes[i]])
+	}
+	rows = make([]int, len(best))
+	for j, c := range best {
+		rows[j] = c.row
+	}
+	return rows, prunedRows, nil
+}

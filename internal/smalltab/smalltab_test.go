@@ -1,0 +1,249 @@
+package smalltab
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pqfastscan/internal/rng"
+)
+
+func randomDict(seed uint64, spread float64) []float32 {
+	r := rng.New(seed)
+	dict := make([]float32, DictSize)
+	for i := range dict {
+		dict[i] = float32(r.Float64() * spread)
+	}
+	return dict
+}
+
+func sortedDict(seed uint64) []float32 {
+	d := randomDict(seed, 1000)
+	sort.Slice(d, func(a, b int) bool { return d[a] < d[b] })
+	return d
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(make([]float32, 100), Min); err == nil {
+		t.Error("short dictionary accepted")
+	}
+	if _, err := Build(make([]float32, DictSize), Kind(9)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestMinTableIsLowerBound / TestMaxTableIsUpperBound: the §6 bound
+// property for every dictionary code, via the SIMD lookup path.
+func TestMinTableIsLowerBound(t *testing.T) {
+	if err := quick.Check(func(seed uint16) bool {
+		dict := randomDict(uint64(seed), 500)
+		tab, err := Build(dict, Min)
+		if err != nil {
+			return false
+		}
+		codes := make([]uint8, 256)
+		for i := range codes {
+			codes[i] = uint8(i)
+		}
+		var bound [16]float64
+		for i := 0; i < 256; i += 16 {
+			tab.BoundRows(codes[i:], &bound)
+			for lane := 0; lane < 16; lane++ {
+				if bound[lane] > float64(dict[i+lane])+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTableIsUpperBound(t *testing.T) {
+	if err := quick.Check(func(seed uint16) bool {
+		dict := randomDict(uint64(seed), 500)
+		tab, err := Build(dict, Max)
+		if err != nil {
+			return false
+		}
+		codes := make([]uint8, 256)
+		for i := range codes {
+			codes[i] = uint8(i)
+		}
+		var bound [16]float64
+		for i := 0; i < 256; i += 16 {
+			tab.BoundRows(codes[i:], &bound)
+			for lane := 0; lane < 16; lane++ {
+				if bound[lane] < float64(dict[i+lane])-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Min: "min", Max: "max", Mean: "mean"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestConstantDictionary(t *testing.T) {
+	dict := make([]float32, DictSize)
+	for i := range dict {
+		dict[i] = 7
+	}
+	for _, kind := range []Kind{Min, Max, Mean} {
+		tab, err := Build(dict, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Dequantize(tab.Reg[3]); got != 7 {
+			t.Errorf("%v table over constant dict dequantizes to %v", kind, got)
+		}
+	}
+}
+
+// TestApproxSumAccuracy: with a sorted dictionary (order-preserving
+// compression) the mean-table estimate is close to the exact sum.
+func TestApproxSumAccuracy(t *testing.T) {
+	dict := sortedDict(3)
+	tab, err := Build(dict, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	codes := make([]uint8, 100000)
+	for i := range codes {
+		codes[i] = uint8(r.Intn(256))
+	}
+	exact := 0.0
+	for _, c := range codes {
+		exact += float64(dict[c])
+	}
+	approx, err := ApproxSum(tab, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(approx-exact) / exact
+	if relErr > 0.02 {
+		t.Errorf("approximate sum off by %.2f%%", 100*relErr)
+	}
+}
+
+func TestApproxSumRequiresMean(t *testing.T) {
+	tab, err := Build(sortedDict(5), Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproxSum(tab, make([]uint8, 32)); err == nil {
+		t.Error("ApproxSum accepted a Min table")
+	}
+}
+
+func TestApproxSumTail(t *testing.T) {
+	// Length not a multiple of 16 exercises the scalar tail.
+	dict := sortedDict(7)
+	tab, err := Build(dict, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]uint8, 23)
+	for i := range codes {
+		codes[i] = uint8(i * 11)
+	}
+	got, err := ApproxSum(tab, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, c := range codes {
+		want += tab.Dequantize(tab.Reg[c>>4])
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("tail handling: got %v want %v", got, want)
+	}
+}
+
+// TestTopKSmallestExact: the pruned scan returns exactly the rows a full
+// decode would, on sorted and unsorted dictionaries.
+func TestTopKSmallestExact(t *testing.T) {
+	for _, sorted := range []bool{true, false} {
+		var dict []float32
+		if sorted {
+			dict = sortedDict(13)
+		} else {
+			dict = randomDict(13, 1000)
+		}
+		r := rng.New(17)
+		codes := make([]uint8, 50000)
+		for i := range codes {
+			u := r.Float64()
+			codes[i] = uint8(u * u * 255)
+		}
+		const k = 25
+		rows, pruned, err := TopKSmallest(dict, codes, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != k {
+			t.Fatalf("returned %d rows", len(rows))
+		}
+		// Reference by full decode.
+		vals := make([]float32, len(codes))
+		for i, c := range codes {
+			vals[i] = dict[c]
+		}
+		ref := make([]int, len(codes))
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return vals[ref[a]] < vals[ref[b]] })
+		for i := 0; i < k; i++ {
+			if vals[rows[i]] != vals[ref[i]] {
+				t.Fatalf("sorted=%v rank %d: value %v, want %v", sorted, i, vals[rows[i]], vals[ref[i]])
+			}
+		}
+		if sorted && pruned == 0 {
+			t.Error("sorted dictionary should enable pruning")
+		}
+	}
+}
+
+func TestTopKSmallestErrors(t *testing.T) {
+	if _, _, err := TopKSmallest(sortedDict(1), make([]uint8, 10), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := TopKSmallest(make([]float32, 3), make([]uint8, 10), 1); err == nil {
+		t.Error("short dictionary accepted")
+	}
+}
+
+// TestLookup16MatchesScalar: the SIMD path equals the scalar definition.
+func TestLookup16MatchesScalar(t *testing.T) {
+	dict := randomDict(21, 300)
+	tab, err := Build(dict, Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	codes := make([]uint8, 16)
+	for trial := 0; trial < 100; trial++ {
+		for i := range codes {
+			codes[i] = uint8(r.Intn(256))
+		}
+		got := tab.Lookup16(codes)
+		for lane := 0; lane < 16; lane++ {
+			if got[lane] != tab.Reg[codes[lane]>>4] {
+				t.Fatalf("lane %d: %d != %d", lane, got[lane], tab.Reg[codes[lane]>>4])
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package topk provides the bounded max-heap that every scan kernel uses
+// to maintain its current top-k nearest neighbor candidates.
+//
+// The paper describes scans returning a single nearest neighbor for
+// clarity but notes that "In practice, they return multiple nearest
+// neighbors e.g., topk = 100 for information retrieval in multimedia
+// databases" (§5.1). The pruning threshold of PQ Fast Scan is the distance
+// of the current topk-th neighbor (§5.4), which is exactly the root of
+// this heap once it is full.
+//
+// Tie handling is deterministic (larger id evicted first on equal
+// distance) so that all five kernels return bit-identical result sets, the
+// exactness invariant of DESIGN.md §6.
+package topk
+
+import "sort"
+
+// Result is one neighbor candidate.
+type Result struct {
+	ID       int64
+	Distance float32
+}
+
+// Heap is a bounded max-heap of the k best (smallest-distance) results
+// seen so far. The zero value is unusable; call New.
+type Heap struct {
+	k     int
+	items []Result
+}
+
+// New returns a heap retaining the k smallest-distance results.
+func New(k int) *Heap {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Heap{k: k, items: make([]Result, 0, k)}
+}
+
+// K returns the heap capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of results currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Full reports whether k results have been collected.
+func (h *Heap) Full() bool { return len(h.items) == h.k }
+
+// Threshold returns the current pruning threshold: the distance of the
+// worst retained result once the heap is full, or +Inf semantics via ok
+// being false while it is not.
+func (h *Heap) Threshold() (dist float32, ok bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items[0].Distance, true
+}
+
+// worse reports whether a should be evicted before b (a is strictly worse).
+func worse(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.ID > b.ID
+}
+
+// Best returns the smallest distance currently retained. ok is false when
+// the heap is empty. PQ Fast Scan uses the best distance after its keep
+// phase as the quantization bound qmax (§4.4: "We then use the distance
+// between the query vector and this temporary nearest neighbor as qmax").
+func (h *Heap) Best() (dist float32, ok bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	best := h.items[0].Distance
+	for _, it := range h.items[1:] {
+		if it.Distance < best {
+			best = it.Distance
+		}
+	}
+	return best, true
+}
+
+// Worst returns the largest distance currently retained (the heap root),
+// regardless of whether the heap is full. ok is false when it is empty.
+// PQ Fast Scan uses it as the quantization bound when the keep phase
+// holds fewer than k temporary neighbors: the eventual topk-th distance
+// cannot usefully exceed the worst temporary distance's scale, so the
+// quantized range stays relevant without collapsing to the top-1 bound.
+func (h *Heap) Worst() (dist float32, ok bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].Distance, true
+}
+
+// Push offers a candidate. It returns true if the candidate was retained.
+func (h *Heap) Push(id int64, dist float32) bool {
+	c := Result{ID: id, Distance: dist}
+	if len(h.items) < h.k {
+		h.items = append(h.items, c)
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if !worse(h.items[0], c) {
+		return false
+	}
+	h.items[0] = c
+	h.siftDown(0)
+	return true
+}
+
+// Accepts reports whether a candidate at dist would be retained if pushed,
+// without modifying the heap. Scan kernels use it as the pruning test.
+func (h *Heap) Accepts(dist float32) bool {
+	if len(h.items) < h.k {
+		return true
+	}
+	return dist <= h.items[0].Distance
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse(h.items[l], h.items[largest]) {
+			largest = l
+		}
+		if r < n && worse(h.items[r], h.items[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+// Results returns the retained results sorted by ascending distance
+// (ties by ascending id). The heap is unchanged.
+func (h *Heap) Results() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

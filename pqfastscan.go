@@ -1,0 +1,231 @@
+// Package pqfastscan is a Go implementation of PQ Fast Scan, the
+// high-performance nearest-neighbor search algorithm of
+//
+//	F. André, A.-M. Kermarrec, N. Le Scouarnec.
+//	"Cache locality is not enough: High-Performance Nearest Neighbor
+//	Search with Product Quantization Fast Scan". PVLDB 9(4), 2015.
+//
+// It provides the complete system the paper describes: product
+// quantization (PQ), the IVFADC inverted index, the four PQ Scan baseline
+// kernels (naive, libpq, avx, gather) and PQ Fast Scan itself — small
+// lookup tables sized to fit SIMD registers, computing lower bounds that
+// prune more than 95 % of exact distance computations while returning
+// exactly the same results as PQ Scan.
+//
+// # Quickstart
+//
+//	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 42})
+//	learn := gen.Generate(20000)
+//	base := gen.Generate(200000)
+//
+//	idx, err := pqfastscan.Build(learn, base, pqfastscan.DefaultBuildOptions())
+//	...
+//	res, err := idx.Search(query, 100)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// system inventory and the hardware-substitution notes.
+package pqfastscan
+
+import (
+	"fmt"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/persist"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/vec"
+)
+
+// Matrix is a dense row-major set of float32 vectors. Dim is the
+// dimensionality of each row.
+type Matrix = vec.Matrix
+
+// NewMatrix allocates an n x dim matrix.
+func NewMatrix(n, dim int) Matrix { return vec.NewMatrix(n, dim) }
+
+// Result is one nearest-neighbor answer: the database vector id and its
+// (squared Euclidean, asymmetric) distance to the query.
+type Result = index.Result
+
+// Kernel selects the scan implementation.
+type Kernel = index.Kernel
+
+// Available kernels. KernelFastScan is the paper's contribution; the
+// others are the §3 baselines it is evaluated against.
+const (
+	KernelNaive    = index.KernelNaive
+	KernelLibpq    = index.KernelLibpq
+	KernelAVX      = index.KernelAVX
+	KernelGather   = index.KernelGather
+	KernelFastScan = index.KernelFastScan
+)
+
+// PQConfig selects the product quantizer shape (PQ m×b).
+type PQConfig = quantizer.Config
+
+// Standard 64-bit configurations (paper Table 1). PQ8x8 is the default.
+var (
+	PQ8x8  = quantizer.PQ8x8
+	PQ16x4 = quantizer.PQ16x4
+	PQ4x16 = quantizer.PQ4x16
+)
+
+// BuildOptions configures index construction. See index.Options for the
+// field semantics; zero values select the paper's defaults via
+// DefaultBuildOptions.
+type BuildOptions struct {
+	// Partitions is the number of IVF cells (default 8, as in the
+	// paper's 100M-vector experiments; its 1B-vector index uses 128).
+	Partitions int
+	// PQ is the product quantizer configuration (default PQ 8×8).
+	PQ PQConfig
+	// Keep is the fraction of each partition scanned with plain PQ Scan
+	// to bound the distance quantization (default 0.5 %).
+	Keep float64
+	// GroupComponents fixes the grouping depth c; negative (default)
+	// applies the paper's nmin(c) = 50·16^c auto-selection rule.
+	GroupComponents int
+	// Seed makes construction deterministic.
+	Seed uint64
+	// DisableOptimizedAssignment turns off the §4.3 centroid index
+	// reassignment (only useful for ablation studies).
+	DisableOptimizedAssignment bool
+	// OrderGroups visits groups in ascending order of a per-group lower
+	// bound during Fast Scan (an extension beyond the paper that speeds
+	// up pruning-threshold convergence on small partitions; results are
+	// unchanged).
+	OrderGroups bool
+}
+
+// DefaultBuildOptions returns the paper's default configuration.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Partitions:      8,
+		PQ:              PQ8x8,
+		Keep:            scan.DefaultKeep,
+		GroupComponents: -1,
+		Seed:            1,
+	}
+}
+
+// Index is a built IVFADC index answering approximate nearest neighbor
+// queries with any of the scan kernels.
+type Index struct {
+	inner *index.Index
+}
+
+// Build trains the index on learn and indexes every row of base.
+func Build(learn, base Matrix, opt BuildOptions) (*Index, error) {
+	if opt.Partitions == 0 {
+		opt.Partitions = 8
+	}
+	if opt.PQ.M == 0 {
+		opt.PQ = PQ8x8
+	}
+	if opt.Keep == 0 {
+		opt.Keep = scan.DefaultKeep
+	}
+	inner, err := index.Build(learn, base, index.Options{
+		Partitions:         opt.Partitions,
+		PQ:                 opt.PQ,
+		Seed:               opt.Seed,
+		KMeansIter:         20,
+		OptimizeAssignment: !opt.DisableOptimizedAssignment,
+		FastScan: scan.FastScanOptions{
+			Keep:            opt.Keep,
+			GroupComponents: opt.GroupComponents,
+			OrderGroups:     opt.OrderGroups,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Search returns the k approximate nearest neighbors of query using PQ
+// Fast Scan, the default kernel.
+func (ix *Index) Search(query []float32, k int) ([]Result, error) {
+	return ix.SearchKernel(query, k, KernelFastScan)
+}
+
+// SearchKernel answers the query with an explicit kernel choice. All
+// kernels return identical results; they differ only in cost.
+func (ix *Index) SearchKernel(query []float32, k int, kernel Kernel) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pqfastscan: k must be positive, got %d", k)
+	}
+	res, _, _, err := ix.inner.Search(query, k, kernel)
+	return res, err
+}
+
+// SearchMulti scans the nprobe closest partitions and merges results,
+// trading latency for recall.
+func (ix *Index) SearchMulti(query []float32, k, nprobe int) ([]Result, error) {
+	res, _, err := ix.inner.SearchMulti(query, k, nprobe, KernelFastScan)
+	return res, err
+}
+
+// SearchBatch answers every query row concurrently (one goroutine per
+// core, as the paper deploys PQ Scan) and returns per-query results in
+// order.
+func (ix *Index) SearchBatch(queries Matrix, k int) ([][]Result, error) {
+	return ix.inner.SearchBatch(queries, k, KernelFastScan)
+}
+
+// Stats describes a scan's dynamic behaviour (pruning power, op counts).
+type Stats = scan.Stats
+
+// SearchWithStats is SearchKernel plus the scan statistics and the
+// partition scanned, for instrumentation and experiments.
+func (ix *Index) SearchWithStats(query []float32, k int, kernel Kernel) ([]Result, Stats, int, error) {
+	return ix.inner.Search(query, k, kernel)
+}
+
+// PartitionSizes returns the size of each IVF cell.
+func (ix *Index) PartitionSizes() []int { return ix.inner.PartitionSizes() }
+
+// Save writes the trained index to path atomically, so the expensive
+// construction pipeline runs once. Load it back with LoadIndex.
+func (ix *Index) Save(path string) error {
+	return persist.SaveIndex(path, ix.inner)
+}
+
+// LoadIndex reads an index previously written with Save. The loaded
+// index answers queries identically to the original.
+func LoadIndex(path string) (*Index, error) {
+	inner, err := persist.LoadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Internal exposes the underlying index to the benchmark harness.
+// It is not part of the stable API.
+func (ix *Index) Internal() *index.Index { return ix.inner }
+
+// DatasetConfig configures the synthetic SIFT-like dataset generator
+// standing in for ANN_SIFT1B (see DESIGN.md).
+type DatasetConfig = dataset.Config
+
+// Dataset generates deterministic SIFT-like vectors.
+type Dataset = dataset.Generator
+
+// NewSyntheticDataset returns a deterministic generator of 128-dimensional
+// SIFT-like descriptor vectors.
+func NewSyntheticDataset(cfg DatasetConfig) *Dataset {
+	return dataset.NewGenerator(cfg)
+}
+
+// GroundTruth computes exact nearest neighbors by brute force, for recall
+// evaluation.
+func GroundTruth(base, queries Matrix, k int) ([][]int64, error) {
+	return dataset.GroundTruth(base, queries, k)
+}
+
+// Recall computes recall@R of result id lists against ground truth.
+func Recall(results [][]int64, groundTruth [][]int64, r int) float64 {
+	return dataset.Recall(results, groundTruth, r)
+}

@@ -1,0 +1,172 @@
+package pqfastscan_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pqfastscan"
+)
+
+var (
+	apiOnce    sync.Once
+	apiIndex   *pqfastscan.Index
+	apiBase    pqfastscan.Matrix
+	apiQueries pqfastscan.Matrix
+	apiErr     error
+)
+
+func sharedAPIIndex(t *testing.T) (*pqfastscan.Index, pqfastscan.Matrix, pqfastscan.Matrix) {
+	t.Helper()
+	apiOnce.Do(func() {
+		gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 77})
+		learn := gen.Generate(4000)
+		apiBase = gen.Generate(25000)
+		apiQueries = gen.Generate(6)
+		opt := pqfastscan.DefaultBuildOptions()
+		opt.Partitions = 4
+		opt.OrderGroups = true
+		apiIndex, apiErr = pqfastscan.Build(learn, apiBase, opt)
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiIndex, apiBase, apiQueries
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	res, err := idx.Search(queries.Row(0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Distance < res[i-1].Distance {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+}
+
+func TestSearchRejectsBadK(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	if _, err := idx.SearchKernel(queries.Row(0), 0, pqfastscan.KernelFastScan); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestKernelEquivalencePublicAPI: the exactness claim through the public
+// surface.
+func TestKernelEquivalencePublicAPI(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	kernels := []pqfastscan.Kernel{
+		pqfastscan.KernelNaive, pqfastscan.KernelLibpq, pqfastscan.KernelAVX,
+		pqfastscan.KernelGather, pqfastscan.KernelFastScan,
+	}
+	for qi := 0; qi < queries.Rows(); qi++ {
+		var ref []pqfastscan.Result
+		for ki, kern := range kernels {
+			got, err := idx.SearchKernel(queries.Row(qi), 30, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ki == 0 {
+				ref = got
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("query %d kernel %v differs from naive at rank %d", qi, kern, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchWithStatsPruning(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	_, stats, part, err := idx.SearchWithStats(queries.Row(0), 100, pqfastscan.KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part < 0 || part >= len(idx.PartitionSizes()) {
+		t.Fatalf("partition %d out of range", part)
+	}
+	if stats.LowerBounds == 0 {
+		t.Fatal("no lower bounds computed")
+	}
+	if stats.Pruned+stats.Candidates != stats.LowerBounds {
+		t.Fatal("stats accounting mismatch")
+	}
+}
+
+// TestSearchMultiImprovesDistances: probing more cells can only improve
+// (or tie) the ADC distance at every rank. (Recall@R against exact ground
+// truth is NOT monotone in nprobe — approximate distances from extra
+// cells can displace the true neighbor — so the distance property is the
+// correct invariant to test.)
+func TestSearchMultiImprovesDistances(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		single, err := idx.SearchMulti(queries.Row(qi), 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := idx.SearchMulti(queries.Row(qi), 50, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range single {
+			if multi[i].Distance > single[i].Distance {
+				t.Fatalf("query %d rank %d worsened: %v > %v",
+					qi, i, multi[i].Distance, single[i].Distance)
+			}
+		}
+	}
+}
+
+func TestPartitionSizesSum(t *testing.T) {
+	idx, base, _ := sharedAPIIndex(t)
+	total := 0
+	for _, s := range idx.PartitionSizes() {
+		total += s
+	}
+	if total != base.Rows() {
+		t.Fatalf("partitions sum to %d, want %d", total, base.Rows())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 3, Dim: 32})
+	learn := gen.Generate(1500)
+	base := gen.Generate(3000)
+	// Zero-valued options must be filled with the paper defaults.
+	idx, err := pqfastscan.Build(learn, base, pqfastscan.BuildOptions{GroupComponents: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(idx.PartitionSizes()); got != 8 {
+		t.Fatalf("default partitions = %d, want 8", got)
+	}
+}
+
+// Example demonstrates the minimal end-to-end flow.
+func Example() {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 1})
+	learn := gen.Generate(2000)
+	base := gen.Generate(5000)
+	query := gen.Generate(1).Row(0)
+
+	idx, err := pqfastscan.Build(learn, base, pqfastscan.DefaultBuildOptions())
+	if err != nil {
+		panic(err)
+	}
+	res, err := idx.Search(query, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res), "neighbors found")
+	// Output: 3 neighbors found
+}
