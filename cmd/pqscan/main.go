@@ -11,43 +11,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"pqfastscan"
 	"pqfastscan/internal/dataset"
-	"pqfastscan/internal/index"
-	"pqfastscan/internal/persist"
-	"pqfastscan/internal/scan"
-	"pqfastscan/internal/vec"
 )
 
-func readVectors(path string, limit int) (vec.Matrix, error) {
+func readVectors(path string, limit int) (pqfastscan.Matrix, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return vec.Matrix{}, err
+		return pqfastscan.Matrix{}, err
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".bvecs") {
 		return dataset.ReadBvecs(f, limit)
 	}
 	return dataset.ReadFvecs(f, limit)
-}
-
-func kernelByName(name string) (index.Kernel, error) {
-	for _, k := range []index.Kernel{
-		index.KernelNaive, index.KernelLibpq, index.KernelAVX,
-		index.KernelGather, index.KernelFastScan, index.KernelQuantOnly,
-		index.KernelFastScan256,
-	} {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown kernel %q (naive, libpq, avx, gather, fastpq, fastpq256, quantonly)", name)
 }
 
 func main() {
@@ -60,8 +46,9 @@ func main() {
 		gtPath     = flag.String("gt", "", "ground truth (.ivecs), optional")
 		kernelName = flag.String("kernel", "fastpq", "scan kernel")
 		topk       = flag.Int("topk", 100, "neighbors per query")
+		nprobe     = flag.Int("nprobe", 1, "partitions probed per query")
 		partitions = flag.Int("partitions", 8, "IVF partitions")
-		keep       = flag.Float64("keep", scan.DefaultKeep, "keep fraction for qmax")
+		keep       = flag.Float64("keep", 0, "keep fraction for qmax (0 = paper default)")
 		maxBase    = flag.Int("maxbase", 0, "limit base vectors read (0 = all)")
 		maxQuery   = flag.Int("maxquery", 0, "limit queries read (0 = all)")
 		seed       = flag.Uint64("seed", 1, "training seed")
@@ -75,10 +62,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	kernel, err := kernelByName(*kernelName)
+	kernel, err := pqfastscan.ParseKernel(*kernelName)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Interrupts cancel in-flight queries between partition scans.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	base, err := readVectors(*basePath, *maxBase)
 	if err != nil {
@@ -96,33 +87,41 @@ func main() {
 	}
 	fmt.Printf("base: %d vectors, dim %d; queries: %d\n", base.Rows(), base.Dim, queries.Rows())
 
-	var ix *index.Index
+	var ix *pqfastscan.Index
 	if *loadPath != "" {
 		start := time.Now()
-		ix, err = persist.LoadIndex(*loadPath)
+		ix, err = pqfastscan.LoadIndex(*loadPath)
 		if err != nil {
 			log.Fatalf("loading index: %v", err)
 		}
 		fmt.Printf("index loaded in %v, partitions: %v\n", time.Since(start).Round(time.Millisecond), ix.PartitionSizes())
 	} else {
-		opt := index.DefaultOptions()
+		opt := pqfastscan.DefaultBuildOptions()
 		opt.Partitions = *partitions
 		opt.Seed = *seed
-		opt.FastScan = scan.FastScanOptions{Keep: *keep, GroupComponents: -1, OrderGroups: *ordered}
+		opt.OrderGroups = *ordered
+		if *keep > 0 {
+			opt.Keep = *keep
+		}
 		start := time.Now()
-		ix, err = index.Build(learn, base, opt)
+		ix, err = pqfastscan.Build(learn, base, opt)
 		if err != nil {
 			log.Fatalf("building index: %v", err)
 		}
 		fmt.Printf("index built in %v, partitions: %v\n", time.Since(start).Round(time.Millisecond), ix.PartitionSizes())
 	}
 	if *savePath != "" {
-		if err := persist.SaveIndex(*savePath, ix); err != nil {
+		if err := ix.Save(*savePath); err != nil {
 			log.Fatalf("saving index: %v", err)
 		}
 		fmt.Printf("index saved to %s\n", *savePath)
 	}
 
+	searcher := ix.With(
+		pqfastscan.WithKernel(kernel),
+		pqfastscan.WithNProbe(*nprobe),
+		pqfastscan.WithStats(),
+	)
 	var (
 		totalScan   time.Duration
 		scanned     int
@@ -132,23 +131,23 @@ func main() {
 	for qi := 0; qi < queries.Rows(); qi++ {
 		q := queries.Row(qi)
 		t0 := time.Now()
-		res, stats, _, err := ix.Search(q, *topk, kernel)
+		res, err := searcher.Search(ctx, q, *topk)
 		if err != nil {
 			log.Fatalf("query %d: %v", qi, err)
 		}
 		totalScan += time.Since(t0)
-		scanned += stats.Scanned
-		pruned += stats.Pruned
-		lbs += stats.LowerBounds
-		ids := make([]int64, len(res))
-		for i, r := range res {
+		scanned += res.Stats.Scanned
+		pruned += res.Stats.Pruned
+		lbs += res.Stats.LowerBounds
+		ids := make([]int64, len(res.Results))
+		for i, r := range res.Results {
 			ids[i] = r.ID
 		}
 		results = append(results, ids)
 	}
 	nq := queries.Rows()
-	fmt.Printf("kernel=%s topk=%d: mean response %.3f ms, %.1f Mvecs/s (measured)\n",
-		kernel, *topk,
+	fmt.Printf("kernel=%s topk=%d nprobe=%d: mean response %.3f ms, %.1f Mvecs/s (measured)\n",
+		kernel, *topk, *nprobe,
 		float64(totalScan.Microseconds())/float64(nq)/1e3,
 		float64(scanned)/totalScan.Seconds()/1e6)
 	if lbs > 0 {
@@ -170,7 +169,7 @@ func main() {
 		}
 		for _, r := range []int{1, 10, 100} {
 			if r <= *topk {
-				fmt.Printf("recall@%d = %.4f\n", r, dataset.Recall(results, gt, r))
+				fmt.Printf("recall@%d = %.4f\n", r, pqfastscan.Recall(results, gt, r))
 			}
 		}
 	}

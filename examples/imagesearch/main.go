@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -50,8 +51,11 @@ func main() {
 		pqfastscan.KernelGather,
 		pqfastscan.KernelFastScan,
 	}
+	ctx := context.Background()
 	var reference [][]int64
 	for _, kern := range kernels {
+		// A preconfigured Searcher view: kernel fixed, statistics on.
+		searcher := idx.With(pqfastscan.WithKernel(kern), pqfastscan.WithStats())
 		var (
 			results [][]int64
 			elapsed time.Duration
@@ -61,16 +65,16 @@ func main() {
 		)
 		for qi := 0; qi < nQueries; qi++ {
 			start := time.Now()
-			res, stats, _, err := idx.SearchWithStats(queries.Row(qi), topk, kern)
+			res, err := searcher.Search(ctx, queries.Row(qi), topk)
 			if err != nil {
 				log.Fatal(err)
 			}
 			elapsed += time.Since(start)
-			pruned += stats.Pruned
-			lbs += stats.LowerBounds
-			scanned += stats.Scanned
-			ids := make([]int64, len(res))
-			for i, r := range res {
+			pruned += res.Stats.Pruned
+			lbs += res.Stats.LowerBounds
+			scanned += res.Stats.Scanned
+			ids := make([]int64, len(res.Results))
+			for i, r := range res.Results {
 				ids[i] = r.ID
 			}
 			results = append(results, ids)

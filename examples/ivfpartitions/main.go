@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -57,15 +58,17 @@ func main() {
 		pruned  int
 		lbs     int
 	}
+	ctx := context.Background()
 	perPart := make([]agg, len(sizes))
 	for qi := 0; qi < nQueries; qi++ {
-		_, stats, part, err := idx.SearchWithStats(queries.Row(qi), 100, pqfastscan.KernelFastScan)
+		res, err := idx.Search(ctx, queries.Row(qi), 100, pqfastscan.WithStats())
 		if err != nil {
 			log.Fatal(err)
 		}
+		part := res.Partitions[0]
 		perPart[part].queries++
-		perPart[part].pruned += stats.Pruned
-		perPart[part].lbs += stats.LowerBounds
+		perPart[part].pruned += res.Stats.Pruned
+		perPart[part].lbs += res.Stats.LowerBounds
 	}
 	fmt.Println("\nquery routing and pruning per partition:")
 	for _, p := range order {
@@ -84,14 +87,15 @@ func main() {
 	}
 	fmt.Println("\nmulti-probe recall@100 (extension beyond the paper):")
 	for _, nprobe := range []int{1, 2, 4} {
+		probe := idx.With(pqfastscan.WithNProbe(nprobe))
 		var results [][]int64
 		for qi := 0; qi < nQueries; qi++ {
-			res, err := idx.SearchMulti(queries.Row(qi), 100, nprobe)
+			res, err := probe.Search(ctx, queries.Row(qi), 100)
 			if err != nil {
 				log.Fatal(err)
 			}
-			ids := make([]int64, len(res))
-			for i, r := range res {
+			ids := make([]int64, len(res.Results))
+			for i, r := range res.Results {
 				ids[i] = r.ID
 			}
 			results = append(results, ids)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "pqfastscan-example")
 	if err != nil {
 		log.Fatal(err)
@@ -60,26 +62,43 @@ func main() {
 
 	// The reloaded index must answer identically.
 	for qi := 0; qi < queries.Rows(); qi++ {
-		a, err := idx.Search(queries.Row(qi), 10)
+		a, err := idx.Search(ctx, queries.Row(qi), 10)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := loaded.Search(queries.Row(qi), 10)
+		b, err := loaded.Search(ctx, queries.Row(qi), 10)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := range a {
-			if a[i] != b[i] {
+		for i := range a.Results {
+			if a.Results[i] != b.Results[i] {
 				log.Fatalf("query %d: reloaded index answered differently", qi)
 			}
 		}
 	}
 	fmt.Println("reloaded index answers are identical to the original")
 
+	// The reloaded index stays mutable: ingest online, delete, and save
+	// again — the v2 format persists appended codes and tombstones.
+	ids, err := loaded.AddBatch(gen.Generate(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded.Delete(ids[0])
+	if err := loaded.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	again, err := pqfastscan.LoadIndex(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutated online (+%d, -1) and re-persisted: %d live vectors after reload\n",
+		len(ids), again.Live())
+
 	// Concurrent batch serving (one goroutine per core, as the paper
 	// deploys PQ Scan).
 	start = time.Now()
-	batch, err := loaded.SearchBatch(queries, 100)
+	batch, err := loaded.SearchBatch(ctx, queries, 100)
 	if err != nil {
 		log.Fatal(err)
 	}

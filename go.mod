@@ -1,0 +1,3 @@
+module pqfastscan
+
+go 1.24

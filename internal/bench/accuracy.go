@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -28,17 +29,21 @@ func RecallExperiment(env *Env, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	tw := newTab(w)
 	fmt.Fprintf(tw, "nprobe\trecall@1\trecall@10\trecall@100\n")
 	for _, nprobe := range []int{1, 2, 4} {
 		var results [][]int64
 		for qi := 0; qi < env.Scale.QueryN; qi++ {
-			res, _, err := env.Index.SearchMulti(env.Queries.Row(qi), 100, nprobe, index.KernelFastScan)
+			resp, err := env.Index.Query(ctx, index.Request{
+				Query: env.Queries.Row(qi), K: 100,
+				Kernel: index.KernelFastScan, NProbe: nprobe,
+			})
 			if err != nil {
 				return err
 			}
-			ids := make([]int64, len(res))
-			for i, r := range res {
+			ids := make([]int64, len(resp.Results))
+			for i, r := range resp.Results {
 				ids[i] = r.ID
 			}
 			results = append(results, ids)

@@ -10,8 +10,9 @@
 package index
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"sync"
 
 	"pqfastscan/internal/kmeans"
 	"pqfastscan/internal/layout"
@@ -98,7 +99,9 @@ func DefaultOptions() Options {
 	}
 }
 
-// Index is a built IVFADC index.
+// Index is a built IVFADC index. It is safe for concurrent use: queries
+// share a read lock; Add and Delete take the write lock and therefore
+// serialize with in-flight queries.
 type Index struct {
 	Dim    int
 	Coarse vec.Matrix // Partitions x Dim coarse centroids
@@ -107,6 +110,11 @@ type Index struct {
 
 	opt  Options
 	fast []*scan.FastScan // lazily built per partition
+
+	mu     sync.RWMutex  // queries read-lock, mutations write-lock
+	fastMu sync.Mutex    // guards lazy construction of fast[]
+	nextID int64         // next id Add assigns
+	locate map[int64]int // id -> partition, built lazily by Delete
 }
 
 // Build trains the coarse quantizer and product quantizer on learn and
@@ -191,8 +199,9 @@ func Build(learn, base vec.Matrix, opt Options) (*Index, error) {
 		buckets[c].ids = append(buckets[c].ids, int64(i))
 	}
 	for c := range buckets {
-		ix.Parts[c] = scan.NewPartition(buckets[c].codes, buckets[c].ids)
+		ix.Parts[c] = scan.NewPartitionW(buckets[c].codes, buckets[c].ids, pq.M)
 	}
+	ix.nextID = int64(n)
 	return ix, nil
 }
 
@@ -201,7 +210,22 @@ func (ix *Index) Options() Options { return ix.opt }
 
 // Restore reassembles an Index from its persisted parts; used by the
 // persist package. The caller guarantees consistency of the components.
-func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts []*scan.Partition, opt Options) *Index {
+// nextID seeds the id allocator for future Add calls; pass a negative
+// value (format v1 files carry none) to recompute it as max(id)+1 over
+// all partitions.
+func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts []*scan.Partition, opt Options, nextID int64) *Index {
+	if nextID < 0 {
+		for _, p := range parts {
+			for i := 0; i < p.N; i++ {
+				if id := p.ID(i); id >= nextID {
+					nextID = id + 1
+				}
+			}
+		}
+		if nextID < 0 {
+			nextID = 0
+		}
+	}
 	return &Index{
 		Dim:    dim,
 		Coarse: coarse,
@@ -209,6 +233,7 @@ func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts [
 		Parts:  parts,
 		opt:    opt,
 		fast:   make([]*scan.FastScan, len(parts)),
+		nextID: nextID,
 	}
 }
 
@@ -241,8 +266,11 @@ func (ix *Index) Tables(query []float32, part int) quantizer.Tables {
 }
 
 // FastScanner returns (building on first use) the PQ Fast Scan state of
-// partition part.
+// partition part. Lazy construction is guarded by its own mutex so that
+// concurrent read-locked queries can share it safely.
 func (ix *Index) FastScanner(part int) (*scan.FastScan, error) {
+	ix.fastMu.Lock()
+	defer ix.fastMu.Unlock()
 	if ix.fast[part] == nil {
 		fs, err := scan.NewFastScan(ix.Parts[part], ix.opt.FastScan)
 		if err != nil {
@@ -259,13 +287,20 @@ type Result = topk.Result
 // Search answers a k-NN query with the requested kernel, scanning the
 // single most relevant partition (Step 3 of Algorithm 1). It returns the
 // neighbors, the scan statistics and the partition scanned.
+//
+// Deprecated wrapper kept for in-package tests and low-level callers;
+// new code should use Query, which adds context cancellation.
 func (ix *Index) Search(query []float32, k int, kernel Kernel) ([]Result, scan.Stats, int, error) {
-	part := ix.RoutePartition(query)
-	res, stats, err := ix.SearchPartition(query, k, kernel, part)
-	return res, stats, part, err
+	resp, err := ix.Query(context.Background(), Request{Query: query, K: k, Kernel: kernel})
+	if err != nil {
+		return nil, scan.Stats{}, 0, err
+	}
+	return resp.Results, resp.Stats, resp.Partitions[0], nil
 }
 
-// SearchPartition scans one specific partition for the query.
+// SearchPartition scans one specific partition for the query. It is the
+// lock-free scan core; Query wraps it with routing, validation and
+// locking.
 func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int) ([]Result, scan.Stats, error) {
 	if part < 0 || part >= len(ix.Parts) {
 		return nil, scan.Stats{}, fmt.Errorf("index: partition %d out of range", part)
@@ -310,71 +345,34 @@ func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int
 // SearchMulti scans the nprobe closest partitions and merges their
 // results — a standard IVFADC extension beyond the paper's single-cell
 // routing, useful when recall matters more than latency.
+//
+// Deprecated wrapper over Query; new code should pass NProbe in a
+// Request and gain context cancellation.
 func (ix *Index) SearchMulti(query []float32, k, nprobe int, kernel Kernel) ([]Result, scan.Stats, error) {
-	if nprobe <= 0 || nprobe > len(ix.Parts) {
+	// An explicit nprobe of 0 is a caller error here; only Request uses 0
+	// to mean "default single probe".
+	if nprobe <= 0 {
 		return nil, scan.Stats{}, fmt.Errorf("index: nprobe %d out of range [1,%d]", nprobe, len(ix.Parts))
 	}
-	// Order cells by centroid distance.
-	type cell struct {
-		id int
-		d  float32
+	resp, err := ix.Query(context.Background(), Request{Query: query, K: k, Kernel: kernel, NProbe: nprobe})
+	if err != nil {
+		return nil, scan.Stats{}, err
 	}
-	cells := make([]cell, len(ix.Parts))
-	for i := range ix.Parts {
-		cells[i] = cell{id: i, d: vec.L2Squared(query, ix.Coarse.Row(i))}
-	}
-	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
-
-	heap := topk.New(k)
-	var total scan.Stats
-	for _, c := range cells[:nprobe] {
-		res, s, err := ix.SearchPartition(query, k, kernel, c.id)
-		if err != nil {
-			return nil, scan.Stats{}, err
-		}
-		for _, r := range res {
-			heap.Push(r.ID, r.Distance)
-		}
-		total.Scanned += s.Scanned
-		total.KeepScanned += s.KeepScanned
-		total.LowerBounds += s.LowerBounds
-		total.Pruned += s.Pruned
-		total.Candidates += s.Candidates
-		total.Groups += s.Groups
-		total.Blocks += s.Blocks
-		total.Ops.Add(s.Ops)
-	}
-	return heap.Results(), total, nil
+	return resp.Results, resp.Stats, nil
 }
 
-// SearchBatch answers many queries concurrently, one goroutine per core —
-// the deployment model the paper assumes ("PQ Scan parallelizes naturally
-// over multiple queries by running each query on a different core",
-// §3.1). Each query is answered exactly as Search would; results are
-// returned in query order. FastScan layouts for every partition are built
-// up front so worker goroutines never mutate shared state.
+// SearchBatch answers many queries concurrently, one goroutine per core.
+//
+// Deprecated wrapper over QueryBatch; new code should use QueryBatch,
+// which adds context cancellation and per-query statistics.
 func (ix *Index) SearchBatch(queries vec.Matrix, k int, kernel Kernel) ([][]Result, error) {
-	if queries.Dim != ix.Dim {
-		return nil, fmt.Errorf("index: query dim %d != index dim %d", queries.Dim, ix.Dim)
+	resps, err := ix.QueryBatch(context.Background(), queries, Request{K: k, Kernel: kernel})
+	if err != nil {
+		return nil, err
 	}
-	if kernel == KernelFastScan || kernel == KernelFastScan256 {
-		for part := range ix.Parts {
-			if _, err := ix.FastScanner(part); err != nil {
-				return nil, err
-			}
-		}
-	}
-	n := queries.Rows()
-	out := make([][]Result, n)
-	errs := make([]error, n)
-	par.For(n, func(i int) {
-		res, _, _, err := ix.Search(queries.Row(i), k, kernel)
-		out[i], errs[i] = res, err
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	out := make([][]Result, len(resps))
+	for i, r := range resps {
+		out[i] = r.Results
 	}
 	return out, nil
 }

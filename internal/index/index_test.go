@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -380,5 +381,75 @@ func TestSearchKLargerThanPartition(t *testing.T) {
 		if got[i] != ref[i] {
 			t.Fatalf("oversized-k results differ at rank %d", i)
 		}
+	}
+}
+
+// TestConcurrentMutationAndQueries hammers the index with concurrent
+// Add, Delete and Query traffic; the RW lock must keep every query
+// consistent (run under -race in CI-style invocations).
+func TestConcurrentMutationAndQueries(t *testing.T) {
+	gen := dataset.NewGenerator(dataset.Config{Seed: 77, Dim: 32})
+	learn := gen.Generate(2000)
+	base := gen.Generate(8000)
+	opt := DefaultOptions()
+	opt.Partitions = 2
+	opt.Seed = 77
+	ix, err := Build(learn, base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := gen.Generate(4)
+	extra := gen.Generate(200)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				req := Request{Query: queries.Row((w + i) % queries.Rows()), K: 10, Kernel: KernelFastScan, NProbe: 1 + i%2}
+				if _, err := ix.Query(ctx, req); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < extra.Rows(); i++ {
+			ids, err := ix.Add(vec.Matrix{Data: extra.Row(i), Dim: 32})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if i%3 == 0 {
+				ix.Delete(ids[0])
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	added := extra.Rows()
+	deleted := (added + 2) / 3
+	if got, want := ix.Live(), base.Rows()+added-deleted; got != want {
+		t.Fatalf("Live() = %d after concurrent traffic, want %d", got, want)
+	}
+}
+
+// TestQueryBatchHonorsContext: a canceled context fails the batch.
+func TestQueryBatchHonorsContext(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.QueryBatch(ctx, queries, Request{K: 5, Kernel: KernelFastScan}); err != context.Canceled {
+		t.Fatalf("canceled batch returned %v", err)
 	}
 }

@@ -1,0 +1,118 @@
+// Online mutation: the index accepts new vectors and deletions after
+// construction, without retraining or rebuilding. New vectors are encoded
+// against the trained coarse and product quantizers — exactly the codes a
+// from-scratch rebuild over the same vectors would produce — appended to
+// their partition's code block, and folded incrementally into any already
+// built Fast Scan grouped layout. Deletions are tombstones checked during
+// scans; codes stay in place until an (offline) rebuild compacts them.
+package index
+
+import (
+	"fmt"
+
+	"pqfastscan/internal/vec"
+)
+
+// Add encodes and indexes the rows of vecs, returning the id assigned to
+// each (a monotonically increasing sequence continuing the build-time
+// ids). It serializes with in-flight queries via the index write lock.
+func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
+	if vecs.Dim != ix.Dim {
+		return nil, fmt.Errorf("index: vector dim %d != index dim %d", vecs.Dim, ix.Dim)
+	}
+	if ix.PQ.Bits > 8 {
+		return nil, fmt.Errorf("index: online Add requires at most 8 bits per component, index uses %v", ix.PQ.Config)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	// Encode and route first, bucketing per partition, so each partition
+	// (and its Fast Scan layout) sees one append per batch: large batches
+	// amortize to a single regroup pass instead of per-vector splices.
+	n := vecs.Rows()
+	ids := make([]int64, n)
+	type chunk struct {
+		codes []uint8
+		ids   []int64
+	}
+	chunks := make([]chunk, len(ix.Parts))
+	residual := make([]float32, ix.Dim)
+	code := make([]uint8, ix.PQ.M)
+	for i := 0; i < n; i++ {
+		row := vecs.Row(i)
+		c, _ := vec.ArgminL2(row, ix.Coarse.Data, ix.Dim)
+		cRow := ix.Coarse.Row(c)
+		for d, v := range row {
+			residual[d] = v - cRow[d]
+		}
+		ix.PQ.Encode(residual, code)
+
+		id := ix.nextID
+		ix.nextID++
+		ids[i] = id
+		chunks[c].codes = append(chunks[c].codes, code...)
+		chunks[c].ids = append(chunks[c].ids, id)
+		if ix.locate != nil {
+			ix.locate[id] = c
+		}
+	}
+	for c := range chunks {
+		if len(chunks[c].ids) == 0 {
+			continue
+		}
+		ix.Parts[c].Append(chunks[c].codes, chunks[c].ids)
+		if fs := ix.fast[c]; fs != nil {
+			// Regroup the affected Fast Scan groups incrementally instead
+			// of invalidating the whole layout.
+			fs.Append(chunks[c].codes, chunks[c].ids)
+		}
+	}
+	return ids, nil
+}
+
+// Delete tombstones the vector with the given id. It reports whether the
+// id was present (and alive). The vector's code remains in its partition
+// until a rebuild; every kernel skips tombstoned ids during the scan.
+func (ix *Index) Delete(id int64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.locate == nil {
+		ix.locate = make(map[int64]int)
+		for c, p := range ix.Parts {
+			for i := 0; i < p.N; i++ {
+				if pid := p.ID(i); !p.IsDead(pid) {
+					ix.locate[pid] = c
+				}
+			}
+		}
+	}
+	c, ok := ix.locate[id]
+	if !ok {
+		return false
+	}
+	delete(ix.locate, id)
+	return ix.Parts[c].Tombstone(id)
+}
+
+// Live returns the number of indexed vectors that are not tombstoned.
+func (ix *Index) Live() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	total := 0
+	for _, p := range ix.Parts {
+		total += p.Live()
+	}
+	return total
+}
+
+// NextID returns the id the next Add will assign (persisted so that
+// reloaded indexes never reuse ids).
+func (ix *Index) NextID() int64 { return ix.nextID }
+
+// Snapshot acquires the index read lock for a multi-step consistent read
+// (persist uses it to serialize a coherent image while mutations are in
+// flight) and returns the release function.
+func (ix *Index) Snapshot() (release func()) {
+	ix.mu.RLock()
+	return ix.mu.RUnlock
+}

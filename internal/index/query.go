@@ -1,0 +1,154 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/par"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/topk"
+	"pqfastscan/internal/vec"
+)
+
+// Request describes one k-NN query: what to search for, how many
+// neighbors, which kernel, and how many inverted-index cells to probe.
+// The zero value of Kernel is KernelNaive; facades normally set
+// KernelFastScan. NProbe 0 and 1 both mean the paper's single-cell
+// routing.
+type Request struct {
+	Query  []float32
+	K      int
+	Kernel Kernel
+	NProbe int
+}
+
+// Response carries a query's answer: the neighbors, the merged scan
+// statistics, and the partitions probed in visit order.
+type Response struct {
+	Results    []Result
+	Stats      scan.Stats
+	Partitions []int
+}
+
+// validate rejects malformed requests with caller-actionable errors
+// before any scanning starts.
+func (ix *Index) validate(req Request) error {
+	if req.K <= 0 {
+		return fmt.Errorf("index: k must be positive, got %d", req.K)
+	}
+	if len(req.Query) != ix.Dim {
+		return fmt.Errorf("index: query dim %d != index dim %d", len(req.Query), ix.Dim)
+	}
+	if req.NProbe < 0 || req.NProbe > len(ix.Parts) {
+		return fmt.Errorf("index: nprobe %d out of range [1,%d]", req.NProbe, len(ix.Parts))
+	}
+	if ix.PQ.M != layout.M || ix.PQ.KStar() != 256 {
+		return fmt.Errorf("index: scan kernels require PQ 8x8, index uses %v", ix.PQ.Config)
+	}
+	return nil
+}
+
+// Query answers one request, honoring ctx cancellation and deadlines:
+// the context is checked before every partition scan, so a multi-probe
+// query under a tight deadline stops between cells rather than running
+// to completion.
+func (ix *Index) Query(ctx context.Context, req Request) (*Response, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.queryLocked(ctx, req)
+}
+
+// queryLocked is Query without the read lock; QueryBatch holds the lock
+// once across all worker goroutines (RWMutex read locks must not nest
+// when a writer may be waiting).
+func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error) {
+	if err := ix.validate(req); err != nil {
+		return nil, err
+	}
+	nprobe := req.NProbe
+	if nprobe == 0 {
+		nprobe = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if nprobe == 1 {
+		part := ix.RoutePartition(req.Query)
+		res, stats, err := ix.SearchPartition(req.Query, req.K, req.Kernel, part)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Results: res, Stats: stats, Partitions: []int{part}}, nil
+	}
+
+	// Multi-probe: visit the nprobe cells closest to the query and merge
+	// their neighbors.
+	type cell struct {
+		id int
+		d  float32
+	}
+	cells := make([]cell, len(ix.Parts))
+	for i := range ix.Parts {
+		cells[i] = cell{id: i, d: vec.L2Squared(req.Query, ix.Coarse.Row(i))}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
+
+	heap := topk.New(req.K)
+	resp := &Response{Partitions: make([]int, 0, nprobe)}
+	for _, c := range cells[:nprobe] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, s, err := ix.SearchPartition(req.Query, req.K, req.Kernel, c.id)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res {
+			heap.Push(r.ID, r.Distance)
+		}
+		resp.Stats.Merge(s)
+		resp.Partitions = append(resp.Partitions, c.id)
+	}
+	resp.Results = heap.Results()
+	return resp, nil
+}
+
+// QueryBatch answers req for every row of queries concurrently, one
+// goroutine per core — the deployment model the paper assumes ("PQ Scan
+// parallelizes naturally over multiple queries by running each query on
+// a different core", §3.1). Responses are returned in query order. Fast
+// Scan layouts for every partition are built up front so worker
+// goroutines never race on lazy construction. Cancelling ctx makes
+// in-flight workers stop between partition scans and the batch return
+// the context's error.
+func (ix *Index) QueryBatch(ctx context.Context, queries vec.Matrix, req Request) ([]*Response, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if queries.Dim != ix.Dim {
+		return nil, fmt.Errorf("index: query dim %d != index dim %d", queries.Dim, ix.Dim)
+	}
+	if req.Kernel == KernelFastScan || req.Kernel == KernelFastScan256 {
+		for part := range ix.Parts {
+			if _, err := ix.FastScanner(part); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n := queries.Rows()
+	out := make([]*Response, n)
+	errs := make([]error, n)
+	par.For(n, func(i int) {
+		r := req
+		r.Query = queries.Row(i)
+		out[i], errs[i] = ix.queryLocked(ctx, r)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

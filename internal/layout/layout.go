@@ -216,40 +216,140 @@ func NewGrouped(codes []uint8, ids []int64, c int) (*Grouped, error) {
 	return g, nil
 }
 
+// padCode is the code whose lanes pack to all-padding (low nibble
+// padNibble, full byte padByte).
+var padCode = [M]uint8{padByte, padByte, padByte, padByte, padByte, padByte, padByte, padByte}
+
 // packBlock encodes 16 vectors (or the padded remainder) of grp into its
 // b-th block.
 func (g *Grouped) packBlock(grp Group, b int) {
-	blk := g.Block(grp.BlockStart + b)
 	base := grp.Start + b*BlockVectors
 	for lane := 0; lane < BlockVectors; lane++ {
 		pos := base + lane
-		inGroup := pos < grp.Start+grp.Count
-		var code []uint8
-		if inGroup {
+		code := padCode[:]
+		if pos < grp.Start+grp.Count {
 			code = g.Codes[pos*M : (pos+1)*M]
 		}
-		// Grouped components: low nibble only, two lanes per byte.
-		for j := 0; j < g.C; j++ {
-			nib := uint8(padNibble)
-			if inGroup {
-				nib = code[j] & 0x0f
-			}
-			idx := j*8 + lane/2
-			if lane%2 == 0 {
-				blk[idx] = blk[idx]&0xf0 | nib
-			} else {
-				blk[idx] = blk[idx]&0x0f | nib<<4
-			}
-		}
-		// Ungrouped components: full byte.
-		for j := g.C; j < M; j++ {
-			v := uint8(padByte)
-			if inGroup {
-				v = code[j]
-			}
-			blk[g.C*8+(j-g.C)*16+lane] = v
+		g.packLane(grp.BlockStart+b, lane, code)
+	}
+}
+
+// packLane writes one vector's nibbles and bytes into lane of block i.
+func (g *Grouped) packLane(i, lane int, code []uint8) {
+	blk := g.Block(i)
+	// Grouped components: low nibble only, two lanes per byte.
+	for j := 0; j < g.C; j++ {
+		nib := code[j] & 0x0f
+		idx := j*8 + lane/2
+		if lane%2 == 0 {
+			blk[idx] = blk[idx]&0xf0 | nib
+		} else {
+			blk[idx] = blk[idx]&0x0f | nib<<4
 		}
 	}
+	// Ungrouped components: full byte.
+	for j := g.C; j < M; j++ {
+		blk[g.C*8+(j-g.C)*16+lane] = code[j]
+	}
+}
+
+// keyOf computes the group key of a code: the high nibbles of its first C
+// components, most significant first (the sort key of NewGrouped).
+func (g *Grouped) keyOf(code []uint8) uint32 {
+	var k uint32
+	for j := 0; j < g.C; j++ {
+		k = k<<4 | uint32(code[j]>>4)
+	}
+	return k
+}
+
+// groupKey recomputes the uint32 sort key of an existing group.
+func (g *Grouped) groupKey(grp *Group) uint32 {
+	var k uint32
+	for j := 0; j < g.C; j++ {
+		k = k<<4 | uint32(grp.Key[j])
+	}
+	return k
+}
+
+// Append inserts one vector into the grouped layout online, regrouping
+// only the affected group: the vector joins the end of its group (new
+// vectors are the youngest members, preserving the stable within-group
+// age order of NewGrouped). When the group's last block has a free
+// padding lane the insertion repacks a single lane; otherwise one fresh
+// all-padding block is spliced in after the group and later groups shift.
+// The result is byte-identical to rebuilding the layout from scratch over
+// the extended code array.
+func (g *Grouped) Append(code []uint8, id int64) {
+	if len(code) != M {
+		panic("layout: Append requires an M-component code")
+	}
+	key := g.keyOf(code)
+
+	// Locate the group (groups are sorted by key ascending).
+	gi := sort.Search(len(g.Groups), func(i int) bool {
+		return g.groupKey(&g.Groups[i]) >= key
+	})
+	newGroup := gi == len(g.Groups) || g.groupKey(&g.Groups[gi]) != key
+
+	var pos, blockAt int // insertion points in Codes/IDs and Blocks
+	if newGroup {
+		if gi == len(g.Groups) {
+			pos = g.N
+			blockAt = len(g.Blocks) / g.blockBytes
+		} else {
+			pos = g.Groups[gi].Start
+			blockAt = g.Groups[gi].BlockStart
+		}
+		grp := Group{Start: pos, Count: 0, BlockStart: blockAt, BlockCount: 0}
+		k := key
+		for j := g.C - 1; j >= 0; j-- {
+			grp.Key[j] = uint8(k & 0x0f)
+			k >>= 4
+		}
+		g.Groups = append(g.Groups, Group{})
+		copy(g.Groups[gi+1:], g.Groups[gi:])
+		g.Groups[gi] = grp
+	} else {
+		pos = g.Groups[gi].Start + g.Groups[gi].Count
+		blockAt = g.Groups[gi].BlockStart + g.Groups[gi].BlockCount
+	}
+	grp := &g.Groups[gi]
+
+	// Splice a fresh all-padding block when the group has no free lane.
+	lane := grp.Count % BlockVectors
+	if grp.Count == grp.BlockCount*BlockVectors {
+		bb := g.blockBytes
+		g.Blocks = append(g.Blocks, make([]uint8, bb)...)
+		copy(g.Blocks[(blockAt+1)*bb:], g.Blocks[blockAt*bb:])
+		pad := g.Blocks[blockAt*bb : (blockAt+1)*bb]
+		for i := range pad {
+			pad[i] = 0xff // padNibble pairs and padByte are all-ones
+		}
+		grp.BlockCount++
+		for i := range g.Groups {
+			if i != gi && g.Groups[i].BlockStart >= blockAt {
+				g.Groups[i].BlockStart++
+			}
+		}
+		lane = 0
+	}
+	g.packLane(grp.BlockStart+grp.BlockCount-1, lane, code)
+
+	// Splice the row-major code and id at the group's end.
+	g.Codes = append(g.Codes, make([]uint8, M)...)
+	copy(g.Codes[(pos+1)*M:], g.Codes[pos*M:])
+	copy(g.Codes[pos*M:(pos+1)*M], code)
+	g.IDs = append(g.IDs, 0)
+	copy(g.IDs[pos+1:], g.IDs[pos:])
+	g.IDs[pos] = id
+	grp.Count++
+	for i := range g.Groups {
+		if i != gi && g.Groups[i].Start >= pos {
+			g.Groups[i].Start++
+		}
+	}
+	g.N++
 }
 
 // Block returns the i-th packed block, aliasing the backing store.

@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -287,5 +288,55 @@ func TestAccessorPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestGroupedAppendMatchesRebuild: appending vectors one at a time into a
+// built layout must produce byte-identical state to rebuilding the layout
+// from scratch over the extended code array — groups, packed blocks,
+// grouped-order codes and ids alike.
+func TestGroupedAppendMatchesRebuild(t *testing.T) {
+	for _, c := range []int{0, 1, 2, 3, 4} {
+		for _, split := range []int{0, 1, 300} {
+			total := split + 200
+			codes := randomCodes(total, uint64(1000+c*10+split))
+			ids := make([]int64, total)
+			for i := range ids {
+				ids[i] = int64(i) * 3
+			}
+			inc, err := NewGrouped(codes[:split*M], ids[:split], c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := split; i < total; i++ {
+				inc.Append(codes[i*M:(i+1)*M], ids[i])
+			}
+			want, err := NewGrouped(codes, ids, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.N != want.N || len(inc.Groups) != len(want.Groups) {
+				t.Fatalf("c=%d split=%d: shape N=%d groups=%d, want N=%d groups=%d",
+					c, split, inc.N, len(inc.Groups), want.N, len(want.Groups))
+			}
+			for gi := range want.Groups {
+				if inc.Groups[gi] != want.Groups[gi] {
+					t.Fatalf("c=%d split=%d: group %d = %+v, want %+v",
+						c, split, gi, inc.Groups[gi], want.Groups[gi])
+				}
+			}
+			if !bytes.Equal(inc.Codes, want.Codes) {
+				t.Fatalf("c=%d split=%d: grouped codes differ from rebuild", c, split)
+			}
+			if !bytes.Equal(inc.Blocks, want.Blocks) {
+				t.Fatalf("c=%d split=%d: packed blocks differ from rebuild", c, split)
+			}
+			for i := range want.IDs {
+				if inc.IDs[i] != want.IDs[i] {
+					t.Fatalf("c=%d split=%d: id at grouped position %d = %d, want %d",
+						c, split, i, inc.IDs[i], want.IDs[i])
+				}
+			}
+		}
 	}
 }

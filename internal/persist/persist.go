@@ -6,7 +6,7 @@
 // offline).
 //
 // The format is a simple little-endian binary layout with a magic header
-// and version byte:
+// and version byte. Version 1 (the original, still readable) is:
 //
 //	"PQFSIDX\x01"
 //	u32 dim, u32 partitions
@@ -15,6 +15,17 @@
 //	coarse centroids: partitions x dim float32
 //	options: f64 keep, i32 groupComponents, u8 orderGroups, u8 optimized
 //	per partition: u32 n, n x m bytes codes, n x i64 ids
+//
+// Version 2 (written by default) extends it for mutable indexes: online
+// Add appends codes into the partition blocks (so n covers build-time and
+// appended vectors alike) and Delete leaves tombstones, both of which
+// must survive a save/load cycle:
+//
+//	"PQFSIDX\x02"
+//	... identical through the options block ...
+//	u64 nextID (the id allocator position, so reloads never reuse ids)
+//	per partition: u32 n, n x m bytes codes, n x i64 ids,
+//	               u32 nDead, nDead x i64 tombstoned ids
 //
 // Integrity is protected by a trailing CRC-32 (IEEE) over everything
 // after the magic.
@@ -36,7 +47,12 @@ import (
 	"pqfastscan/internal/vec"
 )
 
-var magic = []byte("PQFSIDX\x01")
+var magicPrefix = []byte("PQFSIDX")
+
+const (
+	version1 = 1 // seed format: immutable index
+	version2 = 2 // adds the id allocator and per-partition tombstones
+)
 
 // maxReasonable bounds untrusted size fields while decoding.
 const maxReasonable = 1 << 31
@@ -52,10 +68,34 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteIndex serializes ix to w.
+// WriteIndex serializes ix to w in the current format (version 2).
 func WriteIndex(w io.Writer, ix *index.Index) error {
+	return writeIndex(w, ix, version2)
+}
+
+// WriteIndexV1 serializes ix in the seed's version-1 format, for
+// downgrades to readers that predate mutable indexes. It refuses indexes
+// carrying tombstones, which version 1 cannot represent (appended
+// vectors are fine: they are ordinary codes in their partition block).
+func WriteIndexV1(w io.Writer, ix *index.Index) error {
+	return writeIndex(w, ix, version1)
+}
+
+func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
+	// Serialize a coherent snapshot: writing races with concurrent
+	// Add/Delete otherwise (torn partition sizes, a stale id allocator).
+	defer ix.Snapshot()()
+
+	if version < version2 {
+		for pi, p := range ix.Parts {
+			if p.DeadCount() > 0 {
+				return fmt.Errorf("persist: partition %d has %d tombstones, not representable in format v1", pi, p.DeadCount())
+			}
+		}
+	}
+
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	if _, err := bw.Write(append(append([]byte(nil), magicPrefix...), version)); err != nil {
 		return fmt.Errorf("persist: writing magic: %w", err)
 	}
 	cw := &countingWriter{w: bw, crc: crc32.NewIEEE()}
@@ -109,7 +149,18 @@ func WriteIndex(w io.Writer, ix *index.Index) error {
 		return fmt.Errorf("persist: writing options: %w", err)
 	}
 
+	if version >= version2 {
+		var idBuf [8]byte
+		le.PutUint64(idBuf[:], uint64(ix.NextID()))
+		if _, err := cw.Write(idBuf[:]); err != nil {
+			return fmt.Errorf("persist: writing next id: %w", err)
+		}
+	}
+
 	for pi, p := range ix.Parts {
+		if p.W != pq.M {
+			return fmt.Errorf("persist: partition %d code width %d != pq m %d", pi, p.W, pq.M)
+		}
 		if err := writeU32(uint32(p.N)); err != nil {
 			return fmt.Errorf("persist: writing partition %d size: %w", pi, err)
 		}
@@ -122,6 +173,19 @@ func WriteIndex(w io.Writer, ix *index.Index) error {
 		}
 		if _, err := cw.Write(idBuf); err != nil {
 			return fmt.Errorf("persist: writing partition %d ids: %w", pi, err)
+		}
+		if version >= version2 {
+			dead := p.DeadIDs()
+			if err := writeU32(uint32(len(dead))); err != nil {
+				return fmt.Errorf("persist: writing partition %d tombstone count: %w", pi, err)
+			}
+			deadBuf := make([]byte, 8*len(dead))
+			for i, id := range dead {
+				le.PutUint64(deadBuf[8*i:], uint64(id))
+			}
+			if _, err := cw.Write(deadBuf); err != nil {
+				return fmt.Errorf("persist: writing partition %d tombstones: %w", pi, err)
+			}
 		}
 	}
 
@@ -144,17 +208,22 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ReadIndex deserializes an index written by WriteIndex.
+// ReadIndex deserializes an index written by WriteIndex or WriteIndexV1:
+// the reader is backward compatible with every format version to date.
 func ReadIndex(r io.Reader) (*index.Index, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicPrefix)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	for i := range magic {
-		if head[i] != magic[i] {
-			return nil, fmt.Errorf("persist: bad magic %q (not a pqfastscan index, or unsupported version)", head)
+	for i := range magicPrefix {
+		if head[i] != magicPrefix[i] {
+			return nil, fmt.Errorf("persist: bad magic %q (not a pqfastscan index)", head)
 		}
+	}
+	version := head[len(magicPrefix)]
+	if version < version1 || version > version2 {
+		return nil, fmt.Errorf("persist: unsupported format version %d (this build reads versions %d-%d)", version, version1, version2)
 	}
 	cr := &countingReader{r: br, crc: crc32.NewIEEE()}
 	le := binary.LittleEndian
@@ -241,6 +310,19 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		},
 	}
 
+	// Version 1 carries no id allocator; Restore recomputes it.
+	nextID := int64(-1)
+	if version >= version2 {
+		var idBuf [8]byte
+		if _, err := io.ReadFull(cr, idBuf[:]); err != nil {
+			return nil, fmt.Errorf("persist: reading next id: %w", err)
+		}
+		nextID = int64(le.Uint64(idBuf[:]))
+		if nextID < 0 {
+			return nil, fmt.Errorf("persist: implausible next id %d", nextID)
+		}
+	}
+
 	parts := make([]*scan.Partition, partitions)
 	for pi := 0; pi < partitions; pi++ {
 		n, err := readU32()
@@ -259,7 +341,25 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		for i := range ids {
 			ids[i] = int64(le.Uint64(idBuf[8*i:]))
 		}
-		parts[pi] = scan.NewPartition(codes, ids)
+		parts[pi] = scan.NewPartitionW(codes, ids, m)
+		if version >= version2 {
+			nDead, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("persist: reading partition %d tombstone count: %w", pi, err)
+			}
+			if nDead > n {
+				return nil, fmt.Errorf("persist: partition %d has %d tombstones for %d vectors", pi, nDead, n)
+			}
+			deadBuf := make([]byte, 8*nDead)
+			if _, err := io.ReadFull(cr, deadBuf); err != nil {
+				return nil, fmt.Errorf("persist: reading partition %d tombstones: %w", pi, err)
+			}
+			dead := make([]int64, nDead)
+			for i := range dead {
+				dead[i] = int64(le.Uint64(deadBuf[8*i:]))
+			}
+			parts[pi].RestoreDead(dead)
+		}
 	}
 
 	sum := cr.crc.Sum32()
@@ -270,7 +370,7 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 	if got := le.Uint32(crcBuf[:]); got != sum {
 		return nil, fmt.Errorf("persist: checksum mismatch (file %#x, computed %#x)", got, sum)
 	}
-	return index.Restore(dim, coarse, pq, parts, opt), nil
+	return index.Restore(dim, coarse, pq, parts, opt, nextID), nil
 }
 
 // SaveIndex writes ix to path atomically (write to a temp file in the

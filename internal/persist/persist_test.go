@@ -2,11 +2,16 @@ package persist
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pqfastscan/internal/dataset"
 	"pqfastscan/internal/index"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/vec"
 )
 
 func buildSmall(t *testing.T) (*index.Index, *dataset.Generator) {
@@ -165,5 +170,255 @@ func TestBitFlipSweep(t *testing.T) {
 		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
 			t.Fatalf("bit flip at byte %d loaded successfully", pos)
 		}
+	}
+}
+
+// TestRoundtripOrderGroups: a non-default OrderGroups/keep configuration
+// survives the roundtrip and the reloaded index answers identically.
+func TestRoundtripOrderGroups(t *testing.T) {
+	gen := dataset.NewGenerator(dataset.Config{Seed: 91, Dim: 32})
+	opt := index.DefaultOptions()
+	opt.Partitions = 3
+	opt.Seed = 91
+	opt.FastScan.OrderGroups = true
+	opt.FastScan.Keep = 0.02
+	ix, err := index.Build(gen.Generate(2000), gen.Generate(9000), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Options().FastScan
+	if !got.OrderGroups || got.Keep != 0.02 {
+		t.Fatalf("FastScan options lost in roundtrip: %+v", got)
+	}
+	q := gen.Generate(1).Row(0)
+	want, _, _, err := ix.Search(q, 20, index.KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, _, _, err := loaded.Search(q, 20, index.KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("rank %d differs after OrderGroups roundtrip", i)
+		}
+	}
+}
+
+// TestRoundtripPQ16x4: a non-default quantizer shape (16 sub-quantizers
+// of 4 bits) roundtrips structurally — codebooks, coarse centroids,
+// partition codes and ids. The scan kernels require PQ 8x8, so querying
+// such an index must fail with a clear error rather than panic.
+func TestRoundtripPQ16x4(t *testing.T) {
+	gen := dataset.NewGenerator(dataset.Config{Seed: 17, Dim: 32})
+	opt := index.DefaultOptions()
+	opt.Partitions = 2
+	opt.Seed = 17
+	opt.PQ = quantizer.PQ16x4
+	ix, err := index.Build(gen.Generate(2000), gen.Generate(5000), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PQ.Config != ix.PQ.Config || loaded.PQ.SubDim != ix.PQ.SubDim {
+		t.Fatalf("PQ config %+v subdim %d, want %+v subdim %d",
+			loaded.PQ.Config, loaded.PQ.SubDim, ix.PQ.Config, ix.PQ.SubDim)
+	}
+	for j := range ix.PQ.Codebooks {
+		a, b := ix.PQ.Codebooks[j].Data, loaded.PQ.Codebooks[j].Data
+		if len(a) != len(b) {
+			t.Fatalf("codebook %d size differs", j)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("codebook %d entry %d differs", j, i)
+			}
+		}
+	}
+	for pi := range ix.Parts {
+		a, b := ix.Parts[pi], loaded.Parts[pi]
+		if a.N != b.N || a.W != b.W {
+			t.Fatalf("partition %d shape (n=%d w=%d) != (n=%d w=%d)", pi, b.N, b.W, a.N, a.W)
+		}
+		if !bytes.Equal(a.Codes, b.Codes) {
+			t.Fatalf("partition %d codes differ", pi)
+		}
+		for i := 0; i < a.N; i++ {
+			if a.ID(i) != b.ID(i) {
+				t.Fatalf("partition %d id %d differs", pi, i)
+			}
+		}
+	}
+	if _, err := loaded.Query(context.Background(), index.Request{
+		Query: gen.Generate(1).Row(0), K: 5, Kernel: index.KernelFastScan,
+	}); err == nil || !strings.Contains(err.Error(), "PQ 8x8") {
+		t.Fatalf("querying a PQ16x4 index returned %v, want a PQ 8x8 requirement error", err)
+	}
+}
+
+// TestV1StillLoads: files in the seed's version-1 format remain
+// readable, answer identically, and recompute the id allocator.
+func TestV1StillLoads(t *testing.T) {
+	ix, gen := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteIndexV1(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[7]; got != 1 {
+		t.Fatalf("WriteIndexV1 wrote version byte %d", got)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NextID() != 8000 {
+		t.Fatalf("v1 reload recomputed next id %d, want 8000", loaded.NextID())
+	}
+	q := gen.Generate(1).Row(0)
+	want, _, _, err := ix.Search(q, 10, index.KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, _, _, err := loaded.Search(q, 10, index.KernelFastScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("rank %d differs after v1 roundtrip", i)
+		}
+	}
+}
+
+// TestV1RefusesTombstones: format v1 cannot represent deletions, so the
+// downgrade writer must refuse rather than silently resurrect vectors.
+func TestV1RefusesTombstones(t *testing.T) {
+	ix, _ := buildSmall(t)
+	if !ix.Delete(3) {
+		t.Fatal("delete failed")
+	}
+	if err := WriteIndexV1(io.Discard, ix); err == nil {
+		t.Fatal("WriteIndexV1 accepted a tombstoned index")
+	}
+}
+
+// TestRoundtripMutatedIndex: appended codes and tombstones survive the
+// version-2 roundtrip; the reloaded index answers exactly like the
+// mutated original.
+func TestRoundtripMutatedIndex(t *testing.T) {
+	ix, gen := buildSmall(t)
+	added, err := ix.Add(gen.Generate(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(added); i += 4 {
+		if !ix.Delete(added[i]) {
+			t.Fatalf("delete of %d failed", added[i])
+		}
+	}
+	for id := int64(0); id < 8000; id += 13 {
+		if !ix.Delete(id) {
+			t.Fatalf("delete of %d failed", id)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NextID() != ix.NextID() {
+		t.Fatalf("next id %d, want %d", loaded.NextID(), ix.NextID())
+	}
+	if loaded.Live() != ix.Live() {
+		t.Fatalf("live count %d, want %d", loaded.Live(), ix.Live())
+	}
+	queries := gen.Generate(5)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		for _, kern := range []index.Kernel{index.KernelNaive, index.KernelFastScan} {
+			want, _, _, err := ix.Search(q, 25, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, _, _, err := loaded.Search(q, 25, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(have) {
+				t.Fatalf("query %d kernel %v: size %d vs %d", qi, kern, len(have), len(want))
+			}
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("query %d kernel %v rank %d differs after mutated roundtrip", qi, kern, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSaveDuringMutation: WriteIndex snapshots under the index read
+// lock, so saving while Add/Delete traffic is in flight must neither
+// race (run under -race) nor produce a torn file: every written image
+// must load cleanly with a consistent id allocator.
+func TestSaveDuringMutation(t *testing.T) {
+	ix, gen := buildSmall(t)
+	extra := gen.Generate(300)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < extra.Rows(); i++ {
+			ids, err := ix.Add(vec.Matrix{Data: extra.Row(i), Dim: 32})
+			if err != nil {
+				done <- err
+				return
+			}
+			if i%4 == 0 {
+				ix.Delete(ids[0])
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := WriteIndex(&buf, ix); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatalf("snapshot %d did not load: %v", i, err)
+		}
+		maxID := int64(-1)
+		for _, p := range loaded.Parts {
+			for j := 0; j < p.N; j++ {
+				if id := p.ID(j); id > maxID {
+					maxID = id
+				}
+			}
+		}
+		if loaded.NextID() <= maxID {
+			t.Fatalf("snapshot %d: next id %d not beyond max persisted id %d", i, loaded.NextID(), maxID)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

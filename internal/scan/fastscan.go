@@ -53,6 +53,9 @@ type FastScan struct {
 // the partition stays in row-major order for the temporary-NN phase; the
 // remainder is grouped on c components and packed into 16-vector blocks.
 func NewFastScan(p *Partition, opt FastScanOptions) (*FastScan, error) {
+	if p.W != M {
+		return nil, fmt.Errorf("scan: fast scan requires %d-byte codes, partition has %d", M, p.W)
+	}
 	if opt.Keep < 0 || opt.Keep >= 1 {
 		return nil, fmt.Errorf("scan: keep fraction %v out of [0,1)", opt.Keep)
 	}
@@ -84,6 +87,35 @@ func (fs *FastScan) KeepN() int { return fs.keepN }
 
 // Grouped exposes the packed layout (memory-footprint experiments).
 func (fs *FastScan) Grouped() *layout.Grouped { return fs.grouped }
+
+// Append extends the layout with vectors just appended to the underlying
+// partition (positions at and beyond the old partition end). Each vector
+// joins its group in the packed layout; the keep region is left
+// untouched, so appended vectors are always scanned through the
+// lower-bound path. Deletions need no layout maintenance at all — they
+// are tombstones on the partition, checked during the scan.
+//
+// Small batches splice lanes in place (per-vector cost: one memmove of
+// the arrays past the insertion point); batches large relative to the
+// layout regroup from scratch in one O(N+B) pass instead. Both paths
+// produce byte-identical state: the grouped-order arrays are already
+// stably key-sorted, so re-sorting them with the appended tail preserves
+// every group's within-group age order.
+func (fs *FastScan) Append(codes []uint8, ids []int64) {
+	n := len(ids)
+	g := fs.grouped
+	if n > 64 && n > g.N/8 {
+		allCodes := append(append([]uint8(nil), g.Codes...), codes...)
+		allIDs := append(append([]int64(nil), g.IDs...), ids...)
+		if ng, err := layout.NewGrouped(allCodes, allIDs, fs.c); err == nil {
+			fs.grouped = ng
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.Append(codes[i*M:(i+1)*M], ids[i])
+	}
+}
 
 // groupVisitOrder returns the order groups are scanned in: database
 // (key) order by default, or — with the OrderGroups extension — ascending
@@ -262,7 +294,7 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 
 	// Phase 1 (§4.4): plain PQ Scan over the keep region to obtain the
 	// temporary nearest neighbor bounding qmax.
-	libpqRange(fs.part.Codes, fs.part.IDs, 0, fs.keepN, t, heap)
+	libpqRange(fs.part, 0, fs.keepN, t, heap)
 	stats.Ops.Add(libpqPerVector.Scale(float64(fs.keepN)))
 
 	qmin := t.Min()
@@ -312,6 +344,7 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	}
 
 	groupOrder := fs.groupVisitOrder(t)
+	hasDead := fs.part.HasDead()
 
 	for _, gi := range groupOrder {
 		grp := g.Groups[gi]
@@ -370,7 +403,10 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 				continue
 			}
 			for lane := 0; lane < valid; lane++ {
-				if prunedMask&(1<<lane) != 0 {
+				pos := base + lane
+				// Tombstoned vectors are excluded without an exact
+				// distance computation, exactly like a pruned lane.
+				if prunedMask&(1<<lane) != 0 || (hasDead && fs.part.IsDead(g.IDs[pos])) {
 					stats.Pruned++
 					continue
 				}
@@ -378,7 +414,6 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 				// of Figure 6), then threshold refresh if the heap
 				// changed.
 				stats.Candidates++
-				pos := base + lane
 				d := adc8(g.Code(pos), t)
 				if heap.Push(g.IDs[pos], d) {
 					if thr, ok := heap.Threshold(); ok {
@@ -416,7 +451,7 @@ func QuantizationOnly(p *Partition, t quantizer.Tables, k int, keep float64) ([]
 	heap := topk.New(k)
 	keepN := int(keep * float64(p.N))
 	stats := Stats{Scanned: p.N, KeepScanned: keepN}
-	libpqRange(p.Codes, p.IDs, 0, keepN, t, heap)
+	libpqRange(p, 0, keepN, t, heap)
 	stats.Ops.Add(libpqPerVector.Scale(float64(keepN)))
 
 	qmin := t.Min()
@@ -440,9 +475,15 @@ func QuantizationOnly(p *Partition, t quantizer.Tables, k int, keep float64) ([]
 
 	thrVal, haveThr := heap.Threshold()
 	t8 := dq.pruneThreshold(thrVal, haveThr)
+	hasDead := p.HasDead()
 
 	for i := keepN; i < p.N; i++ {
 		code := p.Code(i)
+		if hasDead && p.IsDead(p.ID(i)) {
+			stats.LowerBounds++
+			stats.Pruned++
+			continue
+		}
 		// Saturated 8-bit accumulation, scalar (no SIMD possible with
 		// 256-entry tables).
 		s := int16(qt[int(code[0])])

@@ -20,7 +20,7 @@ func (fs *FastScan) Scan256(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	heap := topk.New(k)
 	stats := Stats{Scanned: fs.part.N, KeepScanned: fs.keepN}
 
-	libpqRange(fs.part.Codes, fs.part.IDs, 0, fs.keepN, t, heap)
+	libpqRange(fs.part, 0, fs.keepN, t, heap)
 	stats.Ops.Add(libpqPerVector.Scale(float64(fs.keepN)))
 
 	qmin := t.Min()
@@ -47,6 +47,7 @@ func (fs *FastScan) Scan256(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 
 	g := fs.grouped
 	groupOrder := fs.groupVisitOrder(t)
+	hasDead := fs.part.HasDead()
 	var groupTables256 [layout.MaxGroupComponents]simd.Reg256
 	var nibblesLo, nibblesHi [layout.BlockVectors]uint8
 
@@ -131,12 +132,12 @@ func (fs *FastScan) Scan256(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 					continue
 				}
 				for lane := 0; lane < valid; lane++ {
-					if halfMask&(1<<lane) != 0 {
+					pos := base + lane
+					if halfMask&(1<<lane) != 0 || (hasDead && fs.part.IsDead(g.IDs[pos])) {
 						stats.Pruned++
 						continue
 					}
 					stats.Candidates++
-					pos := base + lane
 					d := adc8(g.Code(pos), t)
 					if heap.Push(g.IDs[pos], d) {
 						if thr, ok := heap.Threshold(); ok {

@@ -23,6 +23,7 @@ package scan
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"pqfastscan/internal/layout"
 	"pqfastscan/internal/perf"
@@ -34,23 +35,37 @@ import (
 const M = layout.M
 
 // Partition is one scannable unit of the database: the vectors of one
-// inverted-index cell, stored as row-major pqcodes (Figure 1).
+// inverted-index cell, stored as row-major pqcodes (Figure 1). A
+// partition is mutable: Append adds freshly encoded vectors at the end,
+// Tombstone marks vectors as deleted without rewriting the code blocks
+// (kernels skip tombstoned ids during the scan).
 type Partition struct {
 	N     int
-	Codes []uint8 // row-major, N x M
+	W     int     // code width in bytes (components per vector)
+	Codes []uint8 // row-major, N x W
 	IDs   []int64 // optional original ids; nil means position == id
+
+	dead map[int64]struct{} // tombstoned ids; nil when none
 }
 
-// NewPartition wraps row-major codes (and optional ids) as a Partition.
+// NewPartition wraps row-major PQ 8×8 codes (and optional ids) as a
+// Partition.
 func NewPartition(codes []uint8, ids []int64) *Partition {
-	if len(codes)%M != 0 {
-		panic("scan: code array not a multiple of M")
+	return NewPartitionW(codes, ids, M)
+}
+
+// NewPartitionW wraps row-major codes of w components each. Only w == M
+// partitions are scannable by the kernels of this package; other widths
+// exist for building and persisting alternative PQ configurations.
+func NewPartitionW(codes []uint8, ids []int64, w int) *Partition {
+	if w <= 0 || len(codes)%w != 0 {
+		panic("scan: code array not a multiple of the code width")
 	}
-	n := len(codes) / M
+	n := len(codes) / w
 	if ids != nil && len(ids) != n {
 		panic("scan: id count mismatch")
 	}
-	return &Partition{N: n, Codes: codes, IDs: ids}
+	return &Partition{N: n, W: w, Codes: codes, IDs: ids}
 }
 
 // ID maps a vector position to its external id.
@@ -63,7 +78,75 @@ func (p *Partition) ID(i int) int64 {
 
 // Code returns the pqcode of vector i.
 func (p *Partition) Code(i int) []uint8 {
-	return p.Codes[i*M : (i+1)*M]
+	return p.Codes[i*p.W : (i+1)*p.W]
+}
+
+// Append adds vectors (row-major codes and their ids) at the end of the
+// partition. The ids of appended vectors are always explicit.
+func (p *Partition) Append(codes []uint8, ids []int64) {
+	if len(codes) != len(ids)*p.W {
+		panic("scan: append code/id count mismatch")
+	}
+	if p.IDs == nil {
+		// Materialize the implicit position ids before mixing in
+		// explicit ones.
+		p.IDs = make([]int64, p.N, p.N+len(ids))
+		for i := range p.IDs {
+			p.IDs[i] = int64(i)
+		}
+	}
+	p.Codes = append(p.Codes, codes...)
+	p.IDs = append(p.IDs, ids...)
+	p.N += len(ids)
+}
+
+// Tombstone marks id as deleted. It reports whether the id was newly
+// tombstoned (false when it already was). The caller is responsible for
+// only passing ids that live in this partition.
+func (p *Partition) Tombstone(id int64) bool {
+	if _, ok := p.dead[id]; ok {
+		return false
+	}
+	if p.dead == nil {
+		p.dead = make(map[int64]struct{})
+	}
+	p.dead[id] = struct{}{}
+	return true
+}
+
+// IsDead reports whether id has been tombstoned.
+func (p *Partition) IsDead(id int64) bool {
+	_, ok := p.dead[id]
+	return ok
+}
+
+// HasDead reports whether any vector of the partition is tombstoned;
+// kernels use it to keep the no-deletions scan free of per-vector map
+// lookups.
+func (p *Partition) HasDead() bool { return len(p.dead) > 0 }
+
+// DeadCount returns the number of tombstoned vectors.
+func (p *Partition) DeadCount() int { return len(p.dead) }
+
+// Live returns the number of vectors that are not tombstoned.
+func (p *Partition) Live() int { return p.N - len(p.dead) }
+
+// DeadIDs returns the tombstoned ids in ascending order (persist writes
+// them deterministically).
+func (p *Partition) DeadIDs() []int64 {
+	out := make([]int64, 0, len(p.dead))
+	for id := range p.dead {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// RestoreDead reinstalls a tombstone set (persist's read path).
+func (p *Partition) RestoreDead(ids []int64) {
+	for _, id := range ids {
+		p.Tombstone(id)
+	}
 }
 
 // Stats describes one scan's dynamic behaviour. Counts of vectors are
@@ -78,6 +161,19 @@ type Stats struct {
 	Blocks      int // 16-vector blocks processed (FastScan)
 
 	Ops perf.OpCounts
+}
+
+// Merge accumulates another scan's counts into s (multi-probe and batch
+// aggregation).
+func (s *Stats) Merge(o Stats) {
+	s.Scanned += o.Scanned
+	s.KeepScanned += o.KeepScanned
+	s.LowerBounds += o.LowerBounds
+	s.Pruned += o.Pruned
+	s.Candidates += o.Candidates
+	s.Groups += o.Groups
+	s.Blocks += o.Blocks
+	s.Ops.Add(o.Ops)
 }
 
 // PrunedFraction returns the fraction of lower-bounded vectors whose
@@ -153,8 +249,13 @@ func check8x8(t quantizer.Tables) {
 func Naive(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	check8x8(t)
 	heap := topk.New(k)
+	hasDead := p.HasDead()
 	for i := 0; i < p.N; i++ {
-		heap.Push(p.ID(i), adc8(p.Code(i), t))
+		id := p.ID(i)
+		if hasDead && p.IsDead(id) {
+			continue
+		}
+		heap.Push(id, adc8(p.Code(i), t))
 	}
 	stats := Stats{Scanned: p.N}
 	stats.Ops = naivePerVector.Scale(float64(p.N))
@@ -167,16 +268,26 @@ func Naive(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 func Libpq(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	check8x8(t)
 	heap := topk.New(k)
-	libpqRange(p.Codes, p.IDs, 0, p.N, t, heap)
+	libpqRange(p, 0, p.N, t, heap)
 	stats := Stats{Scanned: p.N}
 	stats.Ops = libpqPerVector.Scale(float64(p.N))
 	return heap.Results(), stats
 }
 
-// libpqRange scans positions [lo, hi) of row-major codes into heap, the
-// shared exact-scan path also used by FastScan's keep phase.
-func libpqRange(codes []uint8, ids []int64, lo, hi int, t quantizer.Tables, heap *topk.Heap) {
+// libpqRange scans positions [lo, hi) of the partition into heap, the
+// shared exact-scan path also used by FastScan's keep phase. Tombstoned
+// vectors are skipped.
+func libpqRange(p *Partition, lo, hi int, t quantizer.Tables, heap *topk.Heap) {
+	codes, ids := p.Codes, p.IDs
+	hasDead := p.HasDead()
 	for i := lo; i < hi; i++ {
+		id := int64(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		if hasDead && p.IsDead(id) {
+			continue
+		}
 		word := binary.LittleEndian.Uint64(codes[i*M : i*M+M])
 		d := t.Data[int(word&0xff)]
 		d += t.Data[256+int(word>>8&0xff)]
@@ -186,10 +297,6 @@ func libpqRange(codes []uint8, ids []int64, lo, hi int, t quantizer.Tables, heap
 		d += t.Data[5*256+int(word>>40&0xff)]
 		d += t.Data[6*256+int(word>>48&0xff)]
 		d += t.Data[7*256+int(word>>56&0xff)]
-		id := int64(i)
-		if ids != nil {
-			id = ids[i]
-		}
 		heap.Push(id, d)
 	}
 }
@@ -202,6 +309,7 @@ func libpqRange(codes []uint8, ids []int64, lo, hi int, t quantizer.Tables, heap
 func AVX(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	check8x8(t)
 	heap := topk.New(k)
+	hasDead := p.HasDead()
 	tr := layout.NewTransposed(p.Codes)
 	var acc [8]float32
 	full := tr.FullBlocks()
@@ -218,13 +326,21 @@ func AVX(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 			}
 		}
 		for v := 0; v < 8; v++ {
-			heap.Push(p.ID(b*8+v), acc[v])
+			id := p.ID(b*8 + v)
+			if hasDead && p.IsDead(id) {
+				continue
+			}
+			heap.Push(id, acc[v])
 		}
 	}
 	// Row-major tail, scanned naively.
 	tail := p.N - full*8
 	for i := full * 8; i < p.N; i++ {
-		heap.Push(p.ID(i), adc8(p.Code(i), t))
+		id := p.ID(i)
+		if hasDead && p.IsDead(id) {
+			continue
+		}
+		heap.Push(id, adc8(p.Code(i), t))
 	}
 	stats := Stats{Scanned: p.N}
 	stats.Ops = avxPer8Vectors.Scale(float64(full))
@@ -239,6 +355,7 @@ func AVX(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 func Gather(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	check8x8(t)
 	heap := topk.New(k)
+	hasDead := p.HasDead()
 	tr := layout.NewTransposed(p.Codes)
 	var acc [8]float32
 	full := tr.FullBlocks()
@@ -255,12 +372,20 @@ func Gather(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 			}
 		}
 		for v := 0; v < 8; v++ {
-			heap.Push(p.ID(b*8+v), acc[v])
+			id := p.ID(b*8 + v)
+			if hasDead && p.IsDead(id) {
+				continue
+			}
+			heap.Push(id, acc[v])
 		}
 	}
 	tail := p.N - full*8
 	for i := full * 8; i < p.N; i++ {
-		heap.Push(p.ID(i), adc8(p.Code(i), t))
+		id := p.ID(i)
+		if hasDead && p.IsDead(id) {
+			continue
+		}
+		heap.Push(id, adc8(p.Code(i), t))
 	}
 	stats := Stats{Scanned: p.N}
 	stats.Ops = gatherPer8Vectors.Scale(float64(full))

@@ -20,10 +20,15 @@
 //
 //	idx, err := pqfastscan.Build(learn, base, pqfastscan.DefaultBuildOptions())
 //	...
-//	res, err := idx.Search(query, 100)
+//	res, err := idx.Search(ctx, query, 100)
+//	...
+//	ids, err := idx.AddBatch(newVectors) // online ingestion, no rebuild
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// system inventory and the hardware-substitution notes.
+// Search takes functional options (WithKernel, WithNProbe, WithStats)
+// and honors context cancellation and deadlines; the index is mutable
+// online through Add, AddBatch and Delete. See the examples directory
+// for complete programs and DESIGN.md for the API shape, the mutation
+// semantics, the persist format, and the hardware-substitution notes.
 package pqfastscan
 
 import (
@@ -51,15 +56,39 @@ type Result = index.Result
 // Kernel selects the scan implementation.
 type Kernel = index.Kernel
 
-// Available kernels. KernelFastScan is the paper's contribution; the
-// others are the §3 baselines it is evaluated against.
+// Available kernels. KernelFastScan is the paper's contribution; naive,
+// libpq, avx and gather are the §3 baselines it is evaluated against;
+// KernelQuantOnly is the §5.5 ablation and KernelFastScan256 the AVX2
+// widening extension.
 const (
-	KernelNaive    = index.KernelNaive
-	KernelLibpq    = index.KernelLibpq
-	KernelAVX      = index.KernelAVX
-	KernelGather   = index.KernelGather
-	KernelFastScan = index.KernelFastScan
+	KernelNaive       = index.KernelNaive
+	KernelLibpq       = index.KernelLibpq
+	KernelAVX         = index.KernelAVX
+	KernelGather      = index.KernelGather
+	KernelFastScan    = index.KernelFastScan
+	KernelQuantOnly   = index.KernelQuantOnly
+	KernelFastScan256 = index.KernelFastScan256
 )
+
+// Kernels lists every kernel, in the order the paper introduces them.
+func Kernels() []Kernel {
+	return []Kernel{
+		KernelNaive, KernelLibpq, KernelAVX, KernelGather,
+		KernelFastScan, KernelQuantOnly, KernelFastScan256,
+	}
+}
+
+// ParseKernel resolves a kernel by its String name (the labels of the
+// paper's figures: naive, libpq, avx, gather, fastpq, quantonly,
+// fastpq256).
+func ParseKernel(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("pqfastscan: unknown kernel %q (naive, libpq, avx, gather, fastpq, quantonly, fastpq256)", name)
+}
 
 // PQConfig selects the product quantizer shape (PQ m×b).
 type PQConfig = quantizer.Config
@@ -81,7 +110,9 @@ type BuildOptions struct {
 	// PQ is the product quantizer configuration (default PQ 8×8).
 	PQ PQConfig
 	// Keep is the fraction of each partition scanned with plain PQ Scan
-	// to bound the distance quantization (default 0.5 %).
+	// to bound the distance quantization. Zero selects the paper's 0.5 %
+	// default; the zero-keep ablation is reachable only through the
+	// internal options, as in the seed.
 	Keep float64
 	// GroupComponents fixes the grouping depth c; negative (default)
 	// applies the paper's nmin(c) = 50·16^c auto-selection rule.
@@ -144,44 +175,8 @@ func Build(learn, base Matrix, opt BuildOptions) (*Index, error) {
 	return &Index{inner: inner}, nil
 }
 
-// Search returns the k approximate nearest neighbors of query using PQ
-// Fast Scan, the default kernel.
-func (ix *Index) Search(query []float32, k int) ([]Result, error) {
-	return ix.SearchKernel(query, k, KernelFastScan)
-}
-
-// SearchKernel answers the query with an explicit kernel choice. All
-// kernels return identical results; they differ only in cost.
-func (ix *Index) SearchKernel(query []float32, k int, kernel Kernel) ([]Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("pqfastscan: k must be positive, got %d", k)
-	}
-	res, _, _, err := ix.inner.Search(query, k, kernel)
-	return res, err
-}
-
-// SearchMulti scans the nprobe closest partitions and merges results,
-// trading latency for recall.
-func (ix *Index) SearchMulti(query []float32, k, nprobe int) ([]Result, error) {
-	res, _, err := ix.inner.SearchMulti(query, k, nprobe, KernelFastScan)
-	return res, err
-}
-
-// SearchBatch answers every query row concurrently (one goroutine per
-// core, as the paper deploys PQ Scan) and returns per-query results in
-// order.
-func (ix *Index) SearchBatch(queries Matrix, k int) ([][]Result, error) {
-	return ix.inner.SearchBatch(queries, k, KernelFastScan)
-}
-
 // Stats describes a scan's dynamic behaviour (pruning power, op counts).
 type Stats = scan.Stats
-
-// SearchWithStats is SearchKernel plus the scan statistics and the
-// partition scanned, for instrumentation and experiments.
-func (ix *Index) SearchWithStats(query []float32, k int, kernel Kernel) ([]Result, Stats, int, error) {
-	return ix.inner.Search(query, k, kernel)
-}
 
 // PartitionSizes returns the size of each IVF cell.
 func (ix *Index) PartitionSizes() []int { return ix.inner.PartitionSizes() }

@@ -1,6 +1,7 @@
 package pqfastscan_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,17 +37,23 @@ func sharedAPIIndex(t *testing.T) (*pqfastscan.Index, pqfastscan.Matrix, pqfasts
 
 func TestBuildAndSearch(t *testing.T) {
 	idx, _, queries := sharedAPIIndex(t)
-	res, err := idx.Search(queries.Row(0), 10)
+	res, err := idx.Search(context.Background(), queries.Row(0), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 10 {
-		t.Fatalf("got %d results", len(res))
+	if len(res.Results) != 10 {
+		t.Fatalf("got %d results", len(res.Results))
 	}
-	for i := 1; i < len(res); i++ {
-		if res[i].Distance < res[i-1].Distance {
+	for i := 1; i < len(res.Results); i++ {
+		if res.Results[i].Distance < res.Results[i-1].Distance {
 			t.Fatal("results not sorted by distance")
 		}
+	}
+	if len(res.Partitions) != 1 {
+		t.Fatalf("single-probe search probed partitions %v", res.Partitions)
+	}
+	if res.Stats != nil {
+		t.Fatal("stats attached without WithStats")
 	}
 }
 
@@ -163,10 +170,10 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := idx.Search(query, 3)
+	res, err := idx.Search(context.Background(), query, 3)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(len(res), "neighbors found")
+	fmt.Println(len(res.Results), "neighbors found")
 	// Output: 3 neighbors found
 }

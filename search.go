@@ -1,0 +1,248 @@
+package pqfastscan
+
+import (
+	"context"
+	"fmt"
+
+	"pqfastscan/internal/index"
+)
+
+// Searcher is the query surface of the package: one context-aware entry
+// point for single-query execution and one for batches. *Index implements
+// it directly; Index.With returns derived Searchers with options (e.g. a
+// multi-probe or instrumented view) pre-applied, so single-query,
+// multi-probe and batch execution all flow through the same interface.
+type Searcher interface {
+	// Search returns the k approximate nearest neighbors of query.
+	Search(ctx context.Context, query []float32, k int, opts ...SearchOption) (*SearchResult, error)
+	// SearchBatch answers every query row concurrently (one goroutine
+	// per core, the paper's deployment model) and returns per-query
+	// results in order.
+	SearchBatch(ctx context.Context, queries Matrix, k int, opts ...SearchOption) ([]*SearchResult, error)
+}
+
+// SearchOption customizes one search; the zero configuration is the
+// paper's default (PQ Fast Scan, single-cell routing, no statistics).
+type SearchOption func(*searchConfig)
+
+type searchConfig struct {
+	kernel Kernel
+	nprobe int
+	stats  bool
+}
+
+// WithKernel selects the scan kernel. All kernels return identical
+// results; they differ only in cost.
+func WithKernel(k Kernel) SearchOption {
+	return func(c *searchConfig) { c.kernel = k }
+}
+
+// WithNProbe scans the nprobe closest partitions and merges their
+// results, trading latency for recall. nprobe must be in
+// [1, Partitions]; any other value (including 0) is rejected by the
+// search call.
+func WithNProbe(nprobe int) SearchOption {
+	return func(c *searchConfig) { c.nprobe = nprobe }
+}
+
+// WithStats attaches the scan statistics (pruning power, operation
+// counts) to the SearchResult, for instrumentation and experiments.
+func WithStats() SearchOption {
+	return func(c *searchConfig) { c.stats = true }
+}
+
+// SearchResult is one query's rich answer.
+type SearchResult struct {
+	// Results are the k nearest neighbors, ascending by distance.
+	Results []Result
+	// Stats describes the scan's dynamic behaviour; nil unless the
+	// search ran WithStats.
+	Stats *Stats
+	// Partitions lists the IVF cells probed, in visit order.
+	Partitions []int
+}
+
+// Search returns the k approximate nearest neighbors of query. The
+// context is honored between partition scans, so cancellation and
+// deadlines (context.WithDeadline) cut multi-probe queries short instead
+// of letting them run to completion. Options select the kernel, the
+// number of cells probed, and statistics collection.
+func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...SearchOption) (*SearchResult, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ix.inner.Query(ctx, index.Request{
+		Query: query, K: k, Kernel: cfg.kernel, NProbe: cfg.nprobe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toSearchResult(resp, cfg.stats), nil
+}
+
+// SearchBatch answers every row of queries concurrently and returns
+// per-query results in query order. Cancelling ctx stops workers between
+// partition scans.
+func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ...SearchOption) ([]*SearchResult, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := ix.inner.QueryBatch(ctx, queries, index.Request{
+		K: k, Kernel: cfg.kernel, NProbe: cfg.nprobe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SearchResult, len(resps))
+	for i, r := range resps {
+		out[i] = toSearchResult(r, cfg.stats)
+	}
+	return out, nil
+}
+
+// resolveOptions applies opts over the default configuration (PQ Fast
+// Scan, single-cell routing) and rejects values no search can honor.
+func resolveOptions(opts []SearchOption) (searchConfig, error) {
+	cfg := searchConfig{kernel: KernelFastScan, nprobe: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.nprobe < 1 {
+		return cfg, fmt.Errorf("pqfastscan: nprobe must be positive, got %d", cfg.nprobe)
+	}
+	return cfg, nil
+}
+
+func toSearchResult(r *index.Response, withStats bool) *SearchResult {
+	sr := &SearchResult{Results: r.Results, Partitions: r.Partitions}
+	if withStats {
+		stats := r.Stats
+		sr.Stats = &stats
+	}
+	return sr
+}
+
+// With returns a Searcher that applies opts before each call's own
+// options — a reusable preconfigured view of the index. For example,
+// idx.With(WithNProbe(4)) is a multi-probe Searcher, and
+// idx.With(WithKernel(KernelNaive), WithStats()) an instrumented
+// baseline one.
+func (ix *Index) With(opts ...SearchOption) Searcher {
+	return &optionedSearcher{ix: ix, opts: opts}
+}
+
+type optionedSearcher struct {
+	ix   *Index
+	opts []SearchOption
+}
+
+func (s *optionedSearcher) Search(ctx context.Context, query []float32, k int, opts ...SearchOption) (*SearchResult, error) {
+	return s.ix.Search(ctx, query, k, append(append([]SearchOption(nil), s.opts...), opts...)...)
+}
+
+func (s *optionedSearcher) SearchBatch(ctx context.Context, queries Matrix, k int, opts ...SearchOption) ([]*SearchResult, error) {
+	return s.ix.SearchBatch(ctx, queries, k, append(append([]SearchOption(nil), s.opts...), opts...)...)
+}
+
+var _ Searcher = (*Index)(nil)
+var _ Searcher = (*optionedSearcher)(nil)
+
+// Add encodes one vector against the trained quantizers and appends it
+// to its partition online, regrouping the affected Fast Scan group
+// incrementally. It returns the assigned id. The index needs no rebuild:
+// subsequent searches see the vector immediately, with results identical
+// to an index rebuilt from scratch over the same vectors.
+func (ix *Index) Add(vector []float32) (int64, error) {
+	m := Matrix{Data: vector, Dim: len(vector)}
+	ids, err := ix.inner.Add(m)
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// AddBatch indexes every row of vectors online and returns the assigned
+// ids in row order.
+func (ix *Index) AddBatch(vectors Matrix) ([]int64, error) {
+	return ix.inner.Add(vectors)
+}
+
+// Delete removes the vector with the given id from future search
+// results. The deletion is a tombstone: the vector's code stays in its
+// partition block (and is skipped by every kernel) until the index is
+// rebuilt. It reports whether the id was present and alive.
+func (ix *Index) Delete(id int64) bool {
+	return ix.inner.Delete(id)
+}
+
+// Live returns the number of indexed vectors that have not been deleted.
+func (ix *Index) Live() int { return ix.inner.Live() }
+
+// --- Deprecated pre-context API ----------------------------------------
+//
+// The seed exposed five hard-coded entry points. They remain as thin
+// wrappers over the option-based path; an equivalence test pins their
+// results to the new API's. SearchLegacy and SearchBatchLegacy carry the
+// behavior of the seed's Search and SearchBatch, whose names now belong
+// to the context-aware methods.
+
+// SearchLegacy is the seed's Search: the k nearest neighbors by PQ Fast
+// Scan, no context.
+//
+// Deprecated: use Search(ctx, query, k).
+func (ix *Index) SearchLegacy(query []float32, k int) ([]Result, error) {
+	return ix.SearchKernel(query, k, KernelFastScan)
+}
+
+// SearchKernel answers the query with an explicit kernel choice.
+//
+// Deprecated: use Search(ctx, query, k, WithKernel(kernel)).
+func (ix *Index) SearchKernel(query []float32, k int, kernel Kernel) ([]Result, error) {
+	res, err := ix.Search(context.Background(), query, k, WithKernel(kernel))
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
+}
+
+// SearchMulti scans the nprobe closest partitions and merges results.
+//
+// Deprecated: use Search(ctx, query, k, WithNProbe(nprobe)).
+func (ix *Index) SearchMulti(query []float32, k, nprobe int) ([]Result, error) {
+	res, err := ix.Search(context.Background(), query, k, WithNProbe(nprobe))
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
+}
+
+// SearchBatchLegacy is the seed's SearchBatch: concurrent per-query
+// results with PQ Fast Scan, no context.
+//
+// Deprecated: use SearchBatch(ctx, queries, k).
+func (ix *Index) SearchBatchLegacy(queries Matrix, k int) ([][]Result, error) {
+	batch, err := ix.SearchBatch(context.Background(), queries, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(batch))
+	for i, r := range batch {
+		out[i] = r.Results
+	}
+	return out, nil
+}
+
+// SearchWithStats is SearchKernel plus the scan statistics and the
+// partition scanned.
+//
+// Deprecated: use Search(ctx, query, k, WithKernel(kernel), WithStats())
+// and read Stats and Partitions off the SearchResult.
+func (ix *Index) SearchWithStats(query []float32, k int, kernel Kernel) ([]Result, Stats, int, error) {
+	res, err := ix.Search(context.Background(), query, k, WithKernel(kernel), WithStats())
+	if err != nil {
+		return nil, Stats{}, 0, err
+	}
+	return res.Results, *res.Stats, res.Partitions[0], nil
+}
