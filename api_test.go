@@ -188,6 +188,10 @@ func TestSearchValidation(t *testing.T) {
 			_, err := idx.Search(ctx, q, 5, pqfastscan.WithNProbe(parts+1))
 			return err
 		}, "nprobe"},
+		{"unknown engine", func() error {
+			_, err := idx.Search(ctx, q, 5, pqfastscan.WithEngine(pqfastscan.Engine(42)))
+			return err
+		}, "unknown engine"},
 		{"legacy multi nprobe=0", func() error { _, err := idx.SearchMulti(q, 5, 0); return err }, "nprobe"},
 		{"legacy multi nprobe>parts", func() error { _, err := idx.SearchMulti(q, 5, parts+1); return err }, "nprobe"},
 		{"legacy multi k=0", func() error { _, err := idx.SearchMulti(q, 0, 2); return err }, "k must be positive"},

@@ -5,10 +5,16 @@
 //	pqbench -list
 //	pqbench -exp fig16
 //	pqbench -exp all -scale large
+//	pqbench -json > BENCH_prN.json
 //
 // Each experiment prints the rows or series of the corresponding table or
 // figure of the paper's evaluation section (§5); EXPERIMENTS.md records a
 // reference run next to the paper's numbers.
+//
+// -json switches to the wall-clock benchmark suite: every kernel on both
+// execution engines (model and native) over several partition sizes,
+// emitted as a machine-readable JSON report on stdout so the repository
+// can record a BENCH_*.json trajectory across PRs.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,13 +33,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pqbench: ")
 	var (
-		expName = flag.String("exp", "all", "experiment name(s), comma-separated (see -list), or \"all\"")
-		scale   = flag.String("scale", "default", "environment scale: small, default or large")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		seed    = flag.Uint64("seed", 42, "dataset and training seed")
-		baseN   = flag.Int("n", 0, "override base set size")
+		expName  = flag.String("exp", "all", "experiment name(s), comma-separated (see -list), or \"all\"")
+		scale    = flag.String("scale", "default", "environment scale: small, default or large")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		seed     = flag.Uint64("seed", 42, "dataset and training seed")
+		baseN    = flag.Int("n", 0, "override base set size")
+		jsonOut  = flag.Bool("json", false, "run the wall-clock kernel benchmarks (both engines) and emit JSON on stdout")
+		jsonK    = flag.Int("k", 100, "top-k for -json benchmarks")
+		jsonSize = flag.String("sizes", "10000,100000", "comma-separated partition sizes for -json benchmarks")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		var sizes []int
+		for _, s := range strings.Split(*jsonSize, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				log.Fatalf("bad -sizes entry %q", s)
+			}
+			sizes = append(sizes, v)
+		}
+		if err := bench.RunWallClock(os.Stdout, *seed, sizes, *jsonK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Registry {

@@ -1,0 +1,119 @@
+package pqfastscan_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pqfastscan"
+)
+
+// TestEnginesReturnIdenticalResults is the public-API face of the
+// cross-engine exactness invariant: for every kernel, nprobe and query,
+// the native and model engines return bit-identical neighbor lists —
+// with and without single-query cross-partition parallelism.
+func TestEnginesReturnIdenticalResults(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+
+	for _, kern := range allKernels() {
+		for _, nprobe := range []int{1, 3} {
+			for qi := 0; qi < queries.Rows(); qi++ {
+				q := queries.Row(qi)
+				model, err := idx.Search(ctx, q, 25,
+					pqfastscan.WithKernel(kern), pqfastscan.WithNProbe(nprobe),
+					pqfastscan.WithEngine(pqfastscan.EngineModel))
+				if err != nil {
+					t.Fatal(err)
+				}
+				native, err := idx.Search(ctx, q, 25,
+					pqfastscan.WithKernel(kern), pqfastscan.WithNProbe(nprobe),
+					pqfastscan.WithEngine(pqfastscan.EngineNative))
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := kern.String() + "/" + pqfastscan.EngineNative.String()
+				sameResultSlices(t, label, model.Results, native.Results)
+
+				parallel, err := idx.Search(ctx, q, 25,
+					pqfastscan.WithKernel(kern), pqfastscan.WithNProbe(nprobe),
+					pqfastscan.WithParallel())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResultSlices(t, label+"/parallel", model.Results, parallel.Results)
+			}
+		}
+	}
+}
+
+// TestDefaultEngineIsNative: a plain Search must match an explicit
+// native-engine search (and, by the invariant above, the model engine).
+func TestDefaultEngineIsNative(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+	q := queries.Row(0)
+
+	plain, err := idx.Search(ctx, q, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := idx.Search(ctx, q, 30, pqfastscan.WithEngine(pqfastscan.EngineNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResultSlices(t, "default-engine", plain.Results, native.Results)
+}
+
+// TestWithStatsPinsModelEngine: statistics imply the model engine —
+// implicitly when no engine is named, as an error when the native engine
+// is requested alongside.
+func TestWithStatsPinsModelEngine(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+	q := queries.Row(0)
+
+	res, err := idx.Search(ctx, q, 10, pqfastscan.WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Ops.Instructions() <= 0 {
+		t.Fatal("WithStats did not produce instruction counts (not on the model engine?)")
+	}
+	// Model engine named explicitly: same thing.
+	res2, err := idx.Search(ctx, q, 10, pqfastscan.WithStats(), pqfastscan.WithEngine(pqfastscan.EngineModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res2.Stats != *res.Stats {
+		t.Fatal("explicit model engine changed the statistics")
+	}
+	// Conflicting explicit native engine: rejected up front.
+	_, err = idx.Search(ctx, q, 10, pqfastscan.WithStats(), pqfastscan.WithEngine(pqfastscan.EngineNative))
+	if err == nil || !strings.Contains(err.Error(), "model engine") {
+		t.Fatalf("WithStats+EngineNative returned %v, want a model-engine error", err)
+	}
+}
+
+// TestParallelMatchesSequentialBatch: the batch path composes with
+// per-query parallel probing.
+func TestParallelMatchesSequentialBatch(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+
+	seq, err := idx.SearchBatch(ctx, queries, 15, pqfastscan.WithNProbe(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := idx.SearchBatch(ctx, queries, 15, pqfastscan.WithNProbe(4), pqfastscan.WithParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range seq {
+		sameResultSlices(t, "batch-parallel", seq[qi].Results, par[qi].Results)
+		if len(seq[qi].Partitions) != len(par[qi].Partitions) {
+			t.Fatalf("query %d: probed %v sequentially, %v in parallel",
+				qi, seq[qi].Partitions, par[qi].Partitions)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/rng"
+	"pqfastscan/internal/scan"
+)
+
+// Wall-clock kernel benchmarks with machine-readable output — the
+// counterpart of the modeled-cycle experiments. Where the experiment
+// registry reproduces the paper's figures from instruction counts, this
+// file measures what the binary actually does on the host, kernel by
+// kernel and engine by engine, and emits JSON so successive PRs can
+// record a BENCH_*.json trajectory (cmd/pqbench -json).
+
+// WallClockResult is one (kernel, engine, partition size) measurement.
+type WallClockResult struct {
+	Kernel      string  `json:"kernel"`
+	Engine      string  `json:"engine"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s"` // code bytes scanned per second
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// WallClockReport is the JSON document pqbench -json emits.
+type WallClockReport struct {
+	Schema  string            `json:"schema"`
+	Go      string            `json:"go"`
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	CPUs    int               `json:"cpus"`
+	Seed    uint64            `json:"seed"`
+	K       int               `json:"k"`
+	Results []WallClockResult `json:"results"`
+}
+
+// wallClockFixture builds the pruning-friendly regime the paper
+// operates in: random codes with portion-homogeneous distance tables
+// (one near portion per component, the structure the §4.3 optimized
+// assignment produces). It mirrors getBenchEnv in
+// internal/scan/bench_kernels_test.go — keep the two recipes in sync so
+// the JSON trajectory and the in-package benchmarks measure the same
+// regime (the test fixture cannot be imported from a _test.go file, and
+// internal/scan cannot import this package back).
+func wallClockFixture(n int, seed uint64) (*scan.Partition, quantizer.Tables, *scan.FastScan, error) {
+	r := rng.New(seed)
+	codes := make([]uint8, n*scan.M)
+	for i := range codes {
+		codes[i] = uint8(r.Intn(256))
+	}
+	tables := quantizer.Tables{M: scan.M, KStar: 256, Data: make([]float32, scan.M*256)}
+	for j := 0; j < scan.M; j++ {
+		row := tables.Data[j*256 : (j+1)*256]
+		near := r.Intn(16)
+		for h := 0; h < 16; h++ {
+			level := 1000 + r.Float32()*5000
+			if h == near {
+				level = r.Float32() * 20
+			}
+			for i := 0; i < 16; i++ {
+				row[h*16+i] = level + r.Float32()*50
+			}
+		}
+	}
+	p := scan.NewPartition(codes, nil)
+	fs, err := scan.NewFastScan(p, scan.FastScanOptions{
+		Keep: scan.DefaultKeep, GroupComponents: -1, OrderGroups: true,
+	})
+	if err != nil {
+		return nil, quantizer.Tables{}, nil, err
+	}
+	return p, tables, fs, nil
+}
+
+// RunWallClock benchmarks every kernel on both engines over the given
+// partition sizes and writes the JSON report to w.
+func RunWallClock(w io.Writer, seed uint64, sizes []int, k int) error {
+	report := WallClockReport{
+		Schema: "pqfastscan-bench/v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Seed:   seed,
+		K:      k,
+	}
+	for _, n := range sizes {
+		p, tables, fs, err := wallClockFixture(n, seed+uint64(n))
+		if err != nil {
+			return fmt.Errorf("bench: fixture n=%d: %w", n, err)
+		}
+		type variant struct {
+			kernel, engine string
+			run            func(b *testing.B)
+		}
+		sc := scan.NewScratch()
+		variants := []variant{
+			{"naive", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.Naive(p, tables, k)
+				}
+			}},
+			{"libpq", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.Libpq(p, tables, k)
+				}
+			}},
+			{"avx", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.AVX(p, tables, k)
+				}
+			}},
+			{"gather", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.Gather(p, tables, k)
+				}
+			}},
+			{"quantonly", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.QuantizationOnly(p, tables, k, scan.DefaultKeep)
+				}
+			}},
+			{"fastpq", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fs.Scan(tables, k)
+				}
+			}},
+			{"fastpq256", "model", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fs.Scan256(tables, k)
+				}
+			}},
+			// The native engine serves all four exact-scan selections
+			// with one tuned loop and both Fast Scan widths with the
+			// SWAR kernel; benchmark each implementation once.
+			{"naive", "native", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scan.ExactNative(p, tables, k, sc)
+				}
+			}},
+			{"fastpq", "native", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fs.ScanNative(tables, k, sc)
+				}
+			}},
+		}
+		for _, v := range variants {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(n * scan.M))
+				v.run(b)
+			})
+			nsOp := float64(res.T.Nanoseconds()) / float64(res.N)
+			report.Results = append(report.Results, WallClockResult{
+				Kernel:      v.kernel,
+				Engine:      v.engine,
+				N:           n,
+				NsPerOp:     nsOp,
+				MBPerSec:    float64(n*scan.M) / nsOp * 1e9 / 1e6,
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Iterations:  res.N,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -23,6 +23,39 @@ import (
 	"pqfastscan/internal/vec"
 )
 
+// Engine selects the execution engine a kernel runs on. The two engines
+// execute the same §4 algorithm and return bit-identical result sets
+// (DESIGN.md §9, "Two engines, one algorithm"); they differ in what they
+// optimize for.
+type Engine int
+
+const (
+	// EngineModel executes kernels through internal/simd, the bit-exact
+	// software model of the paper's SIMD instruction subset, and counts
+	// every dynamic operation (Stats.Ops) for internal/perf pricing. It
+	// is the reference and metrology path — and the zero value, so
+	// pre-engine callers of the internal query API keep their exact
+	// behaviour, instruction counts included.
+	EngineModel Engine = iota
+	// EngineNative executes kernels with real Go performance techniques
+	// (uint64 SWAR lanes, flat tables, reusable scratch buffers) for
+	// wall-clock speed. It fills the vector/block counters of Stats but
+	// not Stats.Ops. The public facade defaults to this engine.
+	EngineNative
+)
+
+// String names the engine for logs and benchmark labels.
+func (e Engine) String() string {
+	switch e {
+	case EngineModel:
+		return "model"
+	case EngineNative:
+		return "native"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
 // Kernel selects the scan implementation used for a search.
 type Kernel int
 
@@ -298,15 +331,57 @@ func (ix *Index) Search(query []float32, k int, kernel Kernel) ([]Result, scan.S
 	return resp.Results, resp.Stats, resp.Partitions[0], nil
 }
 
-// SearchPartition scans one specific partition for the query. It is the
-// lock-free scan core; Query wraps it with routing, validation and
-// locking.
+// SearchPartition scans one specific partition for the query on the
+// model engine. It is the lock-free scan core; Query wraps it with
+// routing, validation, locking and engine selection.
 func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int) ([]Result, scan.Stats, error) {
+	return ix.SearchPartitionEngine(query, k, kernel, EngineModel, part)
+}
+
+// scratchPool recycles the native engine's per-scan buffers across
+// queries and goroutines, keeping the steady-state scan loop free of
+// allocations without tying a Scratch to any one Searcher.
+var scratchPool = sync.Pool{New: func() any { return scan.NewScratch() }}
+
+// SearchPartitionEngine scans one specific partition for the query with
+// an explicit kernel and engine choice. Both engines return bit-identical
+// result sets; only the model engine fills Stats.Ops.
+//
+// On the native engine the four exact-scan kernel selections (naive,
+// libpq, avx, gather) share one tuned implementation and the two Fast
+// Scan widths share the SWAR kernel: the kernels differ in which
+// hardware technique they model, which is meaningful only under the
+// instruction-counting engine — a 64-bit SWAR word has no second width
+// to widen into. The quantization-only ablation is a diagnostic of the
+// model path and runs there on either engine.
+func (ix *Index) SearchPartitionEngine(query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
 	if part < 0 || part >= len(ix.Parts) {
 		return nil, scan.Stats{}, fmt.Errorf("index: partition %d out of range", part)
 	}
 	t := ix.Tables(query, part)
 	p := ix.Parts[part]
+	if engine == EngineNative {
+		switch kernel {
+		case KernelNaive, KernelLibpq, KernelAVX, KernelGather:
+			sc := scratchPool.Get().(*scan.Scratch)
+			r, s := scan.ExactNative(p, t, k, sc)
+			out := append([]Result(nil), r...) // r aliases the pooled scratch
+			scratchPool.Put(sc)
+			return out, s, nil
+		case KernelFastScan, KernelFastScan256:
+			fs, err := ix.FastScanner(part)
+			if err != nil {
+				return nil, scan.Stats{}, err
+			}
+			sc := scratchPool.Get().(*scan.Scratch)
+			r, s := fs.ScanNative(t, k, sc)
+			out := append([]Result(nil), r...)
+			scratchPool.Put(sc)
+			return out, s, nil
+		}
+		// KernelQuantOnly (and unknown kernels) fall through to the
+		// model dispatch below.
+	}
 	switch kernel {
 	case KernelNaive:
 		r, s := scan.Naive(p, t, k)

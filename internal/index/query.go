@@ -13,15 +13,21 @@ import (
 )
 
 // Request describes one k-NN query: what to search for, how many
-// neighbors, which kernel, and how many inverted-index cells to probe.
-// The zero value of Kernel is KernelNaive; facades normally set
-// KernelFastScan. NProbe 0 and 1 both mean the paper's single-cell
-// routing.
+// neighbors, which kernel on which engine, and how many inverted-index
+// cells to probe. The zero value of Kernel is KernelNaive and of Engine
+// is EngineModel (preserving the pre-engine behaviour of internal
+// callers); the facade normally sets KernelFastScan on EngineNative.
+// NProbe 0 and 1 both mean the paper's single-cell routing. Parallel
+// scans the probed cells concurrently (one goroutine per cell, capped at
+// GOMAXPROCS) instead of sequentially; results are identical — it is an
+// opt-in because the paper measures single-core scans.
 type Request struct {
-	Query  []float32
-	K      int
-	Kernel Kernel
-	NProbe int
+	Query    []float32
+	K        int
+	Kernel   Kernel
+	Engine   Engine
+	NProbe   int
+	Parallel bool
 }
 
 // Response carries a query's answer: the neighbors, the merged scan
@@ -43,6 +49,9 @@ func (ix *Index) validate(req Request) error {
 	}
 	if req.NProbe < 0 || req.NProbe > len(ix.Parts) {
 		return fmt.Errorf("index: nprobe %d out of range [1,%d]", req.NProbe, len(ix.Parts))
+	}
+	if req.Engine != EngineModel && req.Engine != EngineNative {
+		return fmt.Errorf("index: unknown engine %v", req.Engine)
 	}
 	if ix.PQ.M != layout.M || ix.PQ.KStar() != 256 {
 		return fmt.Errorf("index: scan kernels require PQ 8x8, index uses %v", ix.PQ.Config)
@@ -77,7 +86,7 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 
 	if nprobe == 1 {
 		part := ix.RoutePartition(req.Query)
-		res, stats, err := ix.SearchPartition(req.Query, req.K, req.Kernel, part)
+		res, stats, err := ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, part)
 		if err != nil {
 			return nil, err
 		}
@@ -96,13 +105,21 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 	}
 	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
 
+	if req.Parallel {
+		ids := make([]int, nprobe)
+		for i, c := range cells[:nprobe] {
+			ids[i] = c.id
+		}
+		return ix.queryParallel(ctx, req, ids)
+	}
+
 	heap := topk.New(req.K)
 	resp := &Response{Partitions: make([]int, 0, nprobe)}
 	for _, c := range cells[:nprobe] {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, s, err := ix.SearchPartition(req.Query, req.K, req.Kernel, c.id)
+		res, s, err := ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, c.id)
 		if err != nil {
 			return nil, err
 		}
@@ -111,6 +128,46 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 		}
 		resp.Stats.Merge(s)
 		resp.Partitions = append(resp.Partitions, c.id)
+	}
+	resp.Results = heap.Results()
+	return resp, nil
+}
+
+// queryParallel scans the probed cells of one query concurrently — the
+// cross-partition parallelism extension of internal/par beyond its
+// construction-time use. Each cell runs on its own goroutine (par.For
+// caps concurrency at GOMAXPROCS); per-cell results are merged
+// sequentially in cell-visit order afterwards, so Results and Stats are
+// byte-identical to the sequential multi-probe path: the retained set of
+// a bounded heap is the k smallest (distance, id) pairs regardless of
+// push order, and stats (float64 op sums included) accumulate in the
+// deterministic cell order.
+func (ix *Index) queryParallel(ctx context.Context, req Request, cellIDs []int) (*Response, error) {
+	type partial struct {
+		res []Result
+		s   scan.Stats
+		err error
+	}
+	parts := make([]partial, len(cellIDs))
+	par.For(len(cellIDs), func(i int) {
+		if err := ctx.Err(); err != nil {
+			parts[i].err = err
+			return
+		}
+		parts[i].res, parts[i].s, parts[i].err =
+			ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, cellIDs[i])
+	})
+	heap := topk.New(req.K)
+	resp := &Response{Partitions: make([]int, 0, len(cellIDs))}
+	for i, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, r := range p.res {
+			heap.Push(r.ID, r.Distance)
+		}
+		resp.Stats.Merge(p.s)
+		resp.Partitions = append(resp.Partitions, cellIDs[i])
 	}
 	resp.Results = heap.Results()
 	return resp, nil
@@ -137,6 +194,10 @@ func (ix *Index) QueryBatch(ctx context.Context, queries vec.Matrix, req Request
 			}
 		}
 	}
+	// The batch already runs one worker per core; per-query partition
+	// parallelism on top would only oversubscribe the scheduler, so it
+	// is dropped here (results are identical either way).
+	req.Parallel = false
 	n := queries.Rows()
 	out := make([]*Response, n)
 	errs := make([]error, n)

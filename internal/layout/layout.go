@@ -114,6 +114,20 @@ type Group struct {
 	Count      int                       // number of vectors in the group
 	BlockStart int                       // index of the group's first block
 	BlockCount int                       // number of 16-vector blocks
+
+	// NibbleMask[j] records, for grouped component j < C, which low
+	// nibbles occur among the group's members (bit v set iff some member
+	// has code[j] & 0x0f == v). It is the support of the group's
+	// per-component distance-table portion minima: the minimum table
+	// entry any member can contribute for component j is the minimum of
+	// portion Key[j] restricted to set nibbles. Precomputed here at
+	// build time (and kept current by Append) so the group-ordering
+	// extension estimates per-group lower bounds without rescanning full
+	// 16-entry portions of the distance tables on every query. Deletes
+	// are tombstones unknown to the layout, so the mask may be a
+	// superset of the live members — the estimate stays a valid lower
+	// bound.
+	NibbleMask [MaxGroupComponents]uint16
 }
 
 // Grouped is the PQ Fast Scan database layout.
@@ -195,6 +209,11 @@ func NewGrouped(codes []uint8, ids []int64, c int) (*Grouped, error) {
 		for j := c - 1; j >= 0; j-- {
 			grp.Key[j] = uint8(k & 0x0f)
 			k >>= 4
+		}
+		for pos := start; pos < end; pos++ {
+			for j := 0; j < c; j++ {
+				grp.NibbleMask[j] |= 1 << (g.Codes[pos*M+j] & 0x0f)
+			}
 		}
 		g.Groups = append(g.Groups, grp)
 		start = end
@@ -315,6 +334,9 @@ func (g *Grouped) Append(code []uint8, id int64) {
 		blockAt = g.Groups[gi].BlockStart + g.Groups[gi].BlockCount
 	}
 	grp := &g.Groups[gi]
+	for j := 0; j < g.C; j++ {
+		grp.NibbleMask[j] |= 1 << (code[j] & 0x0f)
+	}
 
 	// Splice a fresh all-padding block when the group has no free lane.
 	lane := grp.Count % BlockVectors

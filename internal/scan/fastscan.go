@@ -3,7 +3,8 @@ package scan
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"pqfastscan/internal/layout"
 	"pqfastscan/internal/perf"
@@ -120,21 +121,42 @@ func (fs *FastScan) Append(codes []uint8, ids []int64) {
 // groupVisitOrder returns the order groups are scanned in: database
 // (key) order by default, or — with the OrderGroups extension — ascending
 // by a conservative per-group distance estimate: the sum of each grouped
-// component's portion minimum plus each ungrouped component's global
-// table minimum. The estimate lower-bounds every member's ADC distance,
-// so visiting small-estimate groups first front-loads the true nearest
+// component's portion minimum over the nibbles actually present in the
+// group (the NibbleMask support precomputed by layout.NewGrouped and
+// maintained by Append) plus each ungrouped component's global table
+// minimum. The estimate lower-bounds every member's ADC distance, so
+// visiting small-estimate groups first front-loads the true nearest
 // neighbors and tightens the pruning threshold early.
-func (fs *FastScan) groupVisitOrder(t quantizer.Tables) []int {
+//
+// Cost per query: one pass over the first c distance-table rows builds
+// the 16 full-portion minima per component, after which every group with
+// a saturated mask is estimated in O(c); sparse groups read only their
+// popcount(mask) present entries. Before the masks existed every group
+// rescanned its full 16-entry portions.
+//
+// sc, when non-nil, provides reusable order/estimate buffers (the native
+// engine's allocation-free path). Both engines call this same function,
+// so the visit order — and therefore pruning behaviour — is identical
+// across engines.
+func (fs *FastScan) groupVisitOrder(t quantizer.Tables, sc *Scratch) []int {
 	g := fs.grouped
-	order := make([]int, len(g.Groups))
+	var order []int
+	var est []float64
+	if sc != nil {
+		sc.order = growSlice(sc.order, len(g.Groups))
+		sc.est = growSlice(sc.est, len(g.Groups))
+		order, est = sc.order, sc.est
+	} else {
+		order = make([]int, len(g.Groups))
+		est = make([]float64, len(g.Groups))
+	}
 	for i := range order {
 		order[i] = i
 	}
 	if !fs.orderGroups {
 		return order
 	}
-	est := make([]float64, len(g.Groups))
-	var globalMin [M]float64
+	base := 0.0
 	for j := fs.c; j < M; j++ {
 		row := t.Row(j)
 		m := float64(row[0])
@@ -143,26 +165,53 @@ func (fs *FastScan) groupVisitOrder(t quantizer.Tables) []int {
 				m = float64(v)
 			}
 		}
-		globalMin[j] = m
+		base += m
 	}
-	for gi, grp := range g.Groups {
-		e := 0.0
-		for j := 0; j < fs.c; j++ {
-			row := t.Row(j)[int(grp.Key[j])*16 : int(grp.Key[j])*16+16]
-			m := float64(row[0])
-			for _, v := range row[1:] {
+	// Full-portion minima per grouped component, shared by every group
+	// whose nibble support is saturated.
+	var pmins [layout.MaxGroupComponents][16]float64
+	for j := 0; j < fs.c; j++ {
+		row := t.Row(j)
+		for h := 0; h < 16; h++ {
+			m := float64(row[h*16])
+			for _, v := range row[h*16+1 : h*16+16] {
 				if float64(v) < m {
 					m = float64(v)
 				}
 			}
-			e += m
+			pmins[j][h] = m
 		}
-		for j := fs.c; j < M; j++ {
-			e += globalMin[j]
+	}
+	for gi := range g.Groups {
+		grp := &g.Groups[gi]
+		e := base
+		for j := 0; j < fs.c; j++ {
+			if mask := grp.NibbleMask[j]; mask == 0xffff {
+				e += pmins[j][grp.Key[j]]
+			} else {
+				row := t.Row(j)[int(grp.Key[j])*16 : int(grp.Key[j])*16+16]
+				m := math.Inf(1)
+				for ; mask != 0; mask &= mask - 1 {
+					if v := float64(row[bits.TrailingZeros16(mask)]); v < m {
+						m = v
+					}
+				}
+				e += m
+			}
 		}
 		est[gi] = e
 	}
-	sort.Slice(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })
+	// Equal estimates tie-break on group index: a canonical total order,
+	// so the visit order is identical however the sort is implemented.
+	slices.SortFunc(order, func(a, b int) int {
+		if est[a] != est[b] {
+			if est[a] < est[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
 	return order
 }
 
@@ -191,16 +240,21 @@ func newDistQuantizer(qmin, qmax float32) distQuantizer {
 }
 
 // quantize returns the bin of v, guaranteeing v >= qmin + bin·delta.
+//
+// The bin is the closed-form floor of (v-qmin)/delta with a single
+// one-step correction: float64 rounding in the subtraction and division
+// can push the computed ratio past an integer boundary, but the combined
+// relative error is far below one bin at any representable ratio <= 127,
+// so the floor overshoots the contract-satisfying bin by at most one.
 func (q distQuantizer) quantize(v float32) uint8 {
 	if math.IsInf(q.delta, 1) {
 		return 0
 	}
-	x := (float64(v) - q.qmin) / q.delta
-	n := int(math.Floor(x))
+	n := int(math.Floor((float64(v) - q.qmin) / q.delta))
 	if n > 127 {
 		return 127
 	}
-	for n > 0 && q.qmin+float64(n)*q.delta > float64(v) {
+	if n > 0 && q.qmin+float64(n)*q.delta > float64(v) {
 		n--
 	}
 	if n < 0 {
@@ -343,7 +397,7 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 		ScalarBranch: 2,
 	}
 
-	groupOrder := fs.groupVisitOrder(t)
+	groupOrder := fs.groupVisitOrder(t, nil)
 	hasDead := fs.part.HasDead()
 
 	for _, gi := range groupOrder {

@@ -46,7 +46,7 @@ func (fs *FastScan) Scan256(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	thrReg := simd.Broadcast256(uint8(t8))
 
 	g := fs.grouped
-	groupOrder := fs.groupVisitOrder(t)
+	groupOrder := fs.groupVisitOrder(t, nil)
 	hasDead := fs.part.HasDead()
 	var groupTables256 [layout.MaxGroupComponents]simd.Reg256
 	var nibblesLo, nibblesHi [layout.BlockVectors]uint8

@@ -1,0 +1,485 @@
+// Native execution engine.
+//
+// The kernels of fastscan.go and scan.go execute §4's algorithm through
+// internal/simd, a bit-exact software model of the SSSE3 register file:
+// ideal for the instruction-counting argument priced by internal/perf,
+// but every modeled pshufb or paddsb is a 16-iteration Go loop behind a
+// function call — orders of magnitude slower than the hardware it
+// stands in for. This file is the second engine: the same algorithm
+// (small-table lookups, saturating 8-bit accumulation, qsat-vs-threshold
+// pruning, keep phase, group ordering) implemented with real Go
+// performance techniques — uint64 SWAR words carrying 8 byte-lanes
+// through the add/compare/movemask pipeline, flat table arrays, hoisted
+// bounds checks, no per-operation function calls, and reusable Scratch
+// buffers so the steady-state scan loop allocates nothing.
+//
+// Both engines share every decision input (quantizer, thresholds, group
+// visit order, exact re-check arithmetic), so their result sets are
+// bit-identical — the DESIGN.md §6 exactness invariant extended across
+// engines ("Two engines, one algorithm", DESIGN.md §9). The model path
+// remains the metrology reference: only it counts Stats.Ops.
+package scan
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/topk"
+)
+
+// SWAR constants: eight byte-lanes per uint64 word, lane 0 in the least
+// significant byte (x86 memory order, matching simd.Reg.Words).
+const (
+	swarHighBits = 0x8080808080808080 // bit 7 of every lane
+	swarOnes     = 0x0101010101010101 // 1 in every lane
+	// swarMovemaskMul gathers the lane-0..7 low bits (after >>7) into
+	// the top byte: with one bit per lane the per-byte partial sums of
+	// the multiplication stay below 256, so no carry crosses a lane and
+	// the top byte is exactly Σ bit_i·2^i (pmovmskb).
+	swarMovemaskMul = 0x0102040810204080
+)
+
+// swarAddSat127 adds two SWAR words lane-wise, saturating every lane at
+// 127. Both operands must hold lanes in [0, 127] — the invariant of the
+// quantized-distance pipeline (quantize emits bins 0..127 and saturated
+// sums stay in range) — so the plain uint64 addition cannot carry across
+// lanes (max 254) and signed saturating addition (paddsb) degenerates to
+// min(a+b, 127), which is what the bit-trick computes: lanes whose bit 7
+// is set after the add are forced to 0x7f.
+func swarAddSat127(a, b uint64) uint64 {
+	s := a + b
+	over := s & swarHighBits
+	return (s | ((over >> 7) * 0x7f)) &^ over
+}
+
+// swarGtAddend returns the word to add lane-wise so that bit 7 of a lane
+// becomes the acc > t8 test: with acc in [0, 127] and t8 in [0, 127],
+// acc + (127 - t8) >= 128 iff acc > t8, and the sum (<= 254) never
+// carries across lanes. Negative t8 is handled by the caller (every lane
+// is then above threshold).
+func swarGtAddend(t8 int8) uint64 {
+	return uint64(127-uint8(t8)) * swarOnes
+}
+
+// swarMovemask extracts bit 7 of each of the eight lanes into a compact
+// 8-bit mask, bit i for lane i (pmovmskb over one word).
+func swarMovemask(x uint64) uint32 {
+	return uint32((((x & swarHighBits) >> 7) * swarMovemaskMul) >> 56)
+}
+
+// 16-bit-lane SWAR constants for the pair-LUT block pipeline: four
+// 16-bit lanes per uint64 word.
+const (
+	swar16HighBits = 0x8000800080008000 // bit 15 of every 16-bit lane
+	swar16Ones     = 0x0001000100010001 // 1 in every 16-bit lane
+	// swar16MovemaskMul gathers the four lane bits (after >>15, at word
+	// positions 0, 16, 32, 48) into bits 48..51: the 16 partial-product
+	// positions 16i + (48 - 15j) are pairwise distinct, so no carries,
+	// and the i == j terms land exactly at 48 + i.
+	swar16MovemaskMul = 0x0001000200040008
+)
+
+// swarMovemask16 extracts bit 15 of each of the four 16-bit lanes into a
+// 4-bit mask, bit i for lane i.
+func swarMovemask16(x uint64) uint32 {
+	return uint32((((x&swar16HighBits)>>15)*swar16MovemaskMul)>>48) & 0xf
+}
+
+// ulutSize is the span of the ungrouped pair-LUT index (wa>>shift &
+// 0x0f0f): two high nibbles, 8 bits apart. Only the 256 indexes of that
+// form are ever written or read; the gaps are dead space traded for a
+// mask-only index computation.
+const ulutSize = 0x0f0f + 1
+
+// nativeLUTMinVectors gates the pair-LUT block pipeline: building the
+// per-query pair tables costs ~10k stores, which only amortizes over
+// enough blocks. Below the gate the byte-lane saturating SWAR pipeline
+// runs instead; both pipelines produce identical lower bounds and masks.
+// A variable so tests can force either path.
+var nativeLUTMinVectors = 4096
+
+// Scratch holds the reusable per-searcher buffers of the native engine:
+// the top-k heap, the sorted-results buffer, and the group-ordering
+// order/estimate arrays. Reusing one Scratch across queries keeps the
+// steady-state scan loop at zero allocations; a Scratch must not be
+// shared between concurrent scans. Passing nil to the native entry
+// points allocates a transient one.
+//
+// Result slices returned by native scans alias sc.results and are
+// overwritten by the next scan through the same Scratch; callers that
+// retain results across queries must copy them out.
+type Scratch struct {
+	heap    *topk.Heap
+	results []topk.Result
+	order   []int
+	est     []float64
+	glut    []uint32 // grouped-component pair LUTs, c x 16 keys x 256
+	ulut    []uint32 // ungrouped-component pair LUTs, (M-c) x ulutSize
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use and are
+// reused afterwards.
+func NewScratch() *Scratch { return &Scratch{heap: topk.New(1)} }
+
+// growSlice returns s resized to n elements, reusing its backing array
+// when possible. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// ScanNative runs PQ Fast Scan for the query on the native engine,
+// returning the k nearest neighbors — bit-identical to Scan, Scan256 and
+// the PQ Scan kernels — and the dynamic vector/block statistics of the
+// run (Stats.Ops stays zero; only the model engine counts instructions).
+//
+// The inner loop lower-bounds one 16-vector block per iteration in two
+// uint64 SWAR words: per component, 16 small-table lookups assembled
+// directly into the words, then a saturating lane-wise add; one
+// compare-against-threshold add and two movemasks close the block. On a
+// 64-bit machine this is the closest Go analogue of the paper's
+// pshufb/paddsb/pcmpgtb/pmovmskb pipeline.
+func (fs *FastScan) ScanNative(t quantizer.Tables, k int, sc *Scratch) ([]topk.Result, Stats) {
+	check8x8(t)
+	if sc == nil {
+		sc = NewScratch()
+	}
+	heap := sc.heap
+	heap.Reset(k)
+	stats := Stats{Scanned: fs.part.N, KeepScanned: fs.keepN}
+
+	// Phase 1 (§4.4): keep region, same arithmetic as the model path.
+	libpqRange(fs.part, 0, fs.keepN, t, heap)
+
+	qmin := t.Min()
+	qmax := t.MaxSum()
+	if thr, ok := heap.Threshold(); ok {
+		qmax = thr
+	} else if worst, ok := heap.Worst(); ok {
+		qmax = worst
+	}
+	dq := newDistQuantizer(qmin, qmax)
+
+	// Phase 2: query-lifetime minimum tables, flattened to plain arrays.
+	st := buildMinTables(t, fs.c, dq)
+
+	thrVal, haveThr := heap.Threshold()
+	t8 := dq.pruneThreshold(thrVal, haveThr)
+
+	g := fs.grouped
+	groupOrder := fs.groupVisitOrder(t, sc)
+	hasDead := fs.part.HasDead()
+
+	c := fs.c
+	bb := g.BlockSize()
+	blocks := g.Blocks
+	ids := g.IDs
+	gcodes := g.Codes
+
+	// Quantize the first c distance-table rows once per query; every
+	// group's small tables S_0..S_{C-1} are then 16-entry windows into
+	// these rows (entry values identical to the model's per-group
+	// buildGroupTable calls, which quantize the same floats with the
+	// same quantizer — the model keeps rebuilding per group because
+	// that is the instruction stream it meters).
+	var qrows [layout.MaxGroupComponents][256]uint8
+	for j := 0; j < c; j++ {
+		row := t.Row(j)
+		for i, v := range row {
+			qrows[j][i] = dq.quantize(v)
+		}
+	}
+
+	// Above the gate, build the per-query pair LUTs: one load then
+	// resolves TWO lanes of a block at once. Grouped components index by
+	// (group key, packed byte) — a packed byte is exactly two lanes' low
+	// nibbles; ungrouped components index by the two-high-nibbles
+	// pattern (w >> s) & 0x0f0f of adjacent code bytes. Each entry packs
+	// the two looked-up quantized values at bits 0 and 16, feeding the
+	// 16-bit-lane accumulators below.
+	useLUT := g.N >= nativeLUTMinVectors
+	if useLUT {
+		sc.glut = growSlice(sc.glut, c*16*256)
+		for j := 0; j < c; j++ {
+			q := &qrows[j]
+			dst := sc.glut[j*16*256 : (j+1)*16*256 : (j+1)*16*256]
+			for key := 0; key < 16; key++ {
+				tab := q[key*16 : key*16+16 : key*16+16]
+				base := key << 8
+				for hiN := 0; hiN < 16; hiN++ {
+					vhi := uint32(tab[hiN]) << 16
+					for loN := 0; loN < 16; loN++ {
+						dst[base|hiN<<4|loN] = uint32(tab[loN]) | vhi
+					}
+				}
+			}
+		}
+		sc.ulut = growSlice(sc.ulut, (M-c)*ulutSize)
+		for j := c; j < M; j++ {
+			mt := &st.minTables[j]
+			dst := sc.ulut[(j-c)*ulutSize : (j-c+1)*ulutSize : (j-c+1)*ulutSize]
+			for hiN := 0; hiN < 16; hiN++ {
+				vhi := uint32(mt[hiN]) << 16
+				for loN := 0; loN < 16; loN++ {
+					dst[hiN<<8|loN] = uint32(mt[loN]) | vhi
+				}
+			}
+		}
+	}
+	var ungroupLUTs [M]*[ulutSize]uint32
+	if useLUT {
+		for j := c; j < M; j++ {
+			ungroupLUTs[j] = (*[ulutSize]uint32)(sc.ulut[(j-c)*ulutSize : (j-c+1)*ulutSize])
+		}
+	}
+
+	// simd.Reg is a flat [16]uint8, so the model's min-table builder
+	// feeds the native lookup loop without conversion.
+	var groupTables [layout.MaxGroupComponents]*[16]uint8
+	var groupLUTs [layout.MaxGroupComponents]*[256]uint32
+	minTables := &st.minTables
+
+	for _, gi := range groupOrder {
+		grp := &g.Groups[gi]
+		stats.Groups++
+		if useLUT {
+			for j := 0; j < c; j++ {
+				off := j*16*256 + int(grp.Key[j])<<8
+				groupLUTs[j] = (*[256]uint32)(sc.glut[off : off+256])
+			}
+		} else {
+			for j := 0; j < c; j++ {
+				groupTables[j] = (*[16]uint8)(qrows[j][int(grp.Key[j])*16 : int(grp.Key[j])*16+16])
+			}
+		}
+
+		blockBase := grp.BlockStart * bb
+		for b := 0; b < grp.BlockCount; b++ {
+			stats.Blocks++
+			blk := blocks[blockBase+b*bb : blockBase+(b+1)*bb : blockBase+(b+1)*bb]
+
+			var prunedMask uint32
+			if useLUT {
+				// Pair-LUT pipeline: four 16-bit lanes per word (a0:
+				// lanes 0-3 ... a3: lanes 12-15), one LUT load per lane
+				// PAIR. Accumulation is plain addition — all addends are
+				// in [0, 127], so lane sums stay below 1016 and never
+				// carry; min(sum, 127) > t8 is then equivalent to
+				// sum > t8 for every reachable threshold (t8 <= 126),
+				// the t8 == 127 no-pruning case being handled explicitly
+				// — decisions identical to the saturating model.
+				var a0, a1, a2, a3 uint64
+				first := true
+				for j := 0; j < c; j++ {
+					lk := groupLUTs[j]
+					wp := leUint64(blk[j*8 : j*8+8])
+					w0 := uint64(lk[wp&0xff]) | uint64(lk[wp>>8&0xff])<<32
+					w1 := uint64(lk[wp>>16&0xff]) | uint64(lk[wp>>24&0xff])<<32
+					w2 := uint64(lk[wp>>32&0xff]) | uint64(lk[wp>>40&0xff])<<32
+					w3 := uint64(lk[wp>>48&0xff]) | uint64(lk[wp>>56])<<32
+					if first {
+						a0, a1, a2, a3 = w0, w1, w2, w3
+						first = false
+					} else {
+						a0 += w0
+						a1 += w1
+						a2 += w2
+						a3 += w3
+					}
+				}
+				off := c * 8
+				for j := c; j < M; j++ {
+					ul := ungroupLUTs[j]
+					wa := leUint64(blk[off : off+8])
+					wb := leUint64(blk[off+8 : off+16])
+					off += 16
+					w0 := uint64(ul[wa>>4&0x0f0f]) | uint64(ul[wa>>20&0x0f0f])<<32
+					w1 := uint64(ul[wa>>36&0x0f0f]) | uint64(ul[wa>>52&0x0f0f])<<32
+					w2 := uint64(ul[wb>>4&0x0f0f]) | uint64(ul[wb>>20&0x0f0f])<<32
+					w3 := uint64(ul[wb>>36&0x0f0f]) | uint64(ul[wb>>52&0x0f0f])<<32
+					if first {
+						a0, a1, a2, a3 = w0, w1, w2, w3
+						first = false
+					} else {
+						a0 += w0
+						a1 += w1
+						a2 += w2
+						a3 += w3
+					}
+				}
+				switch {
+				case t8 < 0:
+					prunedMask = 0xffff
+				case t8 == 127:
+					prunedMask = 0
+				default:
+					// Lane sums <= 1016, addend <= 0x7fff: no carry, and
+					// bit 15 of a lane is set iff sum > t8.
+					add := (0x7fff - uint64(uint8(t8))) * swar16Ones
+					prunedMask = swarMovemask16(a0+add) | swarMovemask16(a1+add)<<4 |
+						swarMovemask16(a2+add)<<8 | swarMovemask16(a3+add)<<12
+				}
+			} else {
+				// Byte-lane saturating SWAR pipeline (§4.5): lanes 0-7
+				// in lo, 8-15 in hi, one lookup per lane, saturating
+				// lane-wise adds — the direct Go analogue of the
+				// pshufb/paddsb/pcmpgtb/pmovmskb sequence.
+				var lo, hi uint64
+				first := true
+				for j := 0; j < c; j++ {
+					tab := groupTables[j]
+					// Packed nibbles: bits 4i..4i+3 of the word are
+					// lane i's low nibble.
+					wp := leUint64(blk[j*8 : j*8+8])
+					w0 := uint64(tab[wp&15]) | uint64(tab[wp>>4&15])<<8 |
+						uint64(tab[wp>>8&15])<<16 | uint64(tab[wp>>12&15])<<24 |
+						uint64(tab[wp>>16&15])<<32 | uint64(tab[wp>>20&15])<<40 |
+						uint64(tab[wp>>24&15])<<48 | uint64(tab[wp>>28&15])<<56
+					w1 := uint64(tab[wp>>32&15]) | uint64(tab[wp>>36&15])<<8 |
+						uint64(tab[wp>>40&15])<<16 | uint64(tab[wp>>44&15])<<24 |
+						uint64(tab[wp>>48&15])<<32 | uint64(tab[wp>>52&15])<<40 |
+						uint64(tab[wp>>56&15])<<48 | uint64(tab[wp>>60&15])<<56
+					if first {
+						lo, hi = w0, w1
+						first = false
+					} else {
+						lo = swarAddSat127(lo, w0)
+						hi = swarAddSat127(hi, w1)
+					}
+				}
+				off := c * 8
+				for j := c; j < M; j++ {
+					mt := &minTables[j]
+					// Full bytes: lanes 0-7 and 8-15 in two words; the
+					// minimum tables index on each byte's high nibble.
+					wa := leUint64(blk[off : off+8])
+					wb := leUint64(blk[off+8 : off+16])
+					off += 16
+					w0 := uint64(mt[wa>>4&15]) | uint64(mt[wa>>12&15])<<8 |
+						uint64(mt[wa>>20&15])<<16 | uint64(mt[wa>>28&15])<<24 |
+						uint64(mt[wa>>36&15])<<32 | uint64(mt[wa>>44&15])<<40 |
+						uint64(mt[wa>>52&15])<<48 | uint64(mt[wa>>60&15])<<56
+					w1 := uint64(mt[wb>>4&15]) | uint64(mt[wb>>12&15])<<8 |
+						uint64(mt[wb>>20&15])<<16 | uint64(mt[wb>>28&15])<<24 |
+						uint64(mt[wb>>36&15])<<32 | uint64(mt[wb>>44&15])<<40 |
+						uint64(mt[wb>>52&15])<<48 | uint64(mt[wb>>60&15])<<56
+					if first {
+						lo, hi = w0, w1
+						first = false
+					} else {
+						lo = swarAddSat127(lo, w0)
+						hi = swarAddSat127(hi, w1)
+					}
+				}
+
+				// Lanes with acc > t8 are pruned (Figure 6).
+				if t8 < 0 {
+					prunedMask = 0xffff
+				} else {
+					add := swarGtAddend(t8)
+					prunedMask = swarMovemask(lo+add) | swarMovemask(hi+add)<<8
+				}
+			}
+
+			base := grp.Start + b*layout.BlockVectors
+			valid := grp.Count - b*layout.BlockVectors
+			if valid > layout.BlockVectors {
+				valid = layout.BlockVectors
+			}
+			stats.LowerBounds += valid
+			live := ^prunedMask & (1<<valid - 1)
+			if live == 0 {
+				stats.Pruned += valid
+				continue
+			}
+			stats.Pruned += valid - bits.OnesCount32(live)
+			// Surviving lanes in ascending order (the model's lane loop
+			// visits them the same way, so the heap evolves identically).
+			for ; live != 0; live &= live - 1 {
+				pos := base + bits.TrailingZeros32(live)
+				if hasDead && fs.part.IsDead(ids[pos]) {
+					stats.Pruned++
+					continue
+				}
+				// Exact re-check (right-hand path of Figure 6), then
+				// threshold refresh — identical to the model path.
+				stats.Candidates++
+				d := adc8(gcodes[pos*M:pos*M+M], t)
+				if heap.Push(ids[pos], d) {
+					if thr, ok := heap.Threshold(); ok {
+						t8 = dq.pruneThreshold(thr, true)
+					}
+				}
+			}
+		}
+	}
+	sc.results = heap.AppendResults(sc.results[:0])
+	return sc.results, stats
+}
+
+// leUint64 loads 8 little-endian bytes as one word; the gc compiler
+// recognizes the stdlib call and emits a single MOVQ.
+func leUint64(b []byte) uint64 {
+	return binary.LittleEndian.Uint64(b)
+}
+
+// ExactNative is the native engine's exact PQ Scan: one tuned
+// implementation serving the naive, libpq, avx and gather kernel
+// selections, which differ only in modeled cost, not results. The loop
+// accumulates the same float32 table entries in the same j = 0..7 order
+// as every other kernel (bit-identical results) with hoisted table rows,
+// bounds-check-free row indexing (a uint8 index into a 256-entry row)
+// and a local threshold that skips the heap call for vectors that cannot
+// be retained.
+func ExactNative(p *Partition, t quantizer.Tables, k int, sc *Scratch) ([]topk.Result, Stats) {
+	check8x8(t)
+	if sc == nil {
+		sc = NewScratch()
+	}
+	heap := sc.heap
+	heap.Reset(k)
+	stats := Stats{Scanned: p.N}
+
+	td := t.Data
+	t0 := td[0*256 : 1*256 : 1*256]
+	t1 := td[1*256 : 2*256 : 2*256]
+	t2 := td[2*256 : 3*256 : 3*256]
+	t3 := td[3*256 : 4*256 : 4*256]
+	t4 := td[4*256 : 5*256 : 5*256]
+	t5 := td[5*256 : 6*256 : 6*256]
+	t6 := td[6*256 : 7*256 : 7*256]
+	t7 := td[7*256 : 8*256 : 8*256]
+
+	codes, ids := p.Codes, p.IDs
+	hasDead := p.HasDead()
+	var thr float32
+	full := false
+	for i := 0; i < p.N; i++ {
+		id := int64(i)
+		if ids != nil {
+			id = ids[i]
+		}
+		if hasDead && p.IsDead(id) {
+			continue
+		}
+		cd := codes[i*M : i*M+M : i*M+M]
+		d := t0[cd[0]] + t1[cd[1]] + t2[cd[2]] + t3[cd[3]] +
+			t4[cd[4]] + t5[cd[5]] + t6[cd[6]] + t7[cd[7]]
+		// d > thr cannot displace a retained neighbor (ties go through
+		// Push for the deterministic id-order rule).
+		if full && d > thr {
+			continue
+		}
+		if heap.Push(id, d) {
+			if v, ok := heap.Threshold(); ok {
+				thr, full = v, true
+			}
+		}
+	}
+	sc.results = heap.AppendResults(sc.results[:0])
+	return sc.results, stats
+}

@@ -276,10 +276,14 @@ func Libpq(p *Partition, t quantizer.Tables, k int) ([]topk.Result, Stats) {
 
 // libpqRange scans positions [lo, hi) of the partition into heap, the
 // shared exact-scan path also used by FastScan's keep phase. Tombstoned
-// vectors are skipped.
+// vectors are skipped. A local copy of the heap threshold gates the Push
+// call: a distance strictly above the full heap's root cannot be
+// retained, so skipping the call changes nothing (ties still go through
+// Push for the deterministic id-order rule).
 func libpqRange(p *Partition, lo, hi int, t quantizer.Tables, heap *topk.Heap) {
 	codes, ids := p.Codes, p.IDs
 	hasDead := p.HasDead()
+	thr, full := heap.Threshold()
 	for i := lo; i < hi; i++ {
 		id := int64(i)
 		if ids != nil {
@@ -297,7 +301,14 @@ func libpqRange(p *Partition, lo, hi int, t quantizer.Tables, heap *topk.Heap) {
 		d += t.Data[5*256+int(word>>40&0xff)]
 		d += t.Data[6*256+int(word>>48&0xff)]
 		d += t.Data[7*256+int(word>>56&0xff)]
-		heap.Push(id, d)
+		if full && d > thr {
+			continue
+		}
+		if heap.Push(id, d) {
+			if v, ok := heap.Threshold(); ok {
+				thr, full = v, true
+			}
+		}
 	}
 }
 

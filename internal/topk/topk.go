@@ -13,7 +13,7 @@
 // exactness invariant of DESIGN.md §6.
 package topk
 
-import "sort"
+import "slices"
 
 // Result is one neighbor candidate.
 type Result struct {
@@ -38,6 +38,22 @@ func New(k int) *Heap {
 
 // K returns the heap capacity.
 func (h *Heap) K() int { return h.k }
+
+// Reset reinitializes the heap for a new query retaining the k best
+// results, reusing the backing array when it is large enough. It is the
+// allocation-free counterpart of New for callers that run many queries
+// through per-searcher scratch state (the native execution engine).
+func (h *Heap) Reset(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	h.k = k
+	if cap(h.items) < k {
+		h.items = make([]Result, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
+}
 
 // Len returns the number of results currently held.
 func (h *Heap) Len() int { return len(h.items) }
@@ -151,13 +167,29 @@ func (h *Heap) siftDown(i int) {
 // Results returns the retained results sorted by ascending distance
 // (ties by ascending id). The heap is unchanged.
 func (h *Heap) Results() []Result {
-	out := make([]Result, len(h.items))
-	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
+	return h.AppendResults(nil)
+}
+
+// AppendResults appends the sorted results to dst (which may be a reused
+// buffer, typically dst[:0]) and returns the extended slice. The heap is
+// unchanged. Like Results but allocation-free once dst has capacity.
+func (h *Heap) AppendResults(dst []Result) []Result {
+	start := len(dst)
+	dst = append(dst, h.items...)
+	slices.SortFunc(dst[start:], func(a, b Result) int {
+		if a.Distance != b.Distance {
+			if a.Distance < b.Distance {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		if a.ID != b.ID {
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	return out
+	return dst
 }

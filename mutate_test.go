@@ -189,6 +189,83 @@ func TestMutatedIndexMultiProbeAndBatch(t *testing.T) {
 	}
 }
 
+// TestMutationInterleavedEnginesAgree drives the index through rounds of
+// interleaved Add/Delete/Search and, inside every round, checks the
+// native and model engines answer every kernel bit-identically — the
+// cross-engine exactness invariant under online mutation, where the
+// incremental group repacking (and its NibbleMask maintenance) is the
+// state both engines scan.
+func TestMutationInterleavedEnginesAgree(t *testing.T) {
+	ctx := context.Background()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 777, Dim: 48})
+	learn := gen.Generate(2500)
+	base := gen.Generate(9000)
+	queries := gen.Generate(4)
+
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 3
+	opt.OrderGroups = true
+	opt.Seed = 5
+	idx, err := pqfastscan.Build(learn, base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force every partition's Fast Scan layout so Adds repack
+	// incrementally from round one.
+	if _, err := idx.Search(ctx, queries.Row(0), 5, pqfastscan.WithNProbe(opt.Partitions)); err != nil {
+		t.Fatal(err)
+	}
+
+	checkEnginesAgree := func(round int) {
+		t.Helper()
+		for _, kern := range allKernels() {
+			for qi := 0; qi < queries.Rows(); qi++ {
+				q := queries.Row(qi)
+				model, err := idx.Search(ctx, q, 20,
+					pqfastscan.WithKernel(kern), pqfastscan.WithEngine(pqfastscan.EngineModel),
+					pqfastscan.WithNProbe(opt.Partitions))
+				if err != nil {
+					t.Fatal(err)
+				}
+				native, err := idx.Search(ctx, q, 20,
+					pqfastscan.WithKernel(kern), pqfastscan.WithEngine(pqfastscan.EngineNative),
+					pqfastscan.WithNProbe(opt.Partitions))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range model.Results {
+					if model.Results[i] != native.Results[i] {
+						t.Fatalf("round %d kernel %v query %d rank %d: model %v native %v",
+							round, kern, qi, i, model.Results[i], native.Results[i])
+					}
+				}
+			}
+		}
+	}
+
+	nextDelete := int64(0)
+	total := int64(base.Rows())
+	for round := 0; round < 5; round++ {
+		// Add a batch, delete a stride (including some just-added ids),
+		// search between every step.
+		added, err := idx.AddBatch(gen.Generate(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(added))
+		checkEnginesAgree(round)
+		for ; nextDelete < total; nextDelete += 17 {
+			idx.Delete(nextDelete)
+		}
+		checkEnginesAgree(round)
+		if _, err := idx.Add(gen.Generate(1).Row(0)); err != nil {
+			t.Fatal(err)
+		}
+		total++
+		checkEnginesAgree(round)
+	}
+}
+
 // TestDeletedNeverReturned: no tombstoned id may appear in any kernel's
 // results, and deleted best matches actually disappear.
 func TestDeletedNeverReturned(t *testing.T) {

@@ -24,11 +24,15 @@
 //	...
 //	ids, err := idx.AddBatch(newVectors) // online ingestion, no rebuild
 //
-// Search takes functional options (WithKernel, WithNProbe, WithStats)
-// and honors context cancellation and deadlines; the index is mutable
-// online through Add, AddBatch and Delete. See the examples directory
-// for complete programs and DESIGN.md for the API shape, the mutation
-// semantics, the persist format, and the hardware-substitution notes.
+// Search takes functional options (WithKernel, WithEngine, WithNProbe,
+// WithParallel, WithStats) and honors context cancellation and
+// deadlines; the index is mutable online through Add, AddBatch and
+// Delete. Kernels run on one of two execution engines returning
+// bit-identical results: the native SWAR engine (default, fast on the
+// wall clock) and the instruction-counting model engine that powers
+// WithStats. See the examples directory for complete programs and
+// DESIGN.md for the API shape, the mutation semantics, the persist
+// format, and the two-engine design (§9).
 package pqfastscan
 
 import (
@@ -77,6 +81,17 @@ func Kernels() []Kernel {
 		KernelFastScan, KernelQuantOnly, KernelFastScan256,
 	}
 }
+
+// Engine selects the execution engine kernels run on. Both engines
+// implement the same algorithm and return bit-identical result sets
+// (DESIGN.md §9); EngineNative is fast on the wall clock, EngineModel is
+// the instruction-counting reference that powers WithStats.
+type Engine = index.Engine
+
+const (
+	EngineModel  = index.EngineModel
+	EngineNative = index.EngineNative
+)
 
 // ParseKernel resolves a kernel by its String name (the labels of the
 // paper's figures: naive, libpq, avx, gather, fastpq, quantonly,

@@ -22,19 +22,31 @@ type Searcher interface {
 }
 
 // SearchOption customizes one search; the zero configuration is the
-// paper's default (PQ Fast Scan, single-cell routing, no statistics).
+// default (PQ Fast Scan on the native engine, single-cell routing, no
+// statistics).
 type SearchOption func(*searchConfig)
 
 type searchConfig struct {
-	kernel Kernel
-	nprobe int
-	stats  bool
+	kernel    Kernel
+	engine    Engine
+	engineSet bool
+	nprobe    int
+	parallel  bool
+	stats     bool
 }
 
 // WithKernel selects the scan kernel. All kernels return identical
 // results; they differ only in cost.
 func WithKernel(k Kernel) SearchOption {
 	return func(c *searchConfig) { c.kernel = k }
+}
+
+// WithEngine selects the execution engine. EngineNative (the default) is
+// the wall-clock-fast SWAR implementation; EngineModel is the bit-exact
+// instruction-counting reference. Both return identical result sets —
+// see DESIGN.md §9, "Two engines, one algorithm".
+func WithEngine(e Engine) SearchOption {
+	return func(c *searchConfig) { c.engine = e; c.engineSet = true }
 }
 
 // WithNProbe scans the nprobe closest partitions and merges their
@@ -45,8 +57,22 @@ func WithNProbe(nprobe int) SearchOption {
 	return func(c *searchConfig) { c.nprobe = nprobe }
 }
 
+// WithParallel scans the probed partitions of a single query
+// concurrently (one goroutine per cell, capped at GOMAXPROCS) instead of
+// sequentially. Results and statistics are identical; only wall-clock
+// latency changes. It is opt-in because the paper measures single-core
+// scans, and it only engages when more than one partition is probed.
+// SearchBatch ignores it: the batch already runs one worker per core,
+// and nesting per-query parallelism would only oversubscribe.
+func WithParallel() SearchOption {
+	return func(c *searchConfig) { c.parallel = true }
+}
+
 // WithStats attaches the scan statistics (pruning power, operation
 // counts) to the SearchResult, for instrumentation and experiments.
+// Statistics imply the model engine — only it counts instructions — so
+// WithStats pins the search to EngineModel; combining it with an
+// explicit WithEngine(EngineNative) is rejected.
 func WithStats() SearchOption {
 	return func(c *searchConfig) { c.stats = true }
 }
@@ -73,7 +99,8 @@ func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...Sea
 		return nil, err
 	}
 	resp, err := ix.inner.Query(ctx, index.Request{
-		Query: query, K: k, Kernel: cfg.kernel, NProbe: cfg.nprobe,
+		Query: query, K: k, Kernel: cfg.kernel, Engine: cfg.engine,
+		NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -90,7 +117,8 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 		return nil, err
 	}
 	resps, err := ix.inner.QueryBatch(ctx, queries, index.Request{
-		K: k, Kernel: cfg.kernel, NProbe: cfg.nprobe,
+		K: k, Kernel: cfg.kernel, Engine: cfg.engine,
+		NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -103,14 +131,22 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 }
 
 // resolveOptions applies opts over the default configuration (PQ Fast
-// Scan, single-cell routing) and rejects values no search can honor.
+// Scan on the native engine, single-cell routing) and rejects values no
+// search can honor. WithStats pins the search to the model engine, the
+// only one that counts instructions.
 func resolveOptions(opts []SearchOption) (searchConfig, error) {
-	cfg := searchConfig{kernel: KernelFastScan, nprobe: 1}
+	cfg := searchConfig{kernel: KernelFastScan, engine: EngineNative, nprobe: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.nprobe < 1 {
 		return cfg, fmt.Errorf("pqfastscan: nprobe must be positive, got %d", cfg.nprobe)
+	}
+	if cfg.stats {
+		if cfg.engineSet && cfg.engine == EngineNative {
+			return cfg, fmt.Errorf("pqfastscan: WithStats requires the model engine (only it counts instructions); use WithEngine(EngineModel) or drop one of the options")
+		}
+		cfg.engine = EngineModel
 	}
 	return cfg, nil
 }
