@@ -230,3 +230,50 @@ func TestSearchHonorsContext(t *testing.T) {
 		t.Fatalf("canceled batch search returned %v", err)
 	}
 }
+
+// TestStatsWithParallel pins the defined semantics of combining
+// WithStats and WithParallel: the combination is supported, per-partition
+// counters are merged in deterministic cell-visit order after the
+// parallel workers join, and the attached statistics (operation counts
+// included) are identical to the sequential multi-probe scan's — never
+// racy, never silently disabled.
+func TestStatsWithParallel(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		seq, err := idx.Search(ctx, q, 10, pqfastscan.WithNProbe(4), pqfastscan.WithStats())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := idx.Search(ctx, q, 10,
+			pqfastscan.WithNProbe(4), pqfastscan.WithStats(), pqfastscan.WithParallel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResultSlices(t, "stats+parallel", seq.Results, par.Results)
+		if par.Stats == nil {
+			t.Fatal("WithParallel silently disabled stats collection")
+		}
+		if *par.Stats != *seq.Stats {
+			t.Fatalf("parallel stats differ from sequential:\n  par %+v\n  seq %+v", *par.Stats, *seq.Stats)
+		}
+		if par.Stats.Scanned == 0 || par.Stats.Ops.ScalarLoadF == 0 {
+			t.Fatalf("parallel stats counters empty: %+v", *par.Stats)
+		}
+	}
+
+	// The full triple with an explicit kernel works too, and still
+	// rejects the one genuinely contradictory combination.
+	q := queries.Row(0)
+	if _, err := idx.Search(ctx, q, 10, pqfastscan.WithKernel(pqfastscan.KernelNaive),
+		pqfastscan.WithNProbe(4), pqfastscan.WithStats(), pqfastscan.WithParallel()); err != nil {
+		t.Fatalf("kernel+nprobe+stats+parallel rejected: %v", err)
+	}
+	_, err := idx.Search(ctx, q, 10,
+		pqfastscan.WithEngine(pqfastscan.EngineNative), pqfastscan.WithStats(), pqfastscan.WithParallel())
+	if err == nil || !strings.Contains(err.Error(), "model engine") {
+		t.Fatalf("native+stats+parallel: got %v, want model-engine error", err)
+	}
+}

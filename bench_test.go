@@ -1,4 +1,4 @@
-package pqfastscan
+package pqfastscan_test
 
 // This file regenerates every table and figure of the paper's evaluation
 // section as testing.B benchmarks, one per experiment. The experiment

@@ -15,9 +15,22 @@
 // execution engines (model and native) over several partition sizes,
 // emitted as a machine-readable JSON report on stdout so the repository
 // can record a BENCH_*.json trajectory across PRs.
+//
+// -serve switches to served-throughput load generation against the
+// internal/server query service, reporting QPS and latency quantiles
+// (p50/p90/p99) as JSON. By default it self-hosts a server over a
+// synthetic index so the run is reproducible from one command; -serve-url
+// points it at an external pqserve instead. Combining -json -serve emits
+// one combined document with both the kernel numbers and the serving
+// numbers (the BENCH_pr3.json baseline format):
+//
+//	pqbench -serve
+//	pqbench -serve -serve-url http://localhost:8080
+//	pqbench -json -serve > BENCH_prN.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -39,23 +52,29 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "dataset and training seed")
 		baseN    = flag.Int("n", 0, "override base set size")
 		jsonOut  = flag.Bool("json", false, "run the wall-clock kernel benchmarks (both engines) and emit JSON on stdout")
-		jsonK    = flag.Int("k", 100, "top-k for -json benchmarks")
+		jsonK    = flag.Int("k", 100, "top-k for -json and -serve benchmarks")
 		jsonSize = flag.String("sizes", "10000,100000", "comma-separated partition sizes for -json benchmarks")
+
+		serveOut  = flag.Bool("serve", false, "run served-throughput load generation (QPS/p50/p99 JSON); with -json, emit one combined report")
+		serveURL  = flag.String("serve-url", "", "drive an external pqserve at this URL instead of self-hosting")
+		serveN    = flag.Int("serve-n", 100000, "database size for the self-hosted serving benchmark")
+		serveDur  = flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
+		serveConc = flag.Int("serve-conc", 16, "concurrent load-generator clients for -serve")
+		serveNP   = flag.Int("serve-nprobe", 1, "nprobe per served query")
 	)
 	flag.Parse()
 
-	if *jsonOut {
-		var sizes []int
-		for _, s := range strings.Split(*jsonSize, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || v <= 0 {
-				log.Fatalf("bad -sizes entry %q", s)
-			}
-			sizes = append(sizes, v)
-		}
-		if err := bench.RunWallClock(os.Stdout, *seed, sizes, *jsonK); err != nil {
-			log.Fatal(err)
-		}
+	if *jsonOut || *serveOut {
+		runMachineReadable(*jsonOut, *serveOut, *seed, *jsonSize, *jsonK,
+			bench.ServeConfig{
+				URL:         *serveURL,
+				BaseN:       *serveN,
+				Seed:        *seed,
+				K:           *jsonK,
+				NProbe:      *serveNP,
+				Concurrency: *serveConc,
+				Duration:    *serveDur,
+			})
 		return
 	}
 
@@ -118,5 +137,49 @@ func main() {
 			log.Fatalf("%s: %v", e.Name, err)
 		}
 		fmt.Println()
+	}
+}
+
+// runMachineReadable dispatches the -json / -serve modes: either report
+// alone, or the combined pqfastscan-bench/v2 document when both are
+// requested (the BENCH_pr3.json baseline format).
+func runMachineReadable(kernels, serve bool, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig) {
+	var sizes []int
+	if kernels {
+		for _, s := range strings.Split(sizeList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				log.Fatalf("bad -sizes entry %q", s)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+	switch {
+	case kernels && serve:
+		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
+		kr, err := bench.MeasureWallClock(seed, sizes, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "running served-throughput benchmark...")
+		sr, err := bench.MeasureServe(serveCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench.CombinedReport{
+			Schema: "pqfastscan-bench/v2", Kernels: kr, Serve: sr,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	case serve:
+		if err := bench.RunServe(os.Stdout, serveCfg); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if err := bench.RunWallClock(os.Stdout, seed, sizes, k); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

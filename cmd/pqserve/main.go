@@ -1,0 +1,138 @@
+// Command pqserve serves a pqfastscan index over HTTP — the concurrent
+// query service of internal/server, as a deployable binary.
+//
+// Serve a persisted index:
+//
+//	pqserve -addr :8080 -index /data/sift.idx
+//
+// Or bring up a synthetic index for smoke tests and demos:
+//
+//	pqserve -addr 127.0.0.1:8080 -synthetic 100000
+//
+// Endpoints (JSON over HTTP, see DESIGN.md §10):
+//
+//	POST /search   {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
+//	POST /add      {"vectors":[[...],...]}
+//	POST /delete   {"id":123}
+//	POST /swap     {"path":"/data/new.idx"}   hot snapshot swap
+//	POST /save     {"path":"..."}             persist the serving index
+//	GET  /healthz
+//	GET  /stats    request counts, p50/p99 latency, batch widths, sheds
+//
+// Concurrent /search requests are micro-batched into SearchBatch calls;
+// load beyond -max-inflight is shed with 429 after -queue-timeout; -save-
+// interval enables periodic background persistence to -snapshot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("pqserve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		indexPath    = flag.String("index", "", "persisted index to serve (pqfastscan Save format)")
+		synthetic    = flag.Int("synthetic", 0, "build a synthetic index of this many vectors instead of loading one")
+		partitions   = flag.Int("partitions", 8, "IVF partitions for -synthetic builds")
+		seed         = flag.Uint64("seed", 42, "seed for -synthetic builds")
+		batchWindow  = flag.Duration("batch-window", time.Millisecond, "micro-batching window for /search coalescing")
+		maxBatch     = flag.Int("max-batch", 64, "maximum queries per coalesced SearchBatch call")
+		maxInFlight  = flag.Int("max-inflight", 0, "admission-control bound on concurrent searches (0 = 8×GOMAXPROCS)")
+		queueTimeout = flag.Duration("queue-timeout", 50*time.Millisecond, "longest a search waits for admission before a 429")
+		maxK         = flag.Int("max-k", 1000, "largest accepted k")
+		snapshot     = flag.String("snapshot", "", "path for /save and periodic background saves (default: -index path)")
+		saveEvery    = flag.Duration("save-interval", 0, "periodic background save interval (0 disables)")
+	)
+	flag.Parse()
+
+	idx, err := openIndex(*indexPath, *synthetic, *partitions, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapPath := *snapshot
+	if snapPath == "" {
+		snapPath = *indexPath
+	}
+
+	srv, err := server.New(server.Config{
+		Index:        idx,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *maxBatch,
+		MaxInFlight:  *maxInFlight,
+		QueueTimeout: *queueTimeout,
+		MaxK:         *maxK,
+		SnapshotPath: snapPath,
+		SaveInterval: *saveEvery,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx) // stop accepting, drain handlers
+		_ = srv.Close()      // then stop the batcher and saver
+	}()
+
+	log.Printf("serving %d live vectors (partitions %v) on %s",
+		idx.Live(), idx.PartitionSizes(), *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// openIndex loads the persisted index, or builds a synthetic one for
+// demo and smoke-test runs.
+func openIndex(path string, synthetic, partitions int, seed uint64) (*pqfastscan.Index, error) {
+	switch {
+	case path != "":
+		start := time.Now()
+		idx, err := pqfastscan.LoadIndex(path)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded %s in %v", path, time.Since(start).Round(time.Millisecond))
+		return idx, nil
+	case synthetic > 0:
+		start := time.Now()
+		gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: seed})
+		learnN := synthetic / 10
+		if learnN < 1000 {
+			learnN = 1000
+		}
+		opt := pqfastscan.DefaultBuildOptions()
+		opt.Partitions = partitions
+		opt.Seed = seed
+		idx, err := pqfastscan.Build(gen.Generate(learnN), gen.Generate(synthetic), opt)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("built synthetic index (%d vectors) in %v", synthetic, time.Since(start).Round(time.Millisecond))
+		return idx, nil
+	default:
+		return nil, errors.New("one of -index or -synthetic is required")
+	}
+}

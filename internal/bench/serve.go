@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/server"
+)
+
+// Served-throughput benchmarking: where wallclock.go measures the raw
+// kernels, this driver measures the whole serving stack — HTTP framing,
+// micro-batching, admission control, the engine's batch loop — as a
+// client population would see it, reporting QPS and latency quantiles as
+// JSON (cmd/pqbench -serve). It can drive an external pqserve (URL mode)
+// or self-host an in-process server over a synthetic index so a
+// BENCH_*.json baseline is reproducible from a single command.
+
+// ServeConfig parameterizes a load-generation run.
+type ServeConfig struct {
+	// URL points at a running pqserve. Empty self-hosts an in-process
+	// server over a synthetic index.
+	URL string
+
+	// Self-host parameters (URL == "").
+	BaseN       int           // database size (default 100000)
+	LearnN      int           // training size (default BaseN/10, min 1000)
+	Partitions  int           // IVF cells (default 8)
+	BatchWindow time.Duration // micro-batching window (default 1ms)
+	MaxBatch    int           // widest coalesced batch (default 64)
+
+	// Load shape.
+	Seed        uint64        // query generation seed (default 42)
+	K           int           // neighbors per query (default 100)
+	NProbe      int           // cells probed per query (default 1)
+	Concurrency int           // concurrent client connections (default 16)
+	Duration    time.Duration // measurement window (default 5s)
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.BaseN <= 0 {
+		c.BaseN = 100000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	return c
+}
+
+// ServeReport is the JSON document of one load-generation run.
+type ServeReport struct {
+	Schema      string  `json:"schema"`
+	URL         string  `json:"url,omitempty"`
+	SelfHosted  bool    `json:"self_hosted"`
+	BaseN       int     `json:"base_n,omitempty"` // self-hosted only
+	Concurrency int     `json:"concurrency"`
+	K           int     `json:"k"`
+	NProbe      int     `json:"nprobe"`
+	DurationS   float64 `json:"duration_s"`
+
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"` // 429 rejections
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"` // successful responses per second
+
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	// Micro-batching effectiveness, read from the server's /stats.
+	BatchCalls    int64   `json:"batch_calls,omitempty"`
+	BatchQueries  int64   `json:"batch_queries,omitempty"`
+	AvgBatchWidth float64 `json:"avg_batch_width,omitempty"`
+	MaxBatchWidth int64   `json:"max_batch_width,omitempty"`
+}
+
+// MeasureServe runs one load-generation pass and returns its report.
+func MeasureServe(cfg ServeConfig) (*ServeReport, error) {
+	cfg = cfg.withDefaults()
+	url := cfg.URL
+	report := &ServeReport{
+		Schema:      "pqfastscan-serve/v1",
+		URL:         cfg.URL,
+		SelfHosted:  cfg.URL == "",
+		Concurrency: cfg.Concurrency,
+		K:           cfg.K,
+		NProbe:      cfg.NProbe,
+	}
+
+	var statsBefore server.Stats
+	var srv *server.Server
+	if url == "" {
+		report.BaseN = cfg.BaseN
+		gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+		opt := pqfastscan.DefaultBuildOptions()
+		opt.Partitions = cfg.Partitions
+		opt.Seed = cfg.Seed
+		idx, err := pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: build serving index: %w", err)
+		}
+		srv, err = server.New(server.Config{
+			Index:       idx,
+			BatchWindow: cfg.BatchWindow,
+			MaxBatch:    cfg.MaxBatch,
+			MaxInFlight: 4 * cfg.Concurrency, // shedding off the measurement path
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		url = "http://" + ln.Addr().String()
+		statsBefore = srv.StatsSnapshot()
+	}
+
+	// A disjoint pool of query vectors, cycled by the workers.
+	queries := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 1}).Generate(256)
+	bodies := make([][]byte, queries.Rows())
+	for i := range bodies {
+		raw, err := json.Marshal(server.SearchRequest{
+			Query: queries.Row(i), K: cfg.K, NProbe: cfg.NProbe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = raw
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.Concurrency,
+	}}
+	type workerResult struct {
+		lats             []time.Duration
+		ok, shed, errors int64
+	}
+	results := make([]workerResult, cfg.Concurrency)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			for i := w; time.Now().Before(deadline); i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					r.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					r.ok++
+					r.lats = append(r.lats, lat)
+				case http.StatusTooManyRequests:
+					r.shed++
+				default:
+					r.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	report.DurationS = elapsed.Seconds()
+
+	var lats []time.Duration
+	for i := range results {
+		r := &results[i]
+		report.OK += r.ok
+		report.Shed += r.shed
+		report.Errors += r.errors
+		lats = append(lats, r.lats...)
+	}
+	report.Requests = report.OK + report.Shed + report.Errors
+	if report.OK > 0 {
+		report.QPS = float64(report.OK) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i].Nanoseconds()) / 1e6
+		}
+		report.P50Ms = q(0.50)
+		report.P90Ms = q(0.90)
+		report.P99Ms = q(0.99)
+		report.MaxMs = float64(lats[len(lats)-1].Nanoseconds()) / 1e6
+	}
+
+	if srv != nil {
+		after := srv.StatsSnapshot()
+		report.BatchCalls = after.Batch.Calls - statsBefore.Batch.Calls
+		report.BatchQueries = after.Batch.Queries - statsBefore.Batch.Queries
+		if report.BatchCalls > 0 {
+			report.AvgBatchWidth = float64(report.BatchQueries) / float64(report.BatchCalls)
+		}
+		report.MaxBatchWidth = after.Batch.MaxWidth
+	}
+	return report, nil
+}
+
+// RunServe measures served throughput and writes the report as JSON.
+func RunServe(w io.Writer, cfg ServeConfig) error {
+	report, err := MeasureServe(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// CombinedReport pairs the kernel wall-clock trajectory with the served
+// throughput of the same build — the document BENCH_pr3.json records
+// (cmd/pqbench -json -serve).
+type CombinedReport struct {
+	Schema  string           `json:"schema"` // pqfastscan-bench/v2
+	Kernels *WallClockReport `json:"kernels"`
+	Serve   *ServeReport     `json:"serve"`
+}

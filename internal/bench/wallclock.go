@@ -84,6 +84,19 @@ func wallClockFixture(n int, seed uint64) (*scan.Partition, quantizer.Tables, *s
 // RunWallClock benchmarks every kernel on both engines over the given
 // partition sizes and writes the JSON report to w.
 func RunWallClock(w io.Writer, seed uint64, sizes []int, k int) error {
+	report, err := MeasureWallClock(seed, sizes, k)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// MeasureWallClock benchmarks every kernel on both engines over the
+// given partition sizes and returns the report (RunWallClock without the
+// serialization, for embedding in a CombinedReport).
+func MeasureWallClock(seed uint64, sizes []int, k int) (*WallClockReport, error) {
 	report := WallClockReport{
 		Schema: "pqfastscan-bench/v1",
 		Go:     runtime.Version(),
@@ -96,7 +109,7 @@ func RunWallClock(w io.Writer, seed uint64, sizes []int, k int) error {
 	for _, n := range sizes {
 		p, tables, fs, err := wallClockFixture(n, seed+uint64(n))
 		if err != nil {
-			return fmt.Errorf("bench: fixture n=%d: %w", n, err)
+			return nil, fmt.Errorf("bench: fixture n=%d: %w", n, err)
 		}
 		type variant struct {
 			kernel, engine string
@@ -172,7 +185,5 @@ func RunWallClock(w io.Writer, seed uint64, sizes []int, k int) error {
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return &report, nil
 }

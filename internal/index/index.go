@@ -241,6 +241,29 @@ func Build(learn, base vec.Matrix, opt Options) (*Index, error) {
 // Options returns the options the index was built (or loaded) with.
 func (ix *Index) Options() Options { return ix.opt }
 
+// CompatibleWith reports whether next can transparently replace ix under
+// live query traffic — the guard behind the façade's hot snapshot Swap.
+// Compatible means queries valid against ix stay valid against next:
+// same vector dimensionality, same PQ shape, and same partition count
+// (an nprobe that was in range must stay in range). Trained centroid
+// values are deliberately not compared; swapping in a retrained index
+// over fresh data is the point of the operation.
+func (ix *Index) CompatibleWith(next *Index) error {
+	if next == nil {
+		return fmt.Errorf("index: nil replacement index")
+	}
+	if ix.Dim != next.Dim {
+		return fmt.Errorf("index: replacement dim %d != serving dim %d", next.Dim, ix.Dim)
+	}
+	if ix.PQ.Config != next.PQ.Config {
+		return fmt.Errorf("index: replacement PQ %v != serving PQ %v", next.PQ.Config, ix.PQ.Config)
+	}
+	if len(ix.Parts) != len(next.Parts) {
+		return fmt.Errorf("index: replacement has %d partitions, serving index %d (in-range nprobe requests would start failing)", len(next.Parts), len(ix.Parts))
+	}
+	return nil
+}
+
 // Restore reassembles an Index from its persisted parts; used by the
 // persist package. The caller guarantees consistency of the components.
 // nextID seeds the id allocator for future Add calls; pass a negative

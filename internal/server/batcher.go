@@ -1,0 +1,212 @@
+// Dynamic micro-batching. One goroutine per socket is the wrong shape
+// for the engine underneath: SearchBatch drives the per-core batch loop
+// at full width, while N concurrent single-query Search calls pay N
+// routing/locking rounds and leave the batch loop one query wide. The
+// batcher inverts that: concurrent /search requests arriving within a
+// short window are coalesced into one SearchBatch call and the per-query
+// results fanned back out to the waiting handlers.
+//
+// Coalescing is dynamic in both directions: a batch closes as soon as
+// MaxBatch queries are pending (no idle waiting under heavy load, where
+// the window only adds latency) and no later than BatchWindow after its
+// first query (bounded added latency under light load). Requests whose
+// search parameters differ cannot share a SearchBatch call, so a closed
+// window is partitioned by (k, nprobe, kernel) and one call issued per
+// group — the common case of a homogeneous client population stays one
+// call per window.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"pqfastscan"
+)
+
+// errClosed is returned to requests that race server shutdown.
+var errClosed = errors.New("server: shutting down")
+
+// batchKey identifies searches that may share one SearchBatch call.
+// Fields are the normalized search parameters (defaults applied), so two
+// requests spelling the default differently still coalesce.
+type batchKey struct {
+	k      int
+	nprobe int
+	kernel pqfastscan.Kernel
+}
+
+// searchJob is one /search request in flight through the batcher.
+type searchJob struct {
+	key   batchKey
+	query []float32
+	resp  *pqfastscan.SearchResult
+	err   error
+	done  chan struct{}
+}
+
+type batcher struct {
+	idx     *pqfastscan.Index
+	window  time.Duration
+	max     int
+	timeout time.Duration // per-batch engine deadline
+	metrics *metrics
+
+	jobs chan *searchJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newBatcher(idx *pqfastscan.Index, window time.Duration, maxBatch int, timeout time.Duration, m *metrics) *batcher {
+	b := &batcher{
+		idx:     idx,
+		window:  window,
+		max:     maxBatch,
+		timeout: timeout,
+		metrics: m,
+		jobs:    make(chan *searchJob, 4*maxBatch),
+		quit:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// submit hands one job to the batching loop. The caller waits on
+// job.done; every submitted job is eventually completed, including
+// across shutdown.
+func (b *batcher) submit(j *searchJob) error {
+	// The RLock pairs with close(): once closed is set no new job can
+	// enter the channel, so the final drain in run() is complete and no
+	// waiter is ever stranded.
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return errClosed
+	}
+	b.jobs <- j
+	return nil
+}
+
+// close stops the batching loop after serving everything already
+// submitted, then waits for in-flight SearchBatch calls to finish.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.wg.Wait()
+}
+
+// run is the collection loop: block for a first job, keep the window
+// open until it expires or the batch is full, dispatch, repeat.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	pending := make([]*searchJob, 0, b.max)
+	for {
+		var first *searchJob
+		select {
+		case first = <-b.jobs:
+		case <-b.quit:
+			b.drain()
+			return
+		}
+		pending = append(pending[:0], first)
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(pending) < b.max {
+			select {
+			case j := <-b.jobs:
+				pending = append(pending, j)
+			case <-timer.C:
+				break collect
+			case <-b.quit:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.dispatch(pending)
+		select {
+		case <-b.quit:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain serves whatever shutdown left in the channel. By the time quit
+// is closed no submit can add more (see submit), so the default case is
+// a complete stop condition.
+func (b *batcher) drain() {
+	pending := make([]*searchJob, 0, b.max)
+	for {
+		select {
+		case j := <-b.jobs:
+			pending = append(pending, j)
+			if len(pending) == b.max {
+				b.dispatch(pending)
+				pending = pending[:0]
+			}
+		default:
+			if len(pending) > 0 {
+				b.dispatch(pending)
+			}
+			return
+		}
+	}
+}
+
+// dispatch groups a closed window by batchKey and issues one SearchBatch
+// per group on its own goroutine, so the collection loop is immediately
+// free to form the next window while this one executes.
+func (b *batcher) dispatch(jobs []*searchJob) {
+	groups := make(map[batchKey][]*searchJob, 1)
+	for _, j := range jobs {
+		groups[j.key] = append(groups[j.key], j)
+	}
+	for key, group := range groups {
+		b.wg.Add(1)
+		group := group
+		go func(key batchKey, group []*searchJob) {
+			defer b.wg.Done()
+			b.execute(key, group)
+		}(key, group)
+	}
+}
+
+// execute runs one coalesced SearchBatch call and fans results back out.
+// The call runs under a server-owned deadline, not any one client's
+// context: the work is shared across requests, so a single disconnecting
+// client must not cancel its neighbors' queries.
+func (b *batcher) execute(key batchKey, group []*searchJob) {
+	ctx := context.Background()
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	queries := pqfastscan.NewMatrix(len(group), len(group[0].query))
+	for i, j := range group {
+		copy(queries.Row(i), j.query)
+	}
+	b.metrics.observeBatch(len(group))
+	resps, err := b.idx.SearchBatch(ctx, queries, key.k,
+		pqfastscan.WithKernel(key.kernel), pqfastscan.WithNProbe(key.nprobe))
+	for i, j := range group {
+		if err != nil {
+			j.err = err
+		} else {
+			j.resp = resps[i]
+		}
+		close(j.done)
+	}
+}

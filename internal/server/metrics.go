@@ -1,0 +1,221 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observability is lock-free: every counter is an atomic, so recording a
+// sample from a request goroutine never contends with another request or
+// with a /stats read. Latencies go into fixed-bound geometric histograms
+// (1µs doubling up to ~16s) whose quantiles are answered from cumulative
+// bucket counts; the error of a reported quantile is bounded by one
+// bucket width (a factor of 2), which is the right fidelity for p50/p99
+// dashboards at zero steady-state allocation.
+
+// latBuckets is the number of geometric latency buckets. Bucket i counts
+// samples in [2^i µs, 2^(i+1) µs); the last bucket absorbs everything
+// slower.
+const latBuckets = 25
+
+// histogram is a concurrent geometric latency histogram.
+type histogram struct {
+	counts [latBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for us := ns / 1e3; us > 1 && b < latBuckets-1; us >>= 1 {
+		b++
+	}
+	h.counts[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// quantileMs returns the q-quantile (0 < q <= 1) in milliseconds as the
+// upper bound of the bucket holding it, clamped to the observed maximum.
+func (h *histogram) quantileMs(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < latBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			upperNs := float64(int64(1)<<uint(i+1)) * 1e3
+			if maxNs := float64(h.maxNs.Load()); upperNs > maxNs {
+				upperNs = maxNs
+			}
+			return upperNs / 1e6
+		}
+	}
+	return float64(h.maxNs.Load()) / 1e6
+}
+
+func (h *histogram) meanMs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n) / 1e6
+}
+
+// endpointMetrics aggregates one HTTP endpoint.
+type endpointMetrics struct {
+	requests atomic.Int64 // all requests, including rejected ones
+	errors   atomic.Int64 // responses with status >= 500
+	rejected atomic.Int64 // responses with status in [400, 500)
+	lat      histogram
+}
+
+// EndpointStats is the /stats projection of one endpoint.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func (m *endpointMetrics) stats() EndpointStats {
+	return EndpointStats{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Rejected: m.rejected.Load(),
+		P50Ms:    m.lat.quantileMs(0.50),
+		P99Ms:    m.lat.quantileMs(0.99),
+		MeanMs:   m.lat.meanMs(),
+		MaxMs:    float64(m.lat.maxNs.Load()) / 1e6,
+	}
+}
+
+// batchWidthBuckets histograms SearchBatch widths by power of two:
+// bucket i counts batches of width in [2^i, 2^(i+1)).
+const batchWidthBuckets = 13
+
+// metrics is the server-wide metric registry.
+type metrics struct {
+	start time.Time
+
+	endpoints map[string]*endpointMetrics
+
+	// Micro-batching.
+	batchCalls   atomic.Int64 // SearchBatch invocations issued
+	batchQueries atomic.Int64 // queries served through those calls
+	batchMax     atomic.Int64 // widest batch seen
+	batchWidths  [batchWidthBuckets]atomic.Int64
+
+	// Admission control.
+	shed atomic.Int64 // requests rejected 429 by admission control
+
+	// Snapshot lifecycle.
+	swaps      atomic.Int64
+	saves      atomic.Int64
+	saveErrors atomic.Int64
+	lastSave   atomic.Int64 // unix seconds, 0 = never
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) observeBatch(width int) {
+	m.batchCalls.Add(1)
+	m.batchQueries.Add(int64(width))
+	for {
+		cur := m.batchMax.Load()
+		if int64(width) <= cur || m.batchMax.CompareAndSwap(cur, int64(width)) {
+			break
+		}
+	}
+	b := 0
+	for w := width; w > 1 && b < batchWidthBuckets-1; w >>= 1 {
+		b++
+	}
+	m.batchWidths[b].Add(1)
+}
+
+// BatchStats is the /stats projection of the micro-batcher.
+type BatchStats struct {
+	Calls    int64   `json:"calls"`
+	Queries  int64   `json:"queries"`
+	AvgWidth float64 `json:"avg_width"`
+	MaxWidth int64   `json:"max_width"`
+	// WidthHist counts batches by power-of-two width class: entry i is
+	// the number of batches of width in [2^i, 2^(i+1)).
+	WidthHist []int64 `json:"width_hist"`
+}
+
+func (m *metrics) batchStats() BatchStats {
+	s := BatchStats{
+		Calls:    m.batchCalls.Load(),
+		Queries:  m.batchQueries.Load(),
+		MaxWidth: m.batchMax.Load(),
+	}
+	if s.Calls > 0 {
+		s.AvgWidth = float64(s.Queries) / float64(s.Calls)
+	}
+	hi := 0
+	var widths [batchWidthBuckets]int64
+	for i := range widths {
+		widths[i] = m.batchWidths[i].Load()
+		if widths[i] > 0 {
+			hi = i + 1
+		}
+	}
+	s.WidthHist = append([]int64(nil), widths[:hi]...)
+	return s
+}
+
+// Stats is the full /stats document.
+type Stats struct {
+	UptimeS    float64                  `json:"uptime_s"`
+	Live       int                      `json:"live"`
+	Partitions []int                    `json:"partitions"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Batch      BatchStats               `json:"batch"`
+	Admission  AdmissionStats           `json:"admission"`
+	Snapshot   SnapshotStats            `json:"snapshot"`
+}
+
+// AdmissionStats is the /stats projection of admission control.
+type AdmissionStats struct {
+	MaxInFlight  int    `json:"max_in_flight"`
+	InFlight     int    `json:"in_flight"`
+	Shed         int64  `json:"shed"`
+	QueueTimeout string `json:"queue_timeout"`
+}
+
+// SnapshotStats is the /stats projection of the snapshot lifecycle.
+type SnapshotStats struct {
+	Swaps        int64  `json:"swaps"`
+	Saves        int64  `json:"saves"`
+	SaveErrors   int64  `json:"save_errors"`
+	LastSaveUnix int64  `json:"last_save_unix"`
+	Path         string `json:"path,omitempty"`
+}

@@ -1,0 +1,604 @@
+// Package server is the network-facing query service over a pqfastscan
+// index: an HTTP/JSON API multiplexing many clients onto the engine's
+// batch primitives. Three mechanisms make it hold up under load
+// (DESIGN.md §10):
+//
+//   - dynamic micro-batching — concurrent /search requests are coalesced
+//     into SearchBatch calls (batcher.go), driving the per-core batch
+//     loop at full width instead of one goroutine per socket;
+//   - admission control — a bounded in-flight limit with queue-timeout
+//     rejection (429), so overload degrades by shedding requests while
+//     the accepted ones keep bounded latency;
+//   - hot snapshot swap — /swap loads a persisted index from disk and
+//     atomically replaces the serving snapshot under live traffic
+//     (in-flight queries drain on the old one), and a background loop
+//     periodically persists the mutable serving index.
+//
+// Per-endpoint request counts, latency quantiles, batch widths and shed
+// counts are exported on /stats (metrics.go).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pqfastscan"
+)
+
+// Config configures a Server. The zero value of every tuning field
+// selects a sensible default; only Index is required.
+type Config struct {
+	// Index is the serving snapshot holder. The server retains this
+	// exact handle and re-points it on /swap, so the caller can share it
+	// (e.g. for out-of-band mutation).
+	Index *pqfastscan.Index
+
+	// BatchWindow is the longest a /search request waits for companions
+	// to coalesce with (default 1ms). Zero selects the default; negative
+	// disables waiting (batches still form from queue backlog).
+	BatchWindow time.Duration
+	// MaxBatch closes a window early once this many queries are pending
+	// (default 64).
+	MaxBatch int
+
+	// MaxInFlight bounds concurrently admitted /search requests
+	// (default 8×GOMAXPROCS). Requests beyond it wait up to QueueTimeout
+	// for a slot and are then rejected with 429.
+	MaxInFlight int
+	// QueueTimeout is the longest a request waits for admission
+	// (default 50ms).
+	QueueTimeout time.Duration
+
+	// SearchTimeout bounds one coalesced engine call (default 30s).
+	SearchTimeout time.Duration
+	// MaxK rejects requests asking for more neighbors than this
+	// (default 1000).
+	MaxK int
+	// MaxBodyBytes caps a request body (default 8 MiB — room for a
+	// few-thousand-vector /add batch). Oversized bodies fail decoding
+	// with 400 instead of buffering unboundedly.
+	MaxBodyBytes int64
+
+	// SnapshotPath, when set, is where /save and the periodic saver
+	// persist the serving index.
+	SnapshotPath string
+	// SaveInterval enables periodic background Save when positive.
+	SaveInterval time.Duration
+
+	// Logf, when set, receives operational log lines (swaps, saves,
+	// shutdown). Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 50 * time.Millisecond
+	}
+	if c.SearchTimeout <= 0 {
+		c.SearchTimeout = 30 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// endpoints instrumented in /stats, in display order.
+var endpointNames = []string{
+	"/search", "/add", "/delete", "/healthz", "/stats", "/swap", "/save",
+}
+
+// Server serves a pqfastscan index over HTTP. Create with New, mount
+// Handler on an http.Server, and Close when done.
+type Server struct {
+	cfg     Config
+	idx     *pqfastscan.Index
+	batch   *batcher
+	metrics *metrics
+	mux     *http.ServeMux
+
+	sem chan struct{} // admission tokens; len(sem) = in-flight
+
+	// swapMu orders snapshot replacement against everything that writes
+	// the serving index: /swap and /save hold it exclusively, /add and
+	// /delete share it. A mutation that returned 200 therefore happened
+	// entirely before or entirely after a swap — never astride it. Note
+	// the swap semantics it does NOT change: /swap replaces the whole
+	// serving state, so mutations accepted since the incoming snapshot
+	// was saved are intentionally discarded with it (operators who want
+	// them call /save first; see DESIGN.md §10).
+	swapMu sync.RWMutex
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	bg        sync.WaitGroup
+}
+
+// New builds a Server around cfg.Index.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("server: Config.Index is required")
+	}
+	cfg = cfg.withDefaults()
+	m := newMetrics(endpointNames)
+	s := &Server{
+		cfg:     cfg,
+		idx:     cfg.Index,
+		metrics: m,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		quit:    make(chan struct{}),
+	}
+	s.batch = newBatcher(s.idx, cfg.BatchWindow, cfg.MaxBatch, cfg.SearchTimeout, m)
+
+	s.mux = http.NewServeMux()
+	s.handle("/search", http.MethodPost, s.handleSearch)
+	s.handle("/add", http.MethodPost, s.handleAdd)
+	s.handle("/delete", http.MethodPost, s.handleDelete)
+	s.handle("/healthz", http.MethodGet, s.handleHealthz)
+	s.handle("/stats", http.MethodGet, s.handleStats)
+	s.handle("/swap", http.MethodPost, s.handleSwap)
+	s.handle("/save", http.MethodPost, s.handleSave)
+
+	if cfg.SaveInterval > 0 && cfg.SnapshotPath != "" {
+		s.bg.Add(1)
+		go s.saveLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Index returns the serving snapshot holder.
+func (s *Server) Index() *pqfastscan.Index { return s.idx }
+
+// Close stops the batcher (after serving everything already admitted)
+// and the background saver. It does not close HTTP listeners; that is
+// the owning http.Server's job.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.batch.close()
+		s.bg.Wait()
+	})
+	return nil
+}
+
+// handle mounts an instrumented single-method handler.
+func (s *Server) handle(path, method string, h func(http.ResponseWriter, *http.Request)) {
+	em := s.metrics.endpoints[path]
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		em.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if r.Method != method {
+			httpError(sw, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+		} else {
+			// Bound every body before the first decode: a runaway
+			// payload must fail fast, not buffer its way past the
+			// admission control that protects the engine.
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			}
+			h(sw, r)
+		}
+		em.lat.observe(time.Since(start))
+		switch {
+		case sw.status >= 500:
+			em.errors.Add(1)
+		case sw.status >= 400:
+			em.rejected.Add(1)
+		}
+	})
+}
+
+// statusWriter records the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClientClosedRequest is nginx's conventional status for requests
+// abandoned by the client; net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// admitVerdict says how an admission attempt ended. Only admitShed is
+// overload: a canceled client or a closing server sheds nothing, and
+// counting those as sheds would fake the operator's overload signal.
+type admitVerdict int
+
+const (
+	admitOK admitVerdict = iota
+	admitShed
+	admitCanceled
+	admitClosing
+)
+
+// admit implements admission control for /search: take a token
+// immediately if one is free, otherwise wait at most QueueTimeout.
+func (s *Server) admit(r *http.Request) admitVerdict {
+	select {
+	case s.sem <- struct{}{}:
+		return admitOK
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return admitOK
+	case <-t.C:
+		return admitShed
+	case <-r.Context().Done():
+		return admitCanceled
+	case <-s.quit:
+		return admitClosing
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// --- /search -----------------------------------------------------------
+
+// SearchRequest is the /search body. K defaults to 10, NProbe to 1 and
+// Kernel to the engine default (PQ Fast Scan) when omitted.
+type SearchRequest struct {
+	Query  []float32 `json:"query"`
+	K      int       `json:"k"`
+	NProbe int       `json:"nprobe,omitempty"`
+	Kernel string    `json:"kernel,omitempty"`
+}
+
+// SearchNeighbor is one neighbor in a /search response.
+type SearchNeighbor struct {
+	ID       int64   `json:"id"`
+	Distance float32 `json:"distance"`
+}
+
+// SearchResponse is the /search reply.
+type SearchResponse struct {
+	Results    []SearchNeighbor `json:"results"`
+	Partitions []int            `json:"partitions"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 0 || req.K > s.cfg.MaxK {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d]", s.cfg.MaxK))
+		return
+	}
+	if req.NProbe == 0 {
+		req.NProbe = 1
+	}
+	if dim := s.idx.Dim(); len(req.Query) != dim {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("query dim %d != index dim %d", len(req.Query), dim))
+		return
+	}
+	if np := s.idx.Partitions(); req.NProbe < 1 || req.NProbe > np {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("nprobe must be in [1,%d]", np))
+		return
+	}
+	kernel := pqfastscan.KernelFastScan
+	if req.Kernel != "" {
+		k, err := pqfastscan.ParseKernel(req.Kernel)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		kernel = k
+	}
+
+	switch s.admit(r) {
+	case admitOK:
+	case admitShed:
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "overloaded: admission queue timed out")
+		return
+	case admitCanceled:
+		// The client gave up while queued; nobody reads this response
+		// and no overload happened, so it is not a shed.
+		httpError(w, statusClientClosedRequest, "client canceled while queued")
+		return
+	case admitClosing:
+		httpError(w, http.StatusServiceUnavailable, errClosed.Error())
+		return
+	}
+	defer s.release()
+
+	job := &searchJob{
+		key:   batchKey{k: req.K, nprobe: req.NProbe, kernel: kernel},
+		query: req.Query,
+		done:  make(chan struct{}),
+	}
+	if err := s.batch.submit(job); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	// Wait for the coalesced call regardless of the client's context:
+	// the work is shared with other requests in the batch, and the token
+	// must reflect engine occupancy, not socket liveness.
+	<-job.done
+	if job.err != nil {
+		httpError(w, http.StatusInternalServerError, job.err.Error())
+		return
+	}
+	resp := SearchResponse{
+		Results:    make([]SearchNeighbor, len(job.resp.Results)),
+		Partitions: job.resp.Partitions,
+	}
+	for i, res := range job.resp.Results {
+		resp.Results[i] = SearchNeighbor{ID: res.ID, Distance: res.Distance}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /add --------------------------------------------------------------
+
+// AddRequest carries vectors to index online, row per vector.
+type AddRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+}
+
+// AddResponse returns the ids assigned to the added vectors, in order.
+type AddResponse struct {
+	IDs []int64 `json:"ids"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Vectors) == 0 {
+		httpError(w, http.StatusBadRequest, "vectors must be non-empty")
+		return
+	}
+	dim := s.idx.Dim()
+	m := pqfastscan.NewMatrix(len(req.Vectors), dim)
+	for i, v := range req.Vectors {
+		if len(v) != dim {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("vector %d dim %d != index dim %d", i, len(v), dim))
+			return
+		}
+		copy(m.Row(i), v)
+	}
+	// Shared side of swapMu: concurrent adds proceed together (the index
+	// write lock orders them), but never interleave with a /swap.
+	s.swapMu.RLock()
+	ids, err := s.idx.AddBatch(m)
+	s.swapMu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AddResponse{IDs: ids})
+}
+
+// --- /delete -----------------------------------------------------------
+
+// DeleteRequest names the vector id to tombstone.
+type DeleteRequest struct {
+	ID int64 `json:"id"`
+}
+
+// DeleteResponse reports whether the id was present and alive.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.swapMu.RLock()
+	deleted := s.idx.Delete(req.ID)
+	s.swapMu.RUnlock()
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: deleted})
+}
+
+// --- /healthz, /stats --------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"live":     s.idx.Live(),
+		"uptime_s": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// StatsSnapshot assembles the current /stats document.
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		UptimeS:    time.Since(s.metrics.start).Seconds(),
+		Live:       s.idx.Live(),
+		Partitions: s.idx.PartitionSizes(),
+		Endpoints:  make(map[string]EndpointStats, len(endpointNames)),
+		Batch:      s.metrics.batchStats(),
+		Admission: AdmissionStats{
+			MaxInFlight:  s.cfg.MaxInFlight,
+			InFlight:     len(s.sem),
+			Shed:         s.metrics.shed.Load(),
+			QueueTimeout: s.cfg.QueueTimeout.String(),
+		},
+		Snapshot: SnapshotStats{
+			Swaps:        s.metrics.swaps.Load(),
+			Saves:        s.metrics.saves.Load(),
+			SaveErrors:   s.metrics.saveErrors.Load(),
+			LastSaveUnix: s.metrics.lastSave.Load(),
+			Path:         s.cfg.SnapshotPath,
+		},
+	}
+	for name, em := range s.metrics.endpoints {
+		st.Endpoints[name] = em.stats()
+	}
+	return st
+}
+
+// --- /swap, /save ------------------------------------------------------
+
+// SwapRequest names the persisted index file to load and serve.
+type SwapRequest struct {
+	Path string `json:"path"`
+}
+
+// SwapResponse acknowledges a completed snapshot swap.
+type SwapResponse struct {
+	Swapped    bool  `json:"swapped"`
+	Live       int   `json:"live"`
+	Partitions []int `json:"partitions"`
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Path) == "" {
+		httpError(w, http.StatusBadRequest, "path must be non-empty")
+		return
+	}
+	// Load and validate entirely off the serving path — before taking
+	// swapMu, so a slow disk read never stalls mutations or saves;
+	// traffic keeps flowing on the current snapshot until the single
+	// atomic store.
+	next, err := pqfastscan.LoadIndex(req.Path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "load: "+err.Error())
+		return
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if _, err := s.idx.Swap(next); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.metrics.swaps.Add(1)
+	s.cfg.Logf("server: swapped in snapshot %s (%d live vectors)", req.Path, s.idx.Live())
+	writeJSON(w, http.StatusOK, SwapResponse{
+		Swapped:    true,
+		Live:       s.idx.Live(),
+		Partitions: s.idx.PartitionSizes(),
+	})
+}
+
+// SaveRequest optionally overrides the configured snapshot path.
+type SaveRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// SaveResponse acknowledges a completed save.
+type SaveResponse struct {
+	Saved bool   `json:"saved"`
+	Path  string `json:"path"`
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req SaveRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.SnapshotPath
+	}
+	if path == "" {
+		httpError(w, http.StatusBadRequest, "no path given and no SnapshotPath configured")
+		return
+	}
+	if err := s.save(path); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SaveResponse{Saved: true, Path: path})
+}
+
+func (s *Server) save(path string) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if err := s.idx.Save(path); err != nil {
+		s.metrics.saveErrors.Add(1)
+		return err
+	}
+	s.metrics.saves.Add(1)
+	s.metrics.lastSave.Store(time.Now().Unix())
+	return nil
+}
+
+// saveLoop persists the serving index every SaveInterval, so a crashed
+// server restarts from a recent snapshot instead of the build artifact.
+func (s *Server) saveLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.SaveInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.save(s.cfg.SnapshotPath); err != nil {
+				s.cfg.Logf("server: periodic save: %v", err)
+			} else {
+				s.cfg.Logf("server: saved snapshot to %s", s.cfg.SnapshotPath)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}

@@ -1,0 +1,593 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pqfastscan"
+)
+
+// --- fixtures ----------------------------------------------------------
+
+var (
+	fixOnce    sync.Once
+	fixIdx     *pqfastscan.Index // serving index (seed 11, 8000 vectors)
+	fixQueries pqfastscan.Matrix
+	fixGen     *pqfastscan.Dataset
+	fixErr     error
+)
+
+func buildIndex(t *testing.T, seed uint64, learnN, baseN int) *pqfastscan.Index {
+	t.Helper()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 4
+	idx, err := pqfastscan.Build(gen.Generate(learnN), gen.Generate(baseN), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// sharedIndex returns a lazily built serving index plus a pool of
+// queries. Tests that mutate or swap build their own instead.
+func sharedIndex(t *testing.T) (*pqfastscan.Index, pqfastscan.Matrix) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixGen = pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 11})
+		opt := pqfastscan.DefaultBuildOptions()
+		opt.Partitions = 4
+		fixIdx, fixErr = pqfastscan.Build(fixGen.Generate(2000), fixGen.Generate(8000), opt)
+		fixQueries = fixGen.Generate(64)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixIdx, fixQueries
+}
+
+// newTestServer starts a Server over HTTP and registers cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode, string(data)
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// --- core API ----------------------------------------------------------
+
+func TestSearchMatchesDirectQuery(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	for qi := 0; qi < 4; qi++ {
+		q := queries.Row(qi)
+		var got SearchResponse
+		status, body := postJSON(t, hs.URL+"/search", SearchRequest{Query: q, K: 10, NProbe: 2}, &got)
+		if status != http.StatusOK {
+			t.Fatalf("search status %d: %s", status, body)
+		}
+		want, err := idx.Search(t.Context(), q, 10, pqfastscan.WithNProbe(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("got %d results, want %d", len(got.Results), len(want.Results))
+		}
+		for i, r := range want.Results {
+			if got.Results[i].ID != r.ID || got.Results[i].Distance != r.Distance {
+				t.Fatalf("rank %d: got %+v want %+v", i, got.Results[i], r)
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx})
+	q := queries.Row(0)
+
+	cases := []struct {
+		name string
+		req  SearchRequest
+	}{
+		{"short query", SearchRequest{Query: q[:10], K: 5}},
+		{"bad k", SearchRequest{Query: q, K: -2}},
+		{"huge k", SearchRequest{Query: q, K: 1 << 20}},
+		{"bad nprobe", SearchRequest{Query: q, K: 5, NProbe: 99}},
+		{"bad kernel", SearchRequest{Query: q, K: 5, Kernel: "warp"}},
+	}
+	for _, c := range cases {
+		if status, body := postJSON(t, hs.URL+"/search", c.req, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, status, body)
+		}
+	}
+}
+
+func TestAddDeleteOverHTTP(t *testing.T) {
+	idx := buildIndex(t, 23, 2000, 4000)
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 24})
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	liveBefore := idx.Live()
+	vecs := gen.Generate(3)
+	var added AddResponse
+	req := AddRequest{Vectors: make([][]float32, vecs.Rows())}
+	for i := range req.Vectors {
+		req.Vectors[i] = vecs.Row(i)
+	}
+	if status, body := postJSON(t, hs.URL+"/add", req, &added); status != http.StatusOK {
+		t.Fatalf("add status %d: %s", status, body)
+	}
+	if len(added.IDs) != 3 || idx.Live() != liveBefore+3 {
+		t.Fatalf("added ids %v, live %d (was %d)", added.IDs, idx.Live(), liveBefore)
+	}
+
+	// An added vector must be findable as its own nearest neighbor.
+	var found SearchResponse
+	if status, body := postJSON(t, hs.URL+"/search",
+		SearchRequest{Query: req.Vectors[0], K: 1, NProbe: 4}, &found); status != http.StatusOK {
+		t.Fatalf("search status %d: %s", status, body)
+	}
+	if len(found.Results) != 1 || found.Results[0].ID != added.IDs[0] {
+		t.Fatalf("nearest neighbor of added vector: %+v, want id %d", found.Results, added.IDs[0])
+	}
+
+	var del DeleteResponse
+	if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: added.IDs[0]}, &del); status != http.StatusOK || !del.Deleted {
+		t.Fatalf("delete status %d deleted %v: %s", status, del.Deleted, body)
+	}
+	if status, _ := postJSON(t, hs.URL+"/search",
+		SearchRequest{Query: req.Vectors[0], K: 1, NProbe: 4}, &found); status != http.StatusOK {
+		t.Fatal("search after delete failed")
+	}
+	if len(found.Results) == 1 && found.Results[0].ID == added.IDs[0] {
+		t.Fatalf("deleted id %d still returned", added.IDs[0])
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	idx, _ := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	var health struct {
+		Status string `json:"status"`
+		Live   int    `json:"live"`
+	}
+	if status := getJSON(t, hs.URL+"/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if health.Status != "ok" || health.Live != idx.Live() {
+		t.Fatalf("healthz %+v, live want %d", health, idx.Live())
+	}
+
+	var st Stats
+	if status := getJSON(t, hs.URL+"/stats", &st); status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	if st.Endpoints["/healthz"].Requests != 1 {
+		t.Fatalf("healthz request count %d, want 1", st.Endpoints["/healthz"].Requests)
+	}
+	if st.Admission.MaxInFlight <= 0 {
+		t.Fatalf("admission defaults not applied: %+v", st.Admission)
+	}
+	if len(st.Partitions) != 4 {
+		t.Fatalf("partitions %v", st.Partitions)
+	}
+}
+
+// --- acceptance: coalescing -------------------------------------------
+
+// TestCoalescing demonstrates dynamic micro-batching: N concurrent
+// identical-shape /search requests are serviced by fewer than N
+// SearchBatch calls, with every request answered correctly.
+func TestCoalescing(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	const n = 32
+	s, hs := newTestServer(t, Config{
+		Index:       idx,
+		BatchWindow: 25 * time.Millisecond,
+		MaxBatch:    n,
+		MaxInFlight: 2 * n,
+	})
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries.Row(i % queries.Rows())
+			var got SearchResponse
+			status, body := postJSON(t, hs.URL+"/search", SearchRequest{Query: q, K: 5}, &got)
+			if status != http.StatusOK || len(got.Results) != 5 {
+				t.Logf("request %d: status %d body %s", i, status, body)
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d concurrent searches failed", failures.Load(), n)
+	}
+	st := s.StatsSnapshot()
+	if st.Batch.Queries != n {
+		t.Fatalf("batch served %d queries, want %d", st.Batch.Queries, n)
+	}
+	if st.Batch.Calls >= n {
+		t.Fatalf("coalescing ineffective: %d SearchBatch calls for %d requests", st.Batch.Calls, n)
+	}
+	if st.Batch.MaxWidth < 2 {
+		t.Fatalf("max batch width %d, want >= 2", st.Batch.MaxWidth)
+	}
+	t.Logf("coalesced %d requests into %d SearchBatch calls (max width %d, avg %.1f)",
+		n, st.Batch.Calls, st.Batch.MaxWidth, st.Batch.AvgWidth)
+}
+
+// TestBatchKeyGrouping verifies that requests with different search
+// parameters never share a SearchBatch call yet all come back correct.
+func TestBatchKeyGrouping(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	_, hs := newTestServer(t, Config{
+		Index:       idx,
+		BatchWindow: 25 * time.Millisecond,
+		MaxBatch:    16,
+	})
+
+	var wg sync.WaitGroup
+	results := make([]SearchResponse, 8)
+	status := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 3 + i%3 // three distinct batch keys
+			status[i], _ = postJSON(t, hs.URL+"/search",
+				SearchRequest{Query: queries.Row(i), K: k}, &results[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if status[i] != http.StatusOK {
+			t.Fatalf("request %d status %d", i, status[i])
+		}
+		if want := 3 + i%3; len(results[i].Results) != want {
+			t.Fatalf("request %d got %d results, want %d", i, len(results[i].Results), want)
+		}
+	}
+}
+
+// --- acceptance: load shedding ----------------------------------------
+
+// TestLoadShedding saturates a deliberately tiny admission budget and
+// asserts overload degrades by shedding: surplus requests get 429
+// quickly while every accepted request completes with bounded latency.
+func TestLoadShedding(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	const n = 24
+	s, hs := newTestServer(t, Config{
+		Index:        idx,
+		BatchWindow:  60 * time.Millisecond, // the admitted request parks in the window
+		MaxBatch:     64,
+		MaxInFlight:  1,
+		QueueTimeout: 2 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	var ok, shed, other atomic.Int64
+	var maxOKLatency atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			st, _ := postJSON(t, hs.URL+"/search",
+				SearchRequest{Query: queries.Row(i % queries.Rows()), K: 5}, nil)
+			lat := time.Since(start)
+			switch st {
+			case http.StatusOK:
+				ok.Add(1)
+				for {
+					cur := maxOKLatency.Load()
+					if int64(lat) <= cur || maxOKLatency.CompareAndSwap(cur, int64(lat)) {
+						break
+					}
+				}
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("unexpected statuses under overload (ok=%d shed=%d other=%d)",
+			ok.Load(), shed.Load(), other.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request was admitted")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("no request was shed despite MaxInFlight=1 saturation")
+	}
+	// Accepted requests ride one batch window plus the scan; an order of
+	// magnitude of headroom keeps this robust on slow CI machines while
+	// still proving latency did not collapse into the queue.
+	if lat := time.Duration(maxOKLatency.Load()); lat > 2*time.Second {
+		t.Fatalf("accepted request latency %v, want bounded", lat)
+	}
+	st := s.StatsSnapshot()
+	if st.Admission.Shed != shed.Load() {
+		t.Fatalf("shed counter %d, observed %d", st.Admission.Shed, shed.Load())
+	}
+	t.Logf("shed %d of %d requests; slowest accepted %v", shed.Load(), n, time.Duration(maxOKLatency.Load()))
+}
+
+// --- acceptance: hot snapshot swap ------------------------------------
+
+// TestHotSwapUnderTraffic streams queries while the serving snapshot is
+// swapped for a different index loaded from disk: zero requests may
+// fail, and after the swap searches are answered by the new snapshot.
+func TestHotSwapUnderTraffic(t *testing.T) {
+	idxA := buildIndex(t, 31, 2000, 5000)
+	idxB := buildIndex(t, 32, 2000, 3000)
+	snap := filepath.Join(t.TempDir(), "next.idx")
+	if err := idxB.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	liveB := idxB.Live()
+
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 33})
+	queries := gen.Generate(16)
+	s, hs := newTestServer(t, Config{
+		Index:       idxA,
+		BatchWindow: time.Millisecond,
+		MaxInFlight: 64,
+	})
+
+	stop := make(chan struct{})
+	var failed atomic.Int64
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp SearchResponse
+				status, body := postJSON(t, hs.URL+"/search",
+					SearchRequest{Query: queries.Row((w*7 + i) % queries.Rows()), K: 5}, &resp)
+				if status != http.StatusOK || len(resp.Results) == 0 {
+					t.Logf("worker %d query %d: status %d body %s", w, i, status, body)
+					failed.Add(1)
+				}
+				served.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let queries flow on snapshot A
+	var swapped SwapResponse
+	status, body := postJSON(t, hs.URL+"/swap", SwapRequest{Path: snap}, &swapped)
+	if status != http.StatusOK || !swapped.Swapped {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("swap status %d: %s", status, body)
+	}
+	time.Sleep(50 * time.Millisecond) // keep querying on snapshot B
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d requests failed across the swap", failed.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no traffic flowed during the swap window")
+	}
+	if got := s.Index().Live(); got != liveB {
+		t.Fatalf("post-swap live count %d, want snapshot B's %d", got, liveB)
+	}
+	st := s.StatsSnapshot()
+	if st.Snapshot.Swaps != 1 {
+		t.Fatalf("swap counter %d, want 1", st.Snapshot.Swaps)
+	}
+	t.Logf("served %d queries across the swap with zero failures", served.Load())
+}
+
+func TestSwapRejectsIncompatibleAndMissing(t *testing.T) {
+	idx, _ := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	if status, _ := postJSON(t, hs.URL+"/swap", SwapRequest{Path: "/does/not/exist.idx"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("missing snapshot: status %d, want 400", status)
+	}
+
+	// A 64-dimensional index is not query-compatible with the serving
+	// 128-dimensional one; the swap must refuse and keep serving.
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 41, Dim: 64})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 2
+	other, err := pqfastscan.Build(gen.Generate(1500), gen.Generate(1500), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "incompatible.idx")
+	if err := other.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := postJSON(t, hs.URL+"/swap", SwapRequest{Path: snap}, nil); status != http.StatusConflict {
+		t.Fatalf("incompatible snapshot: status %d, want 409 (%s)", status, body)
+	}
+	if idx.Dim() != 128 {
+		t.Fatal("serving index replaced by incompatible snapshot")
+	}
+}
+
+// --- snapshot save -----------------------------------------------------
+
+func TestSaveEndpointAndPeriodicSave(t *testing.T) {
+	idx := buildIndex(t, 51, 2000, 3000)
+	snap := filepath.Join(t.TempDir(), "serving.idx")
+	s, hs := newTestServer(t, Config{
+		Index:        idx,
+		SnapshotPath: snap,
+		SaveInterval: 30 * time.Millisecond,
+	})
+
+	var saved SaveResponse
+	if status, body := postJSON(t, hs.URL+"/save", SaveRequest{}, &saved); status != http.StatusOK || !saved.Saved {
+		t.Fatalf("save status %d: %s", status, body)
+	}
+	reloaded, err := pqfastscan.LoadIndex(saved.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Live() != idx.Live() {
+		t.Fatalf("reloaded snapshot live %d, want %d", reloaded.Live(), idx.Live())
+	}
+
+	// The background saver must tick at least once more.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.StatsSnapshot().Snapshot.Saves >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("periodic saver never ran (saves=%d)", s.StatsSnapshot().Snapshot.Saves)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// --- shutdown ----------------------------------------------------------
+
+// TestCloseCompletesInFlight verifies shutdown serves already-submitted
+// searches instead of stranding their handlers.
+func TestCloseCompletesInFlight(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	s, err := New(Config{Index: idx, BatchWindow: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _ = postJSON(t, hs.URL+"/search",
+				SearchRequest{Query: queries.Row(i), K: 3}, nil)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // requests are parked in the window
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	for i, st := range statuses {
+		if st != http.StatusOK && st != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+}
+
+func TestNewRequiresIndex(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil index")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	idx, _ := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx})
+	resp, err := http.Get(hs.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	_, hs := newTestServer(t, Config{Index: idx, MaxBodyBytes: 256})
+	status, body := postJSON(t, hs.URL+"/search", SearchRequest{Query: queries.Row(0), K: 5}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400 (%s)", status, body)
+	}
+}

@@ -30,13 +30,17 @@
 // Delete. Kernels run on one of two execution engines returning
 // bit-identical results: the native SWAR engine (default, fast on the
 // wall clock) and the instruction-counting model engine that powers
-// WithStats. See the examples directory for complete programs and
+// WithStats. An *Index is also a swappable snapshot holder (Swap), the
+// hook behind the hot-reloading network service in internal/server and
+// cmd/pqserve. See the examples directory for complete programs and
 // DESIGN.md for the API shape, the mutation semantics, the persist
-// format, and the two-engine design (§9).
+// format, the two-engine design (§9) and the serving architecture
+// (§10).
 package pqfastscan
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pqfastscan/internal/dataset"
 	"pqfastscan/internal/index"
@@ -157,9 +161,26 @@ func DefaultBuildOptions() BuildOptions {
 
 // Index is a built IVFADC index answering approximate nearest neighbor
 // queries with any of the scan kernels.
+//
+// An Index is also a snapshot holder: Swap atomically replaces the index
+// it serves under live traffic, so a long-lived *Index handle (the query
+// service keeps one) can be re-pointed at a freshly loaded snapshot
+// without pausing queries.
 type Index struct {
-	inner *index.Index
+	inner atomic.Pointer[index.Index]
 }
+
+// newIndex wraps an internal index in a façade handle.
+func newIndex(in *index.Index) *Index {
+	ix := &Index{}
+	ix.inner.Store(in)
+	return ix
+}
+
+// load returns the snapshot currently served by this handle. Callers use
+// the returned *index.Index for the whole operation, so a concurrent
+// Swap never splits one query across two snapshots.
+func (ix *Index) load() *index.Index { return ix.inner.Load() }
 
 // Build trains the index on learn and indexes every row of base.
 func Build(learn, base Matrix, opt BuildOptions) (*Index, error) {
@@ -187,19 +208,47 @@ func Build(learn, base Matrix, opt BuildOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner}, nil
+	return newIndex(inner), nil
 }
 
 // Stats describes a scan's dynamic behaviour (pruning power, op counts).
 type Stats = scan.Stats
 
 // PartitionSizes returns the size of each IVF cell.
-func (ix *Index) PartitionSizes() []int { return ix.inner.PartitionSizes() }
+func (ix *Index) PartitionSizes() []int { return ix.load().PartitionSizes() }
+
+// Dim returns the dimensionality of the indexed vectors.
+func (ix *Index) Dim() int { return ix.load().Dim }
+
+// Partitions returns the number of IVF cells — the upper bound for
+// WithNProbe — without materializing the per-cell sizes.
+func (ix *Index) Partitions() int { return len(ix.load().Parts) }
 
 // Save writes the trained index to path atomically, so the expensive
-// construction pipeline runs once. Load it back with LoadIndex.
+// construction pipeline runs once. Load it back with LoadIndex. Saving
+// takes a consistent snapshot under the index read lock, so it is safe
+// under concurrent queries and mutations.
 func (ix *Index) Save(path string) error {
-	return persist.SaveIndex(path, ix.inner)
+	return persist.SaveIndex(path, ix.load())
+}
+
+// Swap atomically replaces the index this handle serves with the one
+// behind next and returns a handle over the replaced snapshot. Queries
+// in flight at the instant of the swap keep the snapshot they started
+// on and drain there; every later call sees the new one. The
+// replacement must be query-compatible (same dimensionality and PQ
+// configuration) or Swap returns an error and serves the old snapshot
+// unchanged. This is the hot-reload hook the serving layer
+// (internal/server) builds on.
+func (ix *Index) Swap(next *Index) (*Index, error) {
+	if next == nil {
+		return nil, fmt.Errorf("pqfastscan: Swap with nil index")
+	}
+	in := next.load()
+	if err := ix.load().CompatibleWith(in); err != nil {
+		return nil, err
+	}
+	return newIndex(ix.inner.Swap(in)), nil
 }
 
 // LoadIndex reads an index previously written with Save. The loaded
@@ -209,12 +258,12 @@ func LoadIndex(path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner}, nil
+	return newIndex(inner), nil
 }
 
 // Internal exposes the underlying index to the benchmark harness.
 // It is not part of the stable API.
-func (ix *Index) Internal() *index.Index { return ix.inner }
+func (ix *Index) Internal() *index.Index { return ix.load() }
 
 // DatasetConfig configures the synthetic SIFT-like dataset generator
 // standing in for ANN_SIFT1B (see DESIGN.md).

@@ -64,6 +64,12 @@ func WithNProbe(nprobe int) SearchOption {
 // scans, and it only engages when more than one partition is probed.
 // SearchBatch ignores it: the batch already runs one worker per core,
 // and nesting per-query parallelism would only oversubscribe.
+//
+// Combining WithParallel with WithStats is fully supported: each
+// partition scan keeps its own counters and they are merged in
+// deterministic cell-visit order after the workers join, so the
+// attached Stats (operation counts included) are identical to the
+// sequential multi-probe scan's. A test pins this equivalence.
 func WithParallel() SearchOption {
 	return func(c *searchConfig) { c.parallel = true }
 }
@@ -72,7 +78,9 @@ func WithParallel() SearchOption {
 // counts) to the SearchResult, for instrumentation and experiments.
 // Statistics imply the model engine — only it counts instructions — so
 // WithStats pins the search to EngineModel; combining it with an
-// explicit WithEngine(EngineNative) is rejected.
+// explicit WithEngine(EngineNative) is rejected. WithParallel composes
+// cleanly: per-partition counters merge deterministically (see
+// WithParallel), never racing and never silently disabling collection.
 func WithStats() SearchOption {
 	return func(c *searchConfig) { c.stats = true }
 }
@@ -98,7 +106,7 @@ func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...Sea
 	if err != nil {
 		return nil, err
 	}
-	resp, err := ix.inner.Query(ctx, index.Request{
+	resp, err := ix.load().Query(ctx, index.Request{
 		Query: query, K: k, Kernel: cfg.kernel, Engine: cfg.engine,
 		NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
@@ -116,7 +124,7 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 	if err != nil {
 		return nil, err
 	}
-	resps, err := ix.inner.QueryBatch(ctx, queries, index.Request{
+	resps, err := ix.load().QueryBatch(ctx, queries, index.Request{
 		K: k, Kernel: cfg.kernel, Engine: cfg.engine,
 		NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
@@ -192,7 +200,7 @@ var _ Searcher = (*optionedSearcher)(nil)
 // to an index rebuilt from scratch over the same vectors.
 func (ix *Index) Add(vector []float32) (int64, error) {
 	m := Matrix{Data: vector, Dim: len(vector)}
-	ids, err := ix.inner.Add(m)
+	ids, err := ix.load().Add(m)
 	if err != nil {
 		return 0, err
 	}
@@ -202,7 +210,7 @@ func (ix *Index) Add(vector []float32) (int64, error) {
 // AddBatch indexes every row of vectors online and returns the assigned
 // ids in row order.
 func (ix *Index) AddBatch(vectors Matrix) ([]int64, error) {
-	return ix.inner.Add(vectors)
+	return ix.load().Add(vectors)
 }
 
 // Delete removes the vector with the given id from future search
@@ -210,11 +218,11 @@ func (ix *Index) AddBatch(vectors Matrix) ([]int64, error) {
 // partition block (and is skipped by every kernel) until the index is
 // rebuilt. It reports whether the id was present and alive.
 func (ix *Index) Delete(id int64) bool {
-	return ix.inner.Delete(id)
+	return ix.load().Delete(id)
 }
 
 // Live returns the number of indexed vectors that have not been deleted.
-func (ix *Index) Live() int { return ix.inner.Live() }
+func (ix *Index) Live() int { return ix.load().Live() }
 
 // --- Deprecated pre-context API ----------------------------------------
 //

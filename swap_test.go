@@ -1,0 +1,78 @@
+package pqfastscan_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pqfastscan"
+)
+
+// TestSwap pins the façade's hot-swap semantics: the handle serves the
+// new snapshot after Swap, the returned handle serves the old one, and
+// an incompatible replacement is refused with the serving index intact.
+func TestSwap(t *testing.T) {
+	serving, _, queries := sharedAPIIndex(t)
+	liveA := serving.Live()
+
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 99})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 4 // the shared fixture's; swaps require an equal cell count
+	next, err := pqfastscan.Build(gen.Generate(1500), gen.Generate(1700), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old, err := serving.Swap(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Other tests share this fixture; restore the original snapshot.
+	defer func() {
+		if _, err := serving.Swap(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if serving.Live() != next.Live() || serving.Live() != 1700 {
+		t.Fatalf("handle serves %d live vectors after swap, want 1700", serving.Live())
+	}
+	if old.Live() != liveA {
+		t.Fatalf("returned handle serves %d live vectors, want old snapshot's %d", old.Live(), liveA)
+	}
+	res, err := serving.Search(context.Background(), queries.Row(0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 5 {
+		t.Fatalf("post-swap search returned %d results", len(res.Results))
+	}
+
+	// Incompatible replacement: different dimensionality.
+	gen64 := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 98, Dim: 64})
+	other, err := pqfastscan.Build(gen64.Generate(1200), gen64.Generate(1200), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serving.Swap(other); err == nil || !strings.Contains(err.Error(), "dim") {
+		t.Fatalf("incompatible swap: got %v, want dimension error", err)
+	}
+
+	// Incompatible replacement: fewer partitions (a previously valid
+	// nprobe would go out of range mid-stream).
+	opt2 := opt
+	opt2.Partitions = 2
+	narrow, err := pqfastscan.Build(gen.Generate(1200), gen.Generate(1200), opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serving.Swap(narrow); err == nil || !strings.Contains(err.Error(), "partitions") {
+		t.Fatalf("partition-count swap: got %v, want partitions error", err)
+	}
+	if serving.Live() != 1700 {
+		t.Fatal("failed swap replaced the serving snapshot")
+	}
+	if _, err := serving.Swap(nil); err == nil {
+		t.Fatal("nil swap accepted")
+	}
+}
