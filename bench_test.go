@@ -105,13 +105,13 @@ func benchmarkKernel(b *testing.B, kern index.Kernel, fsOpt scan.FastScanOptions
 	env := sharedEnv(b)
 	part := 0
 	bestN := -1
-	for i, p := range env.Index.Parts {
+	for i, p := range env.Index.Parts() {
 		if p.N > bestN {
 			part, bestN = i, p.N
 		}
 	}
 	t := env.TablesFor(0, part)
-	p := env.Index.Parts[part]
+	p := env.Index.Parts()[part]
 	var fs *scan.FastScan
 	if kern == index.KernelFastScan || kern == index.KernelFastScan256 {
 		var err error
@@ -152,7 +152,7 @@ func BenchmarkScanQuantizationOnly(b *testing.B) {
 func BenchmarkScanFastScan256(b *testing.B) {
 	env := sharedEnv(b)
 	bestN := -1
-	for _, p := range env.Index.Parts {
+	for _, p := range env.Index.Parts() {
 		if p.N > bestN {
 			bestN = p.N
 		}
@@ -163,7 +163,7 @@ func BenchmarkScanFastScan256(b *testing.B) {
 func BenchmarkScanFastScan(b *testing.B) {
 	env := sharedEnv(b)
 	bestN := -1
-	for _, p := range env.Index.Parts {
+	for _, p := range env.Index.Parts() {
 		if p.N > bestN {
 			bestN = p.N
 		}

@@ -27,6 +27,17 @@
 //	pqbench -serve
 //	pqbench -serve -serve-url http://localhost:8080
 //	pqbench -json -serve > BENCH_prN.json
+//
+// -mixed runs the mixed read/write isolation benchmark: concurrent
+// searchers over a quiescent index versus the same index absorbing a
+// configurable write ratio (online Add/Delete plus background
+// compaction), reporting read p50/p99 for both phases and their ratio —
+// near 1 means mutations no longer stall readers. Combine with -json
+// for the pqfastscan-bench/v3 document (the BENCH_pr4.json baseline):
+//
+//	pqbench -mixed
+//	pqbench -mixed -mixed-write-ratio 0.2
+//	pqbench -json -mixed > BENCH_prN.json
 package main
 
 import (
@@ -61,11 +72,17 @@ func main() {
 		serveDur  = flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
 		serveConc = flag.Int("serve-conc", 16, "concurrent load-generator clients for -serve")
 		serveNP   = flag.Int("serve-nprobe", 1, "nprobe per served query")
+
+		mixedOut     = flag.Bool("mixed", false, "run the mixed read/write isolation benchmark (read p50/p99 with and without concurrent writers); with -json, emit one combined report")
+		mixedN       = flag.Int("mixed-n", 100000, "database size for the -mixed benchmark")
+		mixedReaders = flag.Int("mixed-readers", 0, "concurrent searcher goroutines for -mixed (0 = 2×GOMAXPROCS)")
+		mixedRatio   = flag.Float64("mixed-write-ratio", 0.05, "target write fraction of total operations during the mutating phase")
+		mixedDur     = flag.Duration("mixed-duration", 3*time.Second, "per-phase measurement window for -mixed")
 	)
 	flag.Parse()
 
-	if *jsonOut || *serveOut {
-		runMachineReadable(*jsonOut, *serveOut, *seed, *jsonSize, *jsonK,
+	if *jsonOut || *serveOut || *mixedOut {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -74,6 +91,14 @@ func main() {
 				NProbe:      *serveNP,
 				Concurrency: *serveConc,
 				Duration:    *serveDur,
+			},
+			bench.MixedConfig{
+				BaseN:      *mixedN,
+				Seed:       *seed,
+				K:          *jsonK,
+				Readers:    *mixedReaders,
+				WriteRatio: *mixedRatio,
+				Duration:   *mixedDur,
 			})
 		return
 	}
@@ -140,10 +165,11 @@ func main() {
 	}
 }
 
-// runMachineReadable dispatches the -json / -serve modes: either report
-// alone, or the combined pqfastscan-bench/v2 document when both are
-// requested (the BENCH_pr3.json baseline format).
-func runMachineReadable(kernels, serve bool, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig) {
+// runMachineReadable dispatches the -json / -serve / -mixed modes: a
+// single report alone, or the combined document when several are
+// requested (pqfastscan-bench/v2 for kernels+serve, v3 once the mixed
+// section participates — the BENCH_pr4.json baseline format).
+func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -154,32 +180,59 @@ func runMachineReadable(kernels, serve bool, seed uint64, sizeList string, k int
 			sizes = append(sizes, v)
 		}
 	}
-	switch {
-	case kernels && serve:
+	single := 0
+	for _, on := range []bool{kernels, serve, mixed} {
+		if on {
+			single++
+		}
+	}
+	if single == 1 {
+		var err error
+		switch {
+		case serve:
+			err = bench.RunServe(os.Stdout, serveCfg)
+		case mixed:
+			err = bench.RunMixed(os.Stdout, mixedCfg)
+		default:
+			err = bench.RunWallClock(os.Stdout, seed, sizes, k)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v2"}
+	if mixed {
+		combined.Schema = "pqfastscan-bench/v3"
+	}
+	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
 		if err != nil {
 			log.Fatal(err)
 		}
+		combined.Kernels = kr
+	}
+	if serve {
 		fmt.Fprintln(os.Stderr, "running served-throughput benchmark...")
 		sr, err := bench.MeasureServe(serveCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(bench.CombinedReport{
-			Schema: "pqfastscan-bench/v2", Kernels: kr, Serve: sr,
-		}); err != nil {
+		combined.Serve = sr
+	}
+	if mixed {
+		fmt.Fprintln(os.Stderr, "running mixed read/write benchmark...")
+		mr, err := bench.MeasureMixed(mixedCfg)
+		if err != nil {
 			log.Fatal(err)
 		}
-	case serve:
-		if err := bench.RunServe(os.Stdout, serveCfg); err != nil {
-			log.Fatal(err)
-		}
-	default:
-		if err := bench.RunWallClock(os.Stdout, seed, sizes, k); err != nil {
-			log.Fatal(err)
-		}
+		combined.Mixed = mr
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(combined); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -13,15 +13,20 @@
 //
 //	POST /search   {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
 //	POST /add      {"vectors":[[...],...]}
-//	POST /delete   {"id":123}
+//	POST /delete   {"id":123}                 404 when the id is not live
 //	POST /swap     {"path":"/data/new.idx"}   hot snapshot swap
 //	POST /save     {"path":"..."}             persist the serving index
+//	POST /compact  {"partition":-1}           reclaim tombstones online
 //	GET  /healthz
-//	GET  /stats    request counts, p50/p99 latency, batch widths, sheds
+//	GET  /stats    request counts, p50/p99 latency, batch widths, sheds,
+//	               per-partition live/dead/epoch counters
 //
 // Concurrent /search requests are micro-batched into SearchBatch calls;
 // load beyond -max-inflight is shed with 429 after -queue-timeout; -save-
-// interval enables periodic background persistence to -snapshot.
+// interval enables periodic background persistence to -snapshot;
+// -compact-interval enables the background dead-ratio compaction policy
+// (partitions past -compact-threshold are rebuilt online without their
+// tombstones).
 package main
 
 import (
@@ -55,6 +60,8 @@ func main() {
 		maxK         = flag.Int("max-k", 1000, "largest accepted k")
 		snapshot     = flag.String("snapshot", "", "path for /save and periodic background saves (default: -index path)")
 		saveEvery    = flag.Duration("save-interval", 0, "periodic background save interval (0 disables)")
+		compactEvery = flag.Duration("compact-interval", time.Minute, "background compaction policy interval (0 disables); keeping it on bounds per-delete tombstone-set copy cost")
+		compactAt    = flag.Float64("compact-threshold", 0.25, "dead ratio at which the policy compacts a partition")
 	)
 	flag.Parse()
 
@@ -68,15 +75,17 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Index:        idx,
-		BatchWindow:  *batchWindow,
-		MaxBatch:     *maxBatch,
-		MaxInFlight:  *maxInFlight,
-		QueueTimeout: *queueTimeout,
-		MaxK:         *maxK,
-		SnapshotPath: snapPath,
-		SaveInterval: *saveEvery,
-		Logf:         log.Printf,
+		Index:            idx,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		MaxInFlight:      *maxInFlight,
+		QueueTimeout:     *queueTimeout,
+		MaxK:             *maxK,
+		SnapshotPath:     snapPath,
+		SaveInterval:     *saveEvery,
+		CompactInterval:  *compactEvery,
+		CompactThreshold: *compactAt,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -84,7 +84,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loaded.Delete(ids[0])
+	if err := loaded.Delete(ids[0]); err != nil {
+		log.Fatal(err)
+	}
 	if err := loaded.Save(path); err != nil {
 		log.Fatal(err)
 	}

@@ -92,8 +92,8 @@ func main() {
 	}
 	fmt.Printf("added %d vectors online (ids %d..%d)\n", len(ids), ids[0], ids[len(ids)-1])
 	best := fast.Results[0].ID
-	if !idx.Delete(best) {
-		log.Fatalf("delete of id %d failed", best)
+	if err := idx.Delete(best); err != nil {
+		log.Fatalf("delete of id %d failed: %v", best, err)
 	}
 	res, err := idx.Search(ctx, q, 5)
 	if err != nil {

@@ -65,7 +65,8 @@ func Figure11Ablation(env *Env, w io.Writer) error {
 			q := env.Pool.Row(qi)
 			part := row.ix.RoutePartition(q)
 			t := row.ix.Tables(q, part)
-			fs, err := scan.NewFastScan(row.ix.Parts[part], HeadlineFastOpts(row.ix.Parts[part].N, 100))
+			p := row.ix.Parts()[part]
+			fs, err := scan.NewFastScan(p, HeadlineFastOpts(p.N, 100))
 			if err != nil {
 				return err
 			}
@@ -91,7 +92,7 @@ func minTableGap(ix *index.Index, env *Env) float64 {
 		q := env.Queries.Row(qi)
 		part := ix.RoutePartition(q)
 		t := ix.Tables(q, part)
-		p := ix.Parts[part]
+		p := ix.Parts()[part]
 		for j := 0; j < scan.M; j++ {
 			row := t.Row(j)
 			var mins [16]float32
@@ -125,7 +126,7 @@ func minTableGap(ix *index.Index, env *Env) float64 {
 // nmin(c) = 50·16^c rule.
 func GroupingAblation(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	pool := env.partitionPoolQueries(part, 8)
 	if len(pool) == 0 {
@@ -168,7 +169,7 @@ func GroupingAblation(env *Env, w io.Writer) error {
 // threshold earlier, which matters at sub-paper partition sizes.
 func OrderingAblation(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	tw := newTab(w)
 	fmt.Fprintf(tw, "group order\tpruned %%\tspeed [Mvecs/s]\n")
@@ -207,7 +208,7 @@ func MemoryFootprint(env *Env, w io.Writer) error {
 	tw := newTab(w)
 	fmt.Fprintf(tw, "partition\t# vectors\tc\trow-major bytes\tpacked bytes\tsaving %%\n")
 	var totPacked, totRow int
-	for part := range env.Index.Parts {
+	for part := range env.Index.Parts() {
 		fs, err := env.Index.FastScanner(part)
 		if err != nil {
 			return err

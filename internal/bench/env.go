@@ -154,7 +154,7 @@ func (e *Env) FastScanner(part int, opt scan.FastScanOptions) (*scan.FastScan, e
 	if fs, ok := e.fastOpts[key]; ok {
 		return fs, nil
 	}
-	fs, err := scan.NewFastScan(e.Index.Parts[part], opt)
+	fs, err := scan.NewFastScan(e.Index.Parts()[part], opt)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ type ScanOutcome struct {
 // the tables of query qi.
 func (e *Env) RunKernel(kernel index.Kernel, qi, k int, fsOpt scan.FastScanOptions) (ScanOutcome, error) {
 	part, t := e.QueryTables(qi)
-	p := e.Index.Parts[part]
+	p := e.Index.Parts()[part]
 	start := time.Now()
 	var (
 		res   []topk.Result

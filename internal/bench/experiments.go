@@ -89,7 +89,7 @@ func Table2(w io.Writer) error {
 // "partition 0" is its largest, 25 M vectors).
 func (e *Env) largestPartition() int {
 	best, bestN := 0, -1
-	for i, p := range e.Index.Parts {
+	for i, p := range e.Index.Parts() {
 		if p.N > bestN {
 			best, bestN = i, p.N
 		}
@@ -109,7 +109,7 @@ func (e *Env) TablesFor(qi, part int) quantizer.Tables {
 // runOn executes kernel over an explicit partition with query qi's tables.
 func (e *Env) runOn(kernel index.Kernel, part, qi, k int, fsOpt scan.FastScanOptions) (ScanOutcome, error) {
 	t := e.TablesFor(qi, part)
-	p := e.Index.Parts[part]
+	p := e.Index.Parts()[part]
 	switch kernel {
 	case index.KernelNaive:
 		r, s := scan.Naive(p, t, k)
@@ -148,7 +148,7 @@ func (e *Env) runOn(kernel index.Kernel, part, qi, k int, fsOpt scan.FastScanOpt
 // partition.
 func (e *Env) runPool(kernel index.Kernel, poolQi, k int, fsOpt scan.FastScanOptions) (ScanOutcome, int, error) {
 	part, t := e.PoolTables(poolQi)
-	p := e.Index.Parts[part]
+	p := e.Index.Parts()[part]
 	var (
 		r   []topk.Result
 		st  scan.Stats
@@ -206,7 +206,7 @@ func perVector(c perf.Counters, n int) perf.Counters {
 // performance counters, the paper's Figure 3 panels.
 func Figure3(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	pool := env.partitionPoolQueries(part, 8)
 	if len(pool) == 0 {
@@ -283,7 +283,7 @@ func quantile(sorted []float64, q float64) float64 {
 // median speedup at paper scale.
 func Figure14(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	pool := env.partitionPoolQueries(part, 16)
 	if len(pool) == 0 {
@@ -338,7 +338,7 @@ func Figure14(env *Env, w io.Writer) error {
 // fastpq (the paper's 9 -> 1.3 L1 loads and 34 -> 3.7 instructions).
 func Figure15(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	tw := newTab(w)
 	fmt.Fprintf(tw, "impl\tcycles/vec\tinstr/vec\tL1 loads/vec\tIPC\tpruned %%\n")
@@ -406,7 +406,7 @@ func Figure16(env *Env, w io.Writer) error {
 			var fastSpeed, libpqSpeed float64
 			for qi := 0; qi < env.Scale.QueryN; qi++ {
 				part, _ := env.QueryTables(qi)
-				n := env.Index.Parts[part].N
+				n := env.Index.Parts()[part].N
 				out, err := env.runOn(index.KernelFastScan, part, qi, topk, opt)
 				if err != nil {
 					return err
@@ -465,7 +465,7 @@ func Figure18(env *Env, w io.Writer) error {
 		var fastSpeed, libpqSpeed float64
 		for qi := 0; qi < env.Scale.QueryN; qi++ {
 			part, _ := env.QueryTables(qi)
-			n := env.Index.Parts[part].N
+			n := env.Index.Parts()[part].N
 			out, err := env.runOn(index.KernelFastScan, part, qi, topk, HeadlineFastOpts(n, topk))
 			if err != nil {
 				return err
@@ -491,17 +491,18 @@ func Figure18(env *Env, w io.Writer) error {
 // partitions too small for deep grouping (the nmin(c) rule).
 func Figure19(env *Env, w io.Writer) error {
 	arch := perf.Haswell
-	order := make([]int, len(env.Index.Parts))
+	parts := env.Index.Parts()
+	order := make([]int, len(parts))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return env.Index.Parts[order[a]].N > env.Index.Parts[order[b]].N
+		return parts[order[a]].N > parts[order[b]].N
 	})
 	tw := newTab(w)
 	fmt.Fprintf(tw, "partition\t# vectors\tc\t# queries\tpruned %%\tspeed [Mvecs/s fastpq]\tspeed [Mvecs/s libpq]\n")
 	for _, part := range order {
-		n := env.Index.Parts[part].N
+		n := parts[part].N
 		opt := HeadlineFastOpts(n, 100)
 		pool := env.partitionPoolQueries(part, 8)
 		if len(pool) == 0 {
@@ -549,7 +550,7 @@ func Figure20(env *Env, w io.Writer) error {
 	var totalN int
 	for qi := 0; qi < env.Scale.QueryN; qi++ {
 		part, _ := env.QueryTables(qi)
-		n := env.Index.Parts[part].N
+		n := env.Index.Parts()[part].N
 		totalN += n
 		out, err := env.runOn(index.KernelFastScan, part, qi, 100, HeadlineFastOpts(n, 100))
 		if err != nil {

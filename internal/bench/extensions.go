@@ -20,7 +20,7 @@ func init() {
 // work per vector. Results are identical; only modeled cost changes.
 func WideAblation(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	arch := perf.Haswell
 	tw := newTab(w)
 	fmt.Fprintf(tw, "kernel\tregister width\tinstr/vec\tcycles/vec\tspeed [Mvecs/s]\tpruned %%\n")
@@ -69,7 +69,7 @@ func WideAblation(env *Env, w io.Writer) error {
 // sustained DRAM bandwidth.
 func BandwidthExperiment(env *Env, w io.Writer) error {
 	part := env.largestPartition()
-	n := env.Index.Parts[part].N
+	n := env.Index.Parts()[part].N
 	opt := HeadlineFastOpts(n, 100)
 
 	// Per-core modeled speed and per-vector traffic for both kernels.

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan"
+)
+
+// MixedConfig parameterizes the mixed read/write benchmark: concurrent
+// searchers against an index absorbing online Add/Delete traffic and
+// background compaction — the workload the copy-on-write epoch core is
+// built for. The benchmark runs two equal phases over the same index:
+// a quiescent phase (readers only) and a mutating phase (readers plus a
+// paced writer plus the compaction policy), and reports read latency
+// quantiles for both so regressions in read isolation show up as a
+// p99 ratio, not an absolute number that drifts with hardware.
+type MixedConfig struct {
+	BaseN      int           // database size (default 100000)
+	LearnN     int           // training set size (default BaseN/10)
+	Partitions int           // IVF cells (default 8)
+	Seed       uint64        // dataset and build seed (default 42)
+	K          int           // top-k per search (default 100)
+	NProbe     int           // cells probed per search (default 1)
+	Readers    int           // concurrent searcher goroutines (default 2×GOMAXPROCS: enough to keep every core busy without drowning the p99 in run-queue wait)
+	Duration   time.Duration // per-phase wall clock (default 3s)
+	// WriteRatio is the target fraction of operations that are writes
+	// during the mutating phase (default 0.05). The writer paces itself
+	// against the live read counter to hold the ratio.
+	WriteRatio float64
+	// WriteBatch is the vectors per Add call (default 16); one in four
+	// write operations is a Delete of a previously added id.
+	WriteBatch int
+	// CompactThreshold is the dead-ratio policy applied during the
+	// mutating phase (default 0.1).
+	CompactThreshold float64
+}
+
+func (c MixedConfig) withDefaults() MixedConfig {
+	if c.BaseN <= 0 {
+		c.BaseN = 100000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 1
+	}
+	if c.Readers <= 0 {
+		c.Readers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.WriteRatio <= 0 {
+		c.WriteRatio = 0.05
+	}
+	if c.WriteRatio > 0.9 {
+		c.WriteRatio = 0.9
+	}
+	if c.WriteBatch <= 0 {
+		c.WriteBatch = 16
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 0.1
+	}
+	return c
+}
+
+// MixedPhase reports one phase of the mixed benchmark.
+type MixedPhase struct {
+	Reads       int64   `json:"reads"`
+	Writes      int64   `json:"writes"`  // Add/Delete operations
+	Added       int64   `json:"added"`   // vectors ingested
+	Deleted     int64   `json:"deleted"` // ids tombstoned
+	Compactions int64   `json:"compactions"`
+	Reclaimed   int64   `json:"reclaimed"` // tombstoned rows removed
+	ReadQPS     float64 `json:"read_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// MixedReport is the JSON document of one mixed read/write run.
+type MixedReport struct {
+	Schema     string  `json:"schema"`
+	BaseN      int     `json:"base_n"`
+	Partitions int     `json:"partitions"`
+	Readers    int     `json:"readers"`
+	K          int     `json:"k"`
+	NProbe     int     `json:"nprobe"`
+	WriteRatio float64 `json:"write_ratio"`
+	DurationS  float64 `json:"phase_duration_s"`
+
+	Quiescent MixedPhase `json:"quiescent"`
+	Mutating  MixedPhase `json:"mutating"`
+
+	// P99Ratio is mutating-phase read p99 over quiescent-phase read p99
+	// — the headline number: with the lock-free epoch read path it stays
+	// near 1 instead of spiking while writers hold a global lock.
+	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// quantileMs returns the q-quantile of sorted latency samples in ms.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// MeasureMixed runs the two-phase mixed benchmark and returns its
+// report.
+func MeasureMixed(cfg MixedConfig) (*MixedReport, error) {
+	cfg = cfg.withDefaults()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = cfg.Partitions
+	opt.Seed = cfg.Seed
+	idx, err := pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build mixed-workload index: %w", err)
+	}
+	queries := gen.Generate(256)
+	ctx := context.Background()
+	// Warm every Fast Scan layout so neither phase pays construction.
+	if _, err := idx.Search(ctx, queries.Row(0), cfg.K, pqfastscan.WithNProbe(cfg.Partitions)); err != nil {
+		return nil, err
+	}
+
+	report := &MixedReport{
+		Schema:     "pqfastscan-mixed/v1",
+		BaseN:      cfg.BaseN,
+		Partitions: cfg.Partitions,
+		Readers:    cfg.Readers,
+		K:          cfg.K,
+		NProbe:     cfg.NProbe,
+		WriteRatio: cfg.WriteRatio,
+		DurationS:  cfg.Duration.Seconds(),
+	}
+
+	runPhase := func(mutate bool) (MixedPhase, error) {
+		var (
+			reads    atomic.Int64
+			writes   atomic.Int64
+			phaseErr atomic.Value
+			stop     = make(chan struct{})
+			wg       sync.WaitGroup
+		)
+		fail := func(err error) { phaseErr.CompareAndSwap(nil, err) }
+		lat := make([][]time.Duration, cfg.Readers)
+
+		for r := 0; r < cfg.Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				i := r
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := queries.Row(i % queries.Rows())
+					i++
+					t0 := time.Now()
+					_, err := idx.Search(ctx, q, cfg.K, pqfastscan.WithNProbe(cfg.NProbe))
+					if err != nil {
+						fail(err)
+						return
+					}
+					lat[r] = append(lat[r], time.Since(t0))
+					reads.Add(1)
+				}
+			}(r)
+		}
+
+		var ph MixedPhase
+		if mutate {
+			// Writer: paced against the read counter to hold WriteRatio.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wgen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 1})
+				var recent []int64
+				op := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					total := reads.Load() + writes.Load()
+					if float64(writes.Load()) >= cfg.WriteRatio*float64(total+1) {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if op%4 == 3 && len(recent) > 0 {
+						id := recent[0]
+						recent = recent[1:]
+						if err := idx.Delete(id); err != nil {
+							fail(err)
+							return
+						}
+						ph.Deleted++
+					} else {
+						ids, err := idx.AddBatch(wgen.Generate(cfg.WriteBatch))
+						if err != nil {
+							fail(err)
+							return
+						}
+						recent = append(recent, ids...)
+						ph.Added += int64(len(ids))
+					}
+					op++
+					writes.Add(1)
+				}
+			}()
+			// Compactor: the background dead-ratio policy.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t := time.NewTicker(cfg.Duration / 10)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+						results, err := idx.Compact(cfg.CompactThreshold)
+						if err != nil {
+							fail(err)
+							return
+						}
+						for _, c := range results {
+							ph.Compactions++
+							ph.Reclaimed += int64(c.Reclaimed)
+						}
+					}
+				}
+			}()
+		}
+
+		time.Sleep(cfg.Duration)
+		close(stop)
+		wg.Wait()
+		if err := phaseErr.Load(); err != nil {
+			return ph, err.(error)
+		}
+
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		ph.Reads = reads.Load()
+		ph.Writes = writes.Load()
+		ph.ReadQPS = float64(ph.Reads) / cfg.Duration.Seconds()
+		ph.P50Ms = quantileMs(all, 0.50)
+		ph.P90Ms = quantileMs(all, 0.90)
+		ph.P99Ms = quantileMs(all, 0.99)
+		if len(all) > 0 {
+			ph.MaxMs = float64(all[len(all)-1].Nanoseconds()) / 1e6
+		}
+		return ph, nil
+	}
+
+	if report.Quiescent, err = runPhase(false); err != nil {
+		return nil, err
+	}
+	if report.Mutating, err = runPhase(true); err != nil {
+		return nil, err
+	}
+	if report.Quiescent.P99Ms > 0 {
+		report.P99Ratio = report.Mutating.P99Ms / report.Quiescent.P99Ms
+	}
+	return report, nil
+}
+
+// RunMixed runs the mixed benchmark and writes its JSON report to w.
+func RunMixed(w io.Writer, cfg MixedConfig) error {
+	report, err := MeasureMixed(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -260,10 +260,13 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 }
 
 // CombinedReport pairs the kernel wall-clock trajectory with the served
-// throughput of the same build — the document BENCH_pr3.json records
-// (cmd/pqbench -json -serve).
+// throughput and/or the mixed read-write isolation numbers of the same
+// build — the document the BENCH_pr*.json baselines record
+// (cmd/pqbench -json -serve, -json -mixed, or all three). Schema is
+// pqfastscan-bench/v2 without the mixed section and v3 with it.
 type CombinedReport struct {
-	Schema  string           `json:"schema"` // pqfastscan-bench/v2
-	Kernels *WallClockReport `json:"kernels"`
-	Serve   *ServeReport     `json:"serve"`
+	Schema  string           `json:"schema"`
+	Kernels *WallClockReport `json:"kernels,omitempty"`
+	Serve   *ServeReport     `json:"serve,omitempty"`
+	Mixed   *MixedReport     `json:"mixed,omitempty"`
 }

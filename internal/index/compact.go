@@ -1,0 +1,113 @@
+// Online compaction: tombstoned codes accumulate in partition epochs
+// (Delete never rewrites code blocks) and cost scan time forever unless
+// reclaimed. The compactor rebuilds a partition without its dead rows —
+// entirely off the serving path, under the partition's builder lock —
+// and publishes the compacted epoch with the same single snapshot swap
+// every mutation uses. Queries in flight keep the old epoch; queries
+// after the swap scan fewer codes for bit-identical results (the scan
+// kernels are exact over the live set, so removing rows that every
+// kernel already skipped changes nothing but cost).
+package index
+
+import (
+	"fmt"
+
+	"pqfastscan/internal/scan"
+)
+
+// PartitionStat describes one partition's occupancy in a snapshot, for
+// compaction policy and the /stats endpoint.
+type PartitionStat struct {
+	Partition int     `json:"partition"`
+	Live      int     `json:"live"`
+	Dead      int     `json:"dead"`
+	Epoch     uint64  `json:"epoch"`
+	DeadRatio float64 `json:"dead_ratio"`
+}
+
+// PartitionStats returns per-partition live/dead/epoch counters from the
+// current snapshot — one atomic load, no locks.
+func (ix *Index) PartitionStats() []PartitionStat {
+	s := ix.snap.Load()
+	out := make([]PartitionStat, len(s.Parts))
+	for i, pe := range s.Parts {
+		st := PartitionStat{
+			Partition: i,
+			Live:      pe.Part.Live(),
+			Dead:      pe.Part.DeadCount(),
+			Epoch:     pe.Epoch,
+		}
+		if pe.Part.N > 0 {
+			st.DeadRatio = float64(st.Dead) / float64(pe.Part.N)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// CompactionResult reports one partition compaction.
+type CompactionResult struct {
+	Partition int    `json:"partition"`
+	Reclaimed int    `json:"reclaimed"` // tombstoned rows removed
+	Live      int    `json:"live"`      // rows in the compacted epoch
+	Epoch     uint64 `json:"epoch"`     // epoch published (0 if none was)
+}
+
+// CompactPartition rebuilds partition c without its tombstoned rows and
+// publishes the compacted epoch. The rebuild runs under the partition's
+// builder lock — contending only with mutations of the same partition —
+// while queries keep scanning the previous epoch until the publish. A
+// partition with no tombstones is left untouched (Reclaimed 0, Epoch 0).
+//
+// If the predecessor epoch had a Fast Scan layout, the compacted epoch
+// gets a fresh one built eagerly here, off the serving path, so the
+// first post-compaction query pays no construction cost. Search results
+// are bit-identical before and after (modulo the deleted ids, which no
+// kernel returned anyway): the kernels are exact over live rows, and
+// regrouping only changes how much the scan prunes, never what it
+// returns.
+func (ix *Index) CompactPartition(c int) (CompactionResult, error) {
+	if c < 0 || c >= ix.Partitions() {
+		return CompactionResult{}, fmt.Errorf("index: partition %d out of range", c)
+	}
+	ix.partMu[c].Lock()
+	defer ix.partMu[c].Unlock()
+	cur := ix.snap.Load().Parts[c]
+	dead := cur.Part.DeadCount()
+	if dead == 0 {
+		return CompactionResult{Partition: c, Live: cur.Part.Live()}, nil
+	}
+	next := cur.Part.Compact()
+	var fast *scan.FastScan
+	if cur.fast.Load() != nil {
+		fs, err := scan.NewFastScan(next, ix.opt.FastScan)
+		if err != nil {
+			return CompactionResult{}, fmt.Errorf("index: compacting partition %d: %w", c, err)
+		}
+		fast = fs
+	}
+	pe := ix.publish(c, next, fast)
+	return CompactionResult{Partition: c, Reclaimed: dead, Live: next.N, Epoch: pe.Epoch}, nil
+}
+
+// Compact compacts every partition whose dead ratio (tombstoned rows /
+// total rows) is at least minDeadRatio, one partition at a time so the
+// builder locks are held briefly and mutations interleave freely. It
+// returns the partitions actually compacted. A minDeadRatio of 0
+// compacts every partition holding any tombstone.
+func (ix *Index) Compact(minDeadRatio float64) ([]CompactionResult, error) {
+	var out []CompactionResult
+	for _, st := range ix.PartitionStats() {
+		if st.Dead == 0 || st.DeadRatio < minDeadRatio {
+			continue
+		}
+		r, err := ix.CompactPartition(st.Partition)
+		if err != nil {
+			return out, err
+		}
+		if r.Reclaimed > 0 {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/vec"
+)
+
+func buildMutable(t *testing.T, seed uint64) (*Index, *dataset.Generator) {
+	t.Helper()
+	gen := dataset.NewGenerator(dataset.Config{Seed: seed, Dim: 32})
+	opt := DefaultOptions()
+	opt.Partitions = 3
+	opt.Seed = seed
+	ix, err := Build(gen.Generate(2000), gen.Generate(9000), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, gen
+}
+
+// TestDeleteNotFound pins the typed-error contract: deleting a
+// never-assigned id, and deleting the same id twice, both return
+// ErrNotFound; a live id deletes cleanly.
+func TestDeleteNotFound(t *testing.T) {
+	ix, _ := buildMutable(t, 61)
+	if err := ix.Delete(4); err != nil {
+		t.Fatalf("delete of live id: %v", err)
+	}
+	if err := ix.Delete(4); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete returned %v, want ErrNotFound", err)
+	}
+	if err := ix.Delete(1 << 40); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("never-assigned id returned %v, want ErrNotFound", err)
+	}
+	if err := ix.Delete(-7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("negative id returned %v, want ErrNotFound", err)
+	}
+}
+
+// TestCompactReclaimsTombstones: compaction removes every tombstoned row
+// from a partition past the threshold, bumps its epoch, and leaves
+// search results bit-identical (deleted ids were already excluded).
+func TestCompactReclaimsTombstones(t *testing.T) {
+	ix, gen := buildMutable(t, 62)
+	queries := gen.Generate(6)
+	ctx := context.Background()
+
+	// Warm every Fast Scan layout so compaction exercises the eager
+	// rebuild path.
+	if _, err := ix.Query(ctx, Request{Query: queries.Row(0), K: 5, Kernel: KernelFastScan, NProbe: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	for id := int64(0); id < 9000; id += 3 {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsBefore := ix.PartitionStats()
+	liveBefore := ix.Live()
+
+	type answer struct{ results []Result }
+	capture := func() []answer {
+		var out []answer
+		for qi := 0; qi < queries.Rows(); qi++ {
+			for _, kern := range []Kernel{KernelNaive, KernelFastScan} {
+				for _, eng := range []Engine{EngineModel, EngineNative} {
+					resp, err := ix.Query(ctx, Request{Query: queries.Row(qi), K: 25, Kernel: kern, Engine: eng, NProbe: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, answer{results: resp.Results})
+				}
+			}
+		}
+		return out
+	}
+	before := capture()
+
+	results, err := ix.Compact(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no partition compacted despite ~33% dead ratio everywhere")
+	}
+	reclaimed := 0
+	for _, r := range results {
+		reclaimed += r.Reclaimed
+	}
+	wantDead := 0
+	for _, st := range statsBefore {
+		wantDead += st.Dead
+	}
+	if reclaimed != wantDead {
+		t.Fatalf("reclaimed %d rows, want %d", reclaimed, wantDead)
+	}
+
+	for i, st := range ix.PartitionStats() {
+		if st.Dead != 0 {
+			t.Fatalf("partition %d still holds %d tombstones after compaction", i, st.Dead)
+		}
+		if st.Epoch <= statsBefore[i].Epoch {
+			t.Fatalf("partition %d epoch did not advance (%d -> %d)", i, statsBefore[i].Epoch, st.Epoch)
+		}
+		if st.Live != statsBefore[i].Live {
+			t.Fatalf("partition %d live count changed: %d -> %d", i, statsBefore[i].Live, st.Live)
+		}
+	}
+	if ix.Live() != liveBefore {
+		t.Fatalf("Live() changed across compaction: %d -> %d", liveBefore, ix.Live())
+	}
+
+	after := capture()
+	for i := range before {
+		if len(before[i].results) != len(after[i].results) {
+			t.Fatalf("answer %d result count changed across compaction", i)
+		}
+		for j := range before[i].results {
+			if before[i].results[j] != after[i].results[j] {
+				t.Fatalf("answer %d rank %d changed across compaction: %+v -> %+v",
+					i, j, before[i].results[j], after[i].results[j])
+			}
+		}
+	}
+
+	// An immediately repeated compaction is a no-op.
+	again, err := ix.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second compaction compacted %d partitions, want 0", len(again))
+	}
+}
+
+// TestCompactThresholdRespected: partitions below the dead-ratio
+// threshold are left alone.
+func TestCompactThresholdRespected(t *testing.T) {
+	ix, _ := buildMutable(t, 63)
+	// Tombstone a handful of rows: dead ratio well under 50%.
+	for id := int64(0); id < 60; id++ {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := ix.Compact(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("compacted %d partitions below threshold", len(results))
+	}
+	results, err = ix.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Reclaimed
+	}
+	if total != 60 {
+		t.Fatalf("threshold-0 compaction reclaimed %d rows, want 60", total)
+	}
+}
+
+// TestCompactPartitionOutOfRange: bad partition indexes error cleanly.
+func TestCompactPartitionOutOfRange(t *testing.T) {
+	ix, _ := buildMutable(t, 64)
+	if _, err := ix.CompactPartition(-1); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if _, err := ix.CompactPartition(99); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+// TestDeleteAfterCompactionStillWorks: compaction rewrites partition
+// rows; the locate map must keep routing deletes of surviving ids.
+func TestDeleteAfterCompactionStillWorks(t *testing.T) {
+	ix, _ := buildMutable(t, 65)
+	if err := ix.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(11); err != nil {
+		t.Fatalf("delete of survivor after compaction: %v", err)
+	}
+	if err := ix.Delete(10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete of reclaimed id returned %v, want ErrNotFound", err)
+	}
+}
+
+// TestScannerCacheFollowsEpoch: the Fast Scan layout cache lives on the
+// partition epoch, so a mutation that publishes a new epoch makes the
+// old scanner unreachable and serves a scanner describing the new codes
+// — the stale-scanner bug of the fastMu design cannot recur.
+func TestScannerCacheFollowsEpoch(t *testing.T) {
+	ix, gen := buildMutable(t, 66)
+	a, err := ix.FastScanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.FastScanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("scanner not cached within one epoch")
+	}
+
+	// Route one vector into partition 0 by brute force: add vectors until
+	// partition 0 grows.
+	n0 := ix.Parts()[0].N
+	for i := 0; i < 64 && ix.Parts()[0].N == n0; i++ {
+		if _, err := ix.Add(vec.Matrix{Data: gen.Generate(1).Row(0), Dim: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Parts()[0].N == n0 {
+		t.Skip("no generated vector routed to partition 0")
+	}
+	c, err := ix.FastScanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("scanner cache survived an epoch change: stale layout would be served")
+	}
+	if got, want := c.Grouped().N+c.KeepN(), ix.Parts()[0].N; got != want {
+		t.Fatalf("new scanner covers %d vectors, partition holds %d", got, want)
+	}
+}
+
+// TestCompactedPersistRoundTrip: a compacted index persists without
+// tombstones (v2) and — tombstones gone — downgrades to format v1
+// again; both reload to bit-identical answers.
+func TestCompactedPersistRoundTrip(t *testing.T) {
+	ix, gen := buildMutable(t, 67)
+	added, err := ix.Add(gen.Generate(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(added); i += 2 {
+		if err := ix.Delete(added[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(0); id < 9000; id += 11 {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ix.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range ix.PartitionStats() {
+		if st.Dead != 0 {
+			t.Fatalf("partition %d kept %d tombstones", st.Partition, st.Dead)
+		}
+	}
+	if ix.NextID() != int64(9400) {
+		t.Fatalf("compaction moved the id allocator to %d", ix.NextID())
+	}
+}

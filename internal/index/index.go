@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pqfastscan/internal/kmeans"
 	"pqfastscan/internal/layout"
@@ -132,22 +133,32 @@ func DefaultOptions() Options {
 	}
 }
 
-// Index is a built IVFADC index. It is safe for concurrent use: queries
-// share a read lock; Add and Delete take the write lock and therefore
-// serialize with in-flight queries.
+// Index is a built IVFADC index. It is safe for concurrent use without
+// any reader lock: queries atomically load an immutable Snapshot of
+// per-partition epochs and scan it lock-free, while Add, Delete and
+// compaction build replacement partitions copy-on-write and publish them
+// with a single pointer swap. A mutation contends only with other
+// mutations of the same partition, never with queries (snapshot.go).
 type Index struct {
 	Dim    int
 	Coarse vec.Matrix // Partitions x Dim coarse centroids
 	PQ     *quantizer.ProductQuantizer
-	Parts  []*scan.Partition
 
-	opt  Options
-	fast []*scan.FastScan // lazily built per partition
+	opt Options
 
-	mu     sync.RWMutex  // queries read-lock, mutations write-lock
-	fastMu sync.Mutex    // guards lazy construction of fast[]
-	nextID int64         // next id Add assigns
-	locate map[int64]int // id -> partition, built lazily by Delete
+	// snap is the serving state: the current immutable snapshot.
+	snap atomic.Pointer[Snapshot]
+	// epoch numbers every publish, monotonically.
+	epoch atomic.Uint64
+	// partMu[c] serializes builders of partition c's next epoch.
+	partMu []sync.Mutex
+	// nextID is the id allocator; Add reserves contiguous blocks.
+	nextID atomic.Int64
+	// locate maps live id -> partition for Delete routing. Built lazily
+	// on first Delete, maintained by Add; guarded by locateMu (a
+	// mutation-path lock — queries never touch it).
+	locateMu sync.Mutex
+	locate   map[int64]int
 }
 
 // Build trains the coarse quantizer and product quantizer on learn and
@@ -197,9 +208,7 @@ func Build(learn, base vec.Matrix, opt Options) (*Index, error) {
 		Dim:    base.Dim,
 		Coarse: coarse.Centroids,
 		PQ:     pq,
-		Parts:  make([]*scan.Partition, opt.Partitions),
 		opt:    opt,
-		fast:   make([]*scan.FastScan, opt.Partitions),
 	}
 
 	// Step 3: route and encode the base set. Encoding is embarrassingly
@@ -231,10 +240,12 @@ func Build(learn, base vec.Matrix, opt Options) (*Index, error) {
 		buckets[c].codes = append(buckets[c].codes, allCodes[i*pq.M:(i+1)*pq.M]...)
 		buckets[c].ids = append(buckets[c].ids, int64(i))
 	}
+	parts := make([]*scan.Partition, opt.Partitions)
 	for c := range buckets {
-		ix.Parts[c] = scan.NewPartitionW(buckets[c].codes, buckets[c].ids, pq.M)
+		parts[c] = scan.NewPartitionW(buckets[c].codes, buckets[c].ids, pq.M)
 	}
-	ix.nextID = int64(n)
+	ix.install(parts)
+	ix.nextID.Store(int64(n))
 	return ix, nil
 }
 
@@ -258,8 +269,8 @@ func (ix *Index) CompatibleWith(next *Index) error {
 	if ix.PQ.Config != next.PQ.Config {
 		return fmt.Errorf("index: replacement PQ %v != serving PQ %v", next.PQ.Config, ix.PQ.Config)
 	}
-	if len(ix.Parts) != len(next.Parts) {
-		return fmt.Errorf("index: replacement has %d partitions, serving index %d (in-range nprobe requests would start failing)", len(next.Parts), len(ix.Parts))
+	if ix.Partitions() != next.Partitions() {
+		return fmt.Errorf("index: replacement has %d partitions, serving index %d (in-range nprobe requests would start failing)", next.Partitions(), ix.Partitions())
 	}
 	return nil
 }
@@ -282,22 +293,23 @@ func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts [
 			nextID = 0
 		}
 	}
-	return &Index{
+	ix := &Index{
 		Dim:    dim,
 		Coarse: coarse,
 		PQ:     pq,
-		Parts:  parts,
 		opt:    opt,
-		fast:   make([]*scan.FastScan, len(parts)),
-		nextID: nextID,
 	}
+	ix.install(parts)
+	ix.nextID.Store(nextID)
+	return ix
 }
 
 // PartitionSizes returns the vector count of every partition (Table 3).
 func (ix *Index) PartitionSizes() []int {
-	sizes := make([]int, len(ix.Parts))
-	for i, p := range ix.Parts {
-		sizes[i] = p.N
+	s := ix.snap.Load()
+	sizes := make([]int, len(s.Parts))
+	for i, pe := range s.Parts {
+		sizes[i] = pe.Part.N
 	}
 	return sizes
 }
@@ -322,19 +334,16 @@ func (ix *Index) Tables(query []float32, part int) quantizer.Tables {
 }
 
 // FastScanner returns (building on first use) the PQ Fast Scan state of
-// partition part. Lazy construction is guarded by its own mutex so that
-// concurrent read-locked queries can share it safely.
+// partition part in the current snapshot. The cache lives on the
+// partition's epoch, so a scanner can never describe codes other than
+// the ones the snapshot serves; once the epoch is replaced, its scanner
+// becomes unreachable together with it.
 func (ix *Index) FastScanner(part int) (*scan.FastScan, error) {
-	ix.fastMu.Lock()
-	defer ix.fastMu.Unlock()
-	if ix.fast[part] == nil {
-		fs, err := scan.NewFastScan(ix.Parts[part], ix.opt.FastScan)
-		if err != nil {
-			return nil, err
-		}
-		ix.fast[part] = fs
+	s := ix.snap.Load()
+	if part < 0 || part >= len(s.Parts) {
+		return nil, fmt.Errorf("index: partition %d out of range", part)
 	}
-	return ix.fast[part], nil
+	return s.Parts[part].FastScanner(ix.opt.FastScan)
 }
 
 // Result is re-exported for callers that only import index.
@@ -356,7 +365,7 @@ func (ix *Index) Search(query []float32, k int, kernel Kernel) ([]Result, scan.S
 
 // SearchPartition scans one specific partition for the query on the
 // model engine. It is the lock-free scan core; Query wraps it with
-// routing, validation, locking and engine selection.
+// routing, validation and engine selection.
 func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int) ([]Result, scan.Stats, error) {
 	return ix.SearchPartitionEngine(query, k, kernel, EngineModel, part)
 }
@@ -367,8 +376,17 @@ func (ix *Index) SearchPartition(query []float32, k int, kernel Kernel, part int
 var scratchPool = sync.Pool{New: func() any { return scan.NewScratch() }}
 
 // SearchPartitionEngine scans one specific partition for the query with
-// an explicit kernel and engine choice. Both engines return bit-identical
-// result sets; only the model engine fills Stats.Ops.
+// an explicit kernel and engine choice, against the current snapshot.
+// Both engines return bit-identical result sets; only the model engine
+// fills Stats.Ops.
+func (ix *Index) SearchPartitionEngine(query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
+	return ix.searchPartition(ix.snap.Load(), query, k, kernel, engine, part)
+}
+
+// searchPartition scans one partition of an explicitly held snapshot —
+// the lock-free scan core every query path funnels through. Threading
+// the snapshot (instead of reloading it) keeps one logical query on one
+// consistent view across multi-probe cells and batch workers.
 //
 // On the native engine the four exact-scan kernel selections (naive,
 // libpq, avx, gather) share one tuned implementation and the two Fast
@@ -377,64 +395,65 @@ var scratchPool = sync.Pool{New: func() any { return scan.NewScratch() }}
 // instruction-counting engine — a 64-bit SWAR word has no second width
 // to widen into. The quantization-only ablation is a diagnostic of the
 // model path and runs there on either engine.
-func (ix *Index) SearchPartitionEngine(query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
-	if part < 0 || part >= len(ix.Parts) {
+func (ix *Index) searchPartition(s *Snapshot, query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
+	if part < 0 || part >= len(s.Parts) {
 		return nil, scan.Stats{}, fmt.Errorf("index: partition %d out of range", part)
 	}
 	t := ix.Tables(query, part)
-	p := ix.Parts[part]
+	pe := s.Parts[part]
+	p := pe.Part
 	if engine == EngineNative {
 		switch kernel {
 		case KernelNaive, KernelLibpq, KernelAVX, KernelGather:
 			sc := scratchPool.Get().(*scan.Scratch)
-			r, s := scan.ExactNative(p, t, k, sc)
+			r, st := scan.ExactNative(p, t, k, sc)
 			out := append([]Result(nil), r...) // r aliases the pooled scratch
 			scratchPool.Put(sc)
-			return out, s, nil
+			return out, st, nil
 		case KernelFastScan, KernelFastScan256:
-			fs, err := ix.FastScanner(part)
+			fs, err := pe.FastScanner(ix.opt.FastScan)
 			if err != nil {
 				return nil, scan.Stats{}, err
 			}
 			sc := scratchPool.Get().(*scan.Scratch)
-			r, s := fs.ScanNative(t, k, sc)
+			r, st := fs.ScanNative(t, k, sc)
 			out := append([]Result(nil), r...)
 			scratchPool.Put(sc)
-			return out, s, nil
+			return out, st, nil
 		}
 		// KernelQuantOnly (and unknown kernels) fall through to the
 		// model dispatch below.
 	}
 	switch kernel {
 	case KernelNaive:
-		r, s := scan.Naive(p, t, k)
-		return r, s, nil
+		r, st := scan.Naive(p, t, k)
+		return r, st, nil
 	case KernelLibpq:
-		r, s := scan.Libpq(p, t, k)
-		return r, s, nil
+		r, st := scan.Libpq(p, t, k)
+		return r, st, nil
 	case KernelAVX:
-		r, s := scan.AVX(p, t, k)
-		return r, s, nil
+		r, st := scan.AVX(p, t, k)
+		return r, st, nil
 	case KernelGather:
-		r, s := scan.Gather(p, t, k)
-		return r, s, nil
+		r, st := scan.Gather(p, t, k)
+		return r, st, nil
 	case KernelFastScan:
-		fs, err := ix.FastScanner(part)
+		fs, err := pe.FastScanner(ix.opt.FastScan)
 		if err != nil {
 			return nil, scan.Stats{}, err
 		}
-		r, s := fs.Scan(t, k)
-		return r, s, nil
+		r, st := fs.Scan(t, k)
+		return r, st, nil
 	case KernelQuantOnly:
-		r, s := scan.QuantizationOnly(p, t, k, ix.opt.FastScan.Keep)
-		return r, s, nil
+		r, st := scan.QuantizationOnly(p, t, k, ix.opt.FastScan.Keep)
+		return r, st, nil
 	case KernelFastScan256:
-		fs, err := ix.FastScanner(part)
+		fs, err := pe.FastScanner(ix.opt.FastScan)
 		if err != nil {
 			return nil, scan.Stats{}, err
 		}
-		r, s := fs.Scan256(t, k)
-		return r, s, nil
+		r, st := fs.Scan256(t, k)
+		return r, st, nil
 	default:
 		return nil, scan.Stats{}, fmt.Errorf("index: unknown kernel %v", kernel)
 	}
@@ -450,7 +469,7 @@ func (ix *Index) SearchMulti(query []float32, k, nprobe int, kernel Kernel) ([]R
 	// An explicit nprobe of 0 is a caller error here; only Request uses 0
 	// to mean "default single probe".
 	if nprobe <= 0 {
-		return nil, scan.Stats{}, fmt.Errorf("index: nprobe %d out of range [1,%d]", nprobe, len(ix.Parts))
+		return nil, scan.Stats{}, fmt.Errorf("index: nprobe %d out of range [1,%d]", nprobe, ix.Partitions())
 	}
 	resp, err := ix.Query(context.Background(), Request{Query: query, K: k, Kernel: kernel, NProbe: nprobe})
 	if err != nil {
@@ -479,8 +498,9 @@ func (ix *Index) SearchBatch(queries vec.Matrix, k int, kernel Kernel) ([][]Resu
 // all partitions (Figure 20's memory-use comparison) along with the
 // row-major baseline.
 func (ix *Index) GroupedMemoryBytes() (packed, rowMajor int, err error) {
-	for part := range ix.Parts {
-		fs, err := ix.FastScanner(part)
+	s := ix.snap.Load()
+	for _, pe := range s.Parts {
+		fs, err := pe.FastScanner(ix.opt.FastScan)
 		if err != nil {
 			return 0, 0, err
 		}

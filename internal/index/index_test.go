@@ -53,7 +53,7 @@ func TestPartitionsCoverBase(t *testing.T) {
 	ix, base, _ := sharedIndex(t)
 	seen := make([]bool, base.Rows())
 	total := 0
-	for _, p := range ix.Parts {
+	for _, p := range ix.Parts() {
 		total += p.N
 		for i := 0; i < p.N; i++ {
 			id := p.ID(i)
@@ -82,7 +82,7 @@ func TestRoutingIsNearestCentroid(t *testing.T) {
 
 func TestPartitionMembersNearestToTheirCentroid(t *testing.T) {
 	ix, base, _ := sharedIndex(t)
-	for pi, p := range ix.Parts {
+	for pi, p := range ix.Parts() {
 		for i := 0; i < p.N; i += 97 {
 			row := base.Row(int(p.ID(i)))
 			want, _ := vec.ArgminL2(row, ix.Coarse.Data, ix.Dim)
@@ -148,7 +148,7 @@ func TestADCDistancesMatchDecodedVectors(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables := ix.Tables(q, part)
-	p := ix.Parts[part]
+	p := ix.Parts()[part]
 	// Locate each result position to recompute its ADC.
 	for _, r := range res {
 		found := false
@@ -179,7 +179,7 @@ func TestSearchMulti(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, _, err := ix.SearchMulti(q, 30, len(ix.Parts), KernelFastScan)
+	multi, _, err := ix.SearchMulti(q, 30, ix.Partitions(), KernelFastScan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,12 +347,13 @@ func TestBuildDeterministic(t *testing.T) {
 			t.Fatal("coarse centroids differ between same-seed builds")
 		}
 	}
-	for pi := range a.Parts {
-		if a.Parts[pi].N != b.Parts[pi].N {
+	aParts, bParts := a.Parts(), b.Parts()
+	for pi := range aParts {
+		if aParts[pi].N != bParts[pi].N {
 			t.Fatalf("partition %d sizes differ", pi)
 		}
-		for ci := range a.Parts[pi].Codes {
-			if a.Parts[pi].Codes[ci] != b.Parts[pi].Codes[ci] {
+		for ci := range aParts[pi].Codes {
+			if aParts[pi].Codes[ci] != bParts[pi].Codes[ci] {
 				t.Fatalf("partition %d codes differ", pi)
 			}
 		}
@@ -365,13 +366,13 @@ func TestSearchKLargerThanPartition(t *testing.T) {
 	ix, _, queries := sharedIndex(t)
 	q := queries.Row(0)
 	part := ix.RoutePartition(q)
-	k := ix.Parts[part].N + 50
+	k := ix.Parts()[part].N + 50
 	ref, _, _, err := ix.Search(q, k, KernelNaive)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ref) != ix.Parts[part].N {
-		t.Fatalf("got %d results for k beyond partition size %d", len(ref), ix.Parts[part].N)
+	if len(ref) != ix.Parts()[part].N {
+		t.Fatalf("got %d results for k beyond partition size %d", len(ref), ix.Parts()[part].N)
 	}
 	got, _, _, err := ix.Search(q, k, KernelFastScan)
 	if err != nil {

@@ -1,21 +1,38 @@
-// Online mutation: the index accepts new vectors and deletions after
-// construction, without retraining or rebuilding. New vectors are encoded
-// against the trained coarse and product quantizers — exactly the codes a
-// from-scratch rebuild over the same vectors would produce — appended to
-// their partition's code block, and folded incrementally into any already
-// built Fast Scan grouped layout. Deletions are tombstones checked during
-// scans; codes stay in place until an (offline) rebuild compacts them.
+// Online mutation, copy-on-write: the index accepts new vectors and
+// deletions after construction, without retraining and without ever
+// blocking queries. New vectors are encoded against the trained coarse
+// and product quantizers — exactly the codes a from-scratch rebuild over
+// the same vectors would produce — and each affected partition gets a
+// replacement epoch: a sealed copy of its code block with the batch
+// appended, plus a clone of any built Fast Scan layout extended through
+// the incremental group repack. Deletions publish an epoch whose
+// tombstone set grew by one (codes and layout are shared with the
+// predecessor). Epochs are published with a single snapshot swap
+// (snapshot.go); tombstoned codes stay in place until the online
+// compactor (compact.go) rebuilds the partition without them.
 package index
 
 import (
+	"errors"
 	"fmt"
 
+	"pqfastscan/internal/scan"
 	"pqfastscan/internal/vec"
 )
 
+// ErrNotFound reports a Delete of an id that is not live in the index:
+// never assigned, already deleted, or dropped with a snapshot swap. It
+// travels end-to-end — façade Delete wraps it and the HTTP service maps
+// it to a 404.
+var ErrNotFound = errors.New("index: id not found")
+
 // Add encodes and indexes the rows of vecs, returning the id assigned to
 // each (a monotonically increasing sequence continuing the build-time
-// ids). It serializes with in-flight queries via the index write lock.
+// ids). Encoding and routing run lock-free; each affected partition is
+// then rebuilt copy-on-write under its own builder lock and published
+// atomically, so an Add contends only with other mutations touching the
+// same partitions — in-flight queries keep scanning the previous epochs
+// and later queries see the whole batch.
 func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
 	if vecs.Dim != ix.Dim {
 		return nil, fmt.Errorf("index: vector dim %d != index dim %d", vecs.Dim, ix.Dim)
@@ -23,21 +40,21 @@ func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
 	if ix.PQ.Bits > 8 {
 		return nil, fmt.Errorf("index: online Add requires at most 8 bits per component, index uses %v", ix.PQ.Config)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 
 	// Encode and route first, bucketing per partition, so each partition
-	// (and its Fast Scan layout) sees one append per batch: large batches
-	// amortize to a single regroup pass instead of per-vector splices.
+	// (and its Fast Scan layout) sees one copy-on-write rebuild per
+	// batch: large batches amortize to a single regroup pass.
 	n := vecs.Rows()
 	ids := make([]int64, n)
+	cells := make([]int, n)
 	type chunk struct {
 		codes []uint8
 		ids   []int64
 	}
-	chunks := make([]chunk, len(ix.Parts))
+	chunks := make([]chunk, ix.Partitions())
 	residual := make([]float32, ix.Dim)
 	code := make([]uint8, ix.PQ.M)
+	base := ix.nextID.Add(int64(n)) - int64(n) // reserve a contiguous id block
 	for i := 0; i < n; i++ {
 		row := vecs.Row(i)
 		c, _ := vec.ArgminL2(row, ix.Coarse.Data, ix.Dim)
@@ -47,38 +64,75 @@ func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
 		}
 		ix.PQ.Encode(residual, code)
 
-		id := ix.nextID
-		ix.nextID++
-		ids[i] = id
+		ids[i] = base + int64(i)
+		cells[i] = c
 		chunks[c].codes = append(chunks[c].codes, code...)
-		chunks[c].ids = append(chunks[c].ids, id)
-		if ix.locate != nil {
-			ix.locate[id] = c
-		}
+		chunks[c].ids = append(chunks[c].ids, ids[i])
 	}
+
 	for c := range chunks {
 		if len(chunks[c].ids) == 0 {
 			continue
 		}
-		ix.Parts[c].Append(chunks[c].codes, chunks[c].ids)
-		if fs := ix.fast[c]; fs != nil {
-			// Regroup the affected Fast Scan groups incrementally instead
-			// of invalidating the whole layout.
-			fs.Append(chunks[c].codes, chunks[c].ids)
+		ix.partMu[c].Lock()
+		cur := ix.snap.Load().Parts[c]
+		next := cur.Part.CloneAppend(chunks[c].codes, chunks[c].ids)
+		var fast *scan.FastScan
+		if fs := cur.fast.Load(); fs != nil {
+			// Carry the warmth forward: clone the grouped layout and fold
+			// the batch in incrementally instead of making the next query
+			// rebuild it from scratch.
+			fast = fs.CloneAppend(next, chunks[c].codes, chunks[c].ids)
+		}
+		ix.publish(c, next, fast)
+		ix.partMu[c].Unlock()
+	}
+
+	// Register the new ids for Delete routing after their partitions are
+	// published: if a concurrent Delete built the locate map between our
+	// publish and this point, the build already saw the ids in the
+	// snapshot. A Delete may even have tombstoned one of them already
+	// (it discovered the id through a search) — those stay unregistered,
+	// so the map never claims a dead id is live.
+	//
+	// Contract: an id is guaranteed Delete-routable once Add returns it.
+	// A Delete racing the very Add that creates its id — possible only
+	// by learning the id from a search in the window between the
+	// partition publish and this registration — may observe ErrNotFound;
+	// retrying after Add returns always succeeds.
+	ix.locateMu.Lock()
+	if ix.locate != nil {
+		s := ix.snap.Load()
+		for i, id := range ids {
+			if !s.Parts[cells[i]].Part.IsDead(id) {
+				ix.locate[id] = cells[i]
+			}
 		}
 	}
+	ix.locateMu.Unlock()
 	return ids, nil
 }
 
-// Delete tombstones the vector with the given id. It reports whether the
-// id was present (and alive). The vector's code remains in its partition
-// until a rebuild; every kernel skips tombstoned ids during the scan.
-func (ix *Index) Delete(id int64) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+// Delete tombstones the vector with the given id by publishing a new
+// epoch of its partition whose tombstone set grew by one; codes and any
+// built Fast Scan layout are shared with the predecessor epoch. It
+// returns ErrNotFound when the id was never assigned or is no longer
+// live.
+//
+// Each delete copies the partition's tombstone set (copy-on-write), so
+// the cost of the D-th uncompacted delete into one partition is O(D).
+// The online compactor resets D to zero; with the serving layer's
+// dead-ratio policy enabled, D stays bounded by threshold × partition
+// size.
+func (ix *Index) Delete(id int64) error {
+	ix.locateMu.Lock()
 	if ix.locate == nil {
+		// First Delete: build the id -> partition routing table from the
+		// current snapshot. Ids published after this load are registered
+		// by their Add (see the ordering note there).
 		ix.locate = make(map[int64]int)
-		for c, p := range ix.Parts {
+		for c, pe := range ix.snap.Load().Parts {
+			p := pe.Part
 			for i := 0; i < p.N; i++ {
 				if pid := p.ID(i); !p.IsDead(pid) {
 					ix.locate[pid] = c
@@ -88,31 +142,34 @@ func (ix *Index) Delete(id int64) bool {
 	}
 	c, ok := ix.locate[id]
 	if !ok {
-		return false
+		ix.locateMu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	delete(ix.locate, id)
-	return ix.Parts[c].Tombstone(id)
+	ix.locateMu.Unlock()
+
+	ix.partMu[c].Lock()
+	defer ix.partMu[c].Unlock()
+	cur := ix.snap.Load().Parts[c]
+	next, ok := cur.Part.CloneTombstone(id)
+	if !ok {
+		// locate said live but the partition disagrees — possible only if
+		// the id was dropped by an out-of-band partition replacement.
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	var fast *scan.FastScan
+	if fs := cur.fast.Load(); fs != nil {
+		// A tombstone changes no codes: the layout is shared, only the
+		// partition binding (whose tombstone set kernels consult) moves.
+		fast = fs.Rebind(next)
+	}
+	ix.publish(c, next, fast)
+	return nil
 }
 
 // Live returns the number of indexed vectors that are not tombstoned.
-func (ix *Index) Live() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	total := 0
-	for _, p := range ix.Parts {
-		total += p.Live()
-	}
-	return total
-}
+func (ix *Index) Live() int { return ix.snap.Load().Live() }
 
 // NextID returns the id the next Add will assign (persisted so that
 // reloaded indexes never reuse ids).
-func (ix *Index) NextID() int64 { return ix.nextID }
-
-// Snapshot acquires the index read lock for a multi-step consistent read
-// (persist uses it to serialize a coherent image while mutations are in
-// flight) and returns the release function.
-func (ix *Index) Snapshot() (release func()) {
-	ix.mu.RLock()
-	return ix.mu.RUnlock
-}
+func (ix *Index) NextID() int64 { return ix.nextID.Load() }

@@ -40,15 +40,15 @@ type Response struct {
 
 // validate rejects malformed requests with caller-actionable errors
 // before any scanning starts.
-func (ix *Index) validate(req Request) error {
+func (ix *Index) validate(s *Snapshot, req Request) error {
 	if req.K <= 0 {
 		return fmt.Errorf("index: k must be positive, got %d", req.K)
 	}
 	if len(req.Query) != ix.Dim {
 		return fmt.Errorf("index: query dim %d != index dim %d", len(req.Query), ix.Dim)
 	}
-	if req.NProbe < 0 || req.NProbe > len(ix.Parts) {
-		return fmt.Errorf("index: nprobe %d out of range [1,%d]", req.NProbe, len(ix.Parts))
+	if req.NProbe < 0 || req.NProbe > len(s.Parts) {
+		return fmt.Errorf("index: nprobe %d out of range [1,%d]", req.NProbe, len(s.Parts))
 	}
 	if req.Engine != EngineModel && req.Engine != EngineNative {
 		return fmt.Errorf("index: unknown engine %v", req.Engine)
@@ -63,17 +63,20 @@ func (ix *Index) validate(req Request) error {
 // the context is checked before every partition scan, so a multi-probe
 // query under a tight deadline stops between cells rather than running
 // to completion.
+//
+// The whole query runs against one atomically loaded snapshot and takes
+// no locks: concurrent mutations publish new snapshots and never touch
+// the one in hand, so even a multi-probe query sees every partition at
+// one consistent point in time.
 func (ix *Index) Query(ctx context.Context, req Request) (*Response, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.queryLocked(ctx, req)
+	return ix.querySnap(ctx, ix.snap.Load(), req)
 }
 
-// queryLocked is Query without the read lock; QueryBatch holds the lock
-// once across all worker goroutines (RWMutex read locks must not nest
-// when a writer may be waiting).
-func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error) {
-	if err := ix.validate(req); err != nil {
+// querySnap is Query pinned to an explicit snapshot; QueryBatch loads
+// the snapshot once and shares it across all worker goroutines so one
+// batch answers from one consistent view.
+func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Response, error) {
+	if err := ix.validate(s, req); err != nil {
 		return nil, err
 	}
 	nprobe := req.NProbe
@@ -86,7 +89,7 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 
 	if nprobe == 1 {
 		part := ix.RoutePartition(req.Query)
-		res, stats, err := ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, part)
+		res, stats, err := ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, part)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +102,8 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 		id int
 		d  float32
 	}
-	cells := make([]cell, len(ix.Parts))
-	for i := range ix.Parts {
+	cells := make([]cell, len(s.Parts))
+	for i := range s.Parts {
 		cells[i] = cell{id: i, d: vec.L2Squared(req.Query, ix.Coarse.Row(i))}
 	}
 	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
@@ -110,7 +113,7 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 		for i, c := range cells[:nprobe] {
 			ids[i] = c.id
 		}
-		return ix.queryParallel(ctx, req, ids)
+		return ix.queryParallel(ctx, s, req, ids)
 	}
 
 	heap := topk.New(req.K)
@@ -119,14 +122,14 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, s, err := ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, c.id)
+		res, st, err := ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, c.id)
 		if err != nil {
 			return nil, err
 		}
 		for _, r := range res {
 			heap.Push(r.ID, r.Distance)
 		}
-		resp.Stats.Merge(s)
+		resp.Stats.Merge(st)
 		resp.Partitions = append(resp.Partitions, c.id)
 	}
 	resp.Results = heap.Results()
@@ -136,13 +139,13 @@ func (ix *Index) queryLocked(ctx context.Context, req Request) (*Response, error
 // queryParallel scans the probed cells of one query concurrently — the
 // cross-partition parallelism extension of internal/par beyond its
 // construction-time use. Each cell runs on its own goroutine (par.For
-// caps concurrency at GOMAXPROCS); per-cell results are merged
-// sequentially in cell-visit order afterwards, so Results and Stats are
-// byte-identical to the sequential multi-probe path: the retained set of
-// a bounded heap is the k smallest (distance, id) pairs regardless of
-// push order, and stats (float64 op sums included) accumulate in the
-// deterministic cell order.
-func (ix *Index) queryParallel(ctx context.Context, req Request, cellIDs []int) (*Response, error) {
+// caps concurrency at GOMAXPROCS) against the same snapshot; per-cell
+// results are merged sequentially in cell-visit order afterwards, so
+// Results and Stats are byte-identical to the sequential multi-probe
+// path: the retained set of a bounded heap is the k smallest
+// (distance, id) pairs regardless of push order, and stats (float64 op
+// sums included) accumulate in the deterministic cell order.
+func (ix *Index) queryParallel(ctx context.Context, s *Snapshot, req Request, cellIDs []int) (*Response, error) {
 	type partial struct {
 		res []Result
 		s   scan.Stats
@@ -155,7 +158,7 @@ func (ix *Index) queryParallel(ctx context.Context, req Request, cellIDs []int) 
 			return
 		}
 		parts[i].res, parts[i].s, parts[i].err =
-			ix.SearchPartitionEngine(req.Query, req.K, req.Kernel, req.Engine, cellIDs[i])
+			ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, cellIDs[i])
 	})
 	heap := topk.New(req.K)
 	resp := &Response{Partitions: make([]int, 0, len(cellIDs))}
@@ -176,20 +179,21 @@ func (ix *Index) queryParallel(ctx context.Context, req Request, cellIDs []int) 
 // QueryBatch answers req for every row of queries concurrently, one
 // goroutine per core — the deployment model the paper assumes ("PQ Scan
 // parallelizes naturally over multiple queries by running each query on
-// a different core", §3.1). Responses are returned in query order. Fast
-// Scan layouts for every partition are built up front so worker
-// goroutines never race on lazy construction. Cancelling ctx makes
-// in-flight workers stop between partition scans and the batch return
-// the context's error.
+// a different core", §3.1). Responses are returned in query order. The
+// snapshot is loaded once and shared by every worker, so the whole batch
+// answers from one consistent view regardless of concurrent mutations;
+// Fast Scan layouts for every partition are built up front so workers
+// hit only the lock-free cached path. Cancelling ctx makes in-flight
+// workers stop between partition scans and the batch return the
+// context's error.
 func (ix *Index) QueryBatch(ctx context.Context, queries vec.Matrix, req Request) ([]*Response, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	s := ix.snap.Load()
 	if queries.Dim != ix.Dim {
 		return nil, fmt.Errorf("index: query dim %d != index dim %d", queries.Dim, ix.Dim)
 	}
 	if req.Kernel == KernelFastScan || req.Kernel == KernelFastScan256 {
-		for part := range ix.Parts {
-			if _, err := ix.FastScanner(part); err != nil {
+		for _, pe := range s.Parts {
+			if _, err := pe.FastScanner(ix.opt.FastScan); err != nil {
 				return nil, err
 			}
 		}
@@ -204,7 +208,7 @@ func (ix *Index) QueryBatch(ctx context.Context, queries vec.Matrix, req Request
 	par.For(n, func(i int) {
 		r := req
 		r.Query = queries.Row(i)
-		out[i], errs[i] = ix.queryLocked(ctx, r)
+		out[i], errs[i] = ix.querySnap(ctx, s, r)
 	})
 	for _, err := range errs {
 		if err != nil {

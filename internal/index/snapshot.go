@@ -1,0 +1,142 @@
+// Copy-on-write partition epochs: the concurrency core of the index.
+//
+// The serving state is an immutable Snapshot — an array of per-partition
+// epochs — behind one atomic pointer. Queries load the pointer once and
+// scan with no locks: everything reachable from a Snapshot is sealed
+// (never mutated after publish), so a query's entire view is consistent
+// no matter what mutations land concurrently. Mutations build a
+// replacement partition off the serving path (copy-on-write, reusing the
+// incremental Fast Scan group repack) and publish it with a single
+// compare-and-swap of the snapshot pointer; a mutation therefore only
+// contends with other mutations of the same partition (the per-partition
+// builder locks), never with queries.
+//
+// See DESIGN.md §11 "Epochs, copy-on-write, and compaction" for the
+// lifecycle and publish-ordering rules.
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pqfastscan/internal/scan"
+)
+
+// PartEpoch is one published, immutable version of a partition. Part is
+// sealed: no code path mutates a partition reachable from a snapshot.
+// The Fast Scan layout rides along with the epoch — it is built from
+// Part's codes, so it can never describe any other version — which is
+// what makes stale scanners unreachable: replacing the epoch replaces
+// the scanner with it.
+type PartEpoch struct {
+	// Part holds the sealed codes, ids and tombstones of this epoch.
+	Part *scan.Partition
+	// Epoch is the global publish sequence number at creation; it only
+	// grows, so operators can watch /stats to see partitions advance.
+	Epoch uint64
+
+	// fast is the epoch's PQ Fast Scan layout. Mutations that change
+	// codes clone-and-extend the previous epoch's layout so warmth
+	// carries forward; a fresh build (or restore) leaves it nil and the
+	// first Fast Scan query constructs it under fastMu — a builder lock
+	// on the cold path only, never the steady-state read path, which is
+	// one atomic load.
+	fast   atomic.Pointer[scan.FastScan]
+	fastMu sync.Mutex
+}
+
+// FastScanner returns the epoch's Fast Scan layout, building it on first
+// use. The fast path is a single atomic load; construction of a cold
+// epoch is serialized by the epoch's own builder lock so concurrent
+// queries share one build. Because the layout is cached on the epoch —
+// not on the index — a scanner can never outlive or predate the codes it
+// describes.
+func (pe *PartEpoch) FastScanner(opt scan.FastScanOptions) (*scan.FastScan, error) {
+	if fs := pe.fast.Load(); fs != nil {
+		return fs, nil
+	}
+	pe.fastMu.Lock()
+	defer pe.fastMu.Unlock()
+	if fs := pe.fast.Load(); fs != nil {
+		return fs, nil
+	}
+	fs, err := scan.NewFastScan(pe.Part, opt)
+	if err != nil {
+		return nil, err
+	}
+	pe.fast.Store(fs)
+	return fs, nil
+}
+
+// Snapshot is one immutable point-in-time view of every partition. A
+// query (or a persist pass) loads it once and works entirely on it;
+// concurrent publishes create new Snapshots and never touch old ones.
+type Snapshot struct {
+	Parts []*PartEpoch
+}
+
+// Live returns the number of vectors in the snapshot that are not
+// tombstoned.
+func (s *Snapshot) Live() int {
+	total := 0
+	for _, pe := range s.Parts {
+		total += pe.Part.Live()
+	}
+	return total
+}
+
+// Snapshot returns the current serving snapshot. The returned value is
+// immutable and remains valid (and internally consistent) indefinitely;
+// it just stops being current once a mutation publishes a successor.
+func (ix *Index) Snapshot() *Snapshot { return ix.snap.Load() }
+
+// Partitions returns the number of coarse cells. It is fixed at
+// construction; epochs replace partition contents, never the cell count.
+func (ix *Index) Partitions() int { return len(ix.snap.Load().Parts) }
+
+// Parts returns the sealed partitions of the current snapshot, in cell
+// order — a convenience for tests, benchmarks and offline tooling that
+// want the partition data without tracking epochs. The slice is freshly
+// allocated; the partitions it points at are immutable.
+func (ix *Index) Parts() []*scan.Partition {
+	s := ix.snap.Load()
+	out := make([]*scan.Partition, len(s.Parts))
+	for i, pe := range s.Parts {
+		out[i] = pe.Part
+	}
+	return out
+}
+
+// install seeds the snapshot with freshly built partitions (Build and
+// Restore). Not safe under concurrent use; callers own the index
+// exclusively at that point.
+func (ix *Index) install(parts []*scan.Partition) {
+	pes := make([]*PartEpoch, len(parts))
+	for i, p := range parts {
+		pes[i] = &PartEpoch{Part: p, Epoch: ix.epoch.Add(1)}
+	}
+	ix.partMu = make([]sync.Mutex, len(parts))
+	ix.snap.Store(&Snapshot{Parts: pes})
+}
+
+// publish replaces partition c's epoch with a new sealed partition (and,
+// optionally, its carried-forward Fast Scan layout) by swapping in a new
+// snapshot whose other slots are shared with the old one. The caller
+// must hold ix.partMu[c], which makes slot c stable across the CAS loop;
+// retries happen only when another partition publishes concurrently, so
+// the loop is short and lock-free.
+func (ix *Index) publish(c int, part *scan.Partition, fast *scan.FastScan) *PartEpoch {
+	pe := &PartEpoch{Part: part, Epoch: ix.epoch.Add(1)}
+	if fast != nil {
+		pe.fast.Store(fast)
+	}
+	for {
+		old := ix.snap.Load()
+		parts := make([]*PartEpoch, len(old.Parts))
+		copy(parts, old.Parts)
+		parts[c] = pe
+		if ix.snap.CompareAndSwap(old, &Snapshot{Parts: parts}) {
+			return pe
+		}
+	}
+}

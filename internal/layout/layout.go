@@ -374,6 +374,20 @@ func (g *Grouped) Append(code []uint8, id int64) {
 	g.N++
 }
 
+// Clone returns a deep copy of the layout, for copy-on-write extension:
+// Append on the clone leaves the original untouched.
+func (g *Grouped) Clone() *Grouped {
+	return &Grouped{
+		N:          g.N,
+		C:          g.C,
+		IDs:        append([]int64(nil), g.IDs...),
+		Codes:      append([]uint8(nil), g.Codes...),
+		Groups:     append([]Group(nil), g.Groups...),
+		Blocks:     append([]uint8(nil), g.Blocks...),
+		blockBytes: g.blockBytes,
+	}
+}
+
 // Block returns the i-th packed block, aliasing the backing store.
 func (g *Grouped) Block(i int) []uint8 {
 	return g.Blocks[i*g.blockBytes : (i+1)*g.blockBytes]

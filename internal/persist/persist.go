@@ -82,12 +82,20 @@ func WriteIndexV1(w io.Writer, ix *index.Index) error {
 }
 
 func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
-	// Serialize a coherent snapshot: writing races with concurrent
-	// Add/Delete otherwise (torn partition sizes, a stale id allocator).
-	defer ix.Snapshot()()
+	// Serialize a coherent image without blocking writers: load the
+	// immutable serving snapshot once and write entirely from it. Ids
+	// are allocated before their partition is published, so reading the
+	// allocator after the snapshot guarantees nextID covers every id the
+	// captured partitions hold.
+	snap := ix.Snapshot()
+	parts := make([]*scan.Partition, len(snap.Parts))
+	for i, pe := range snap.Parts {
+		parts[i] = pe.Part
+	}
+	nextID := ix.NextID()
 
 	if version < version2 {
-		for pi, p := range ix.Parts {
+		for pi, p := range parts {
 			if p.DeadCount() > 0 {
 				return fmt.Errorf("persist: partition %d has %d tombstones, not representable in format v1", pi, p.DeadCount())
 			}
@@ -118,7 +126,7 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 
 	pq := ix.PQ
 	header := []uint32{
-		uint32(ix.Dim), uint32(len(ix.Parts)),
+		uint32(ix.Dim), uint32(len(parts)),
 		uint32(pq.M), uint32(pq.Bits), uint32(pq.SubDim),
 	}
 	for _, v := range header {
@@ -151,13 +159,13 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 
 	if version >= version2 {
 		var idBuf [8]byte
-		le.PutUint64(idBuf[:], uint64(ix.NextID()))
+		le.PutUint64(idBuf[:], uint64(nextID))
 		if _, err := cw.Write(idBuf[:]); err != nil {
 			return fmt.Errorf("persist: writing next id: %w", err)
 		}
 	}
 
-	for pi, p := range ix.Parts {
+	for pi, p := range parts {
 		if p.W != pq.M {
 			return fmt.Errorf("persist: partition %d code width %d != pq m %d", pi, p.W, pq.M)
 		}

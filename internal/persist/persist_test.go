@@ -39,7 +39,7 @@ func TestRoundtripIdenticalResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Dim != ix.Dim || len(loaded.Parts) != len(ix.Parts) {
+	if loaded.Dim != ix.Dim || loaded.Partitions() != ix.Partitions() {
 		t.Fatalf("shape mismatch after reload")
 	}
 	if loaded.Options().FastScan.Keep != ix.Options().FastScan.Keep {
@@ -251,8 +251,9 @@ func TestRoundtripPQ16x4(t *testing.T) {
 			}
 		}
 	}
-	for pi := range ix.Parts {
-		a, b := ix.Parts[pi], loaded.Parts[pi]
+	ixParts, loadedParts := ix.Parts(), loaded.Parts()
+	for pi := range ixParts {
+		a, b := ixParts[pi], loadedParts[pi]
 		if a.N != b.N || a.W != b.W {
 			t.Fatalf("partition %d shape (n=%d w=%d) != (n=%d w=%d)", pi, b.N, b.W, a.N, a.W)
 		}
@@ -310,8 +311,8 @@ func TestV1StillLoads(t *testing.T) {
 // downgrade writer must refuse rather than silently resurrect vectors.
 func TestV1RefusesTombstones(t *testing.T) {
 	ix, _ := buildSmall(t)
-	if !ix.Delete(3) {
-		t.Fatal("delete failed")
+	if err := ix.Delete(3); err != nil {
+		t.Fatal(err)
 	}
 	if err := WriteIndexV1(io.Discard, ix); err == nil {
 		t.Fatal("WriteIndexV1 accepted a tombstoned index")
@@ -328,13 +329,13 @@ func TestRoundtripMutatedIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < len(added); i += 4 {
-		if !ix.Delete(added[i]) {
-			t.Fatalf("delete of %d failed", added[i])
+		if err := ix.Delete(added[i]); err != nil {
+			t.Fatalf("delete of %d failed: %v", added[i], err)
 		}
 	}
 	for id := int64(0); id < 8000; id += 13 {
-		if !ix.Delete(id) {
-			t.Fatalf("delete of %d failed", id)
+		if err := ix.Delete(id); err != nil {
+			t.Fatalf("delete of %d failed: %v", id, err)
 		}
 	}
 
@@ -376,10 +377,154 @@ func TestRoundtripMutatedIndex(t *testing.T) {
 	}
 }
 
-// TestSaveDuringMutation: WriteIndex snapshots under the index read
-// lock, so saving while Add/Delete traffic is in flight must neither
-// race (run under -race) nor produce a torn file: every written image
-// must load cleanly with a consistent id allocator.
+// TestRoundtripCompactedIndex: compaction rewrites partitions without
+// their tombstones; the compacted image must persist with zero
+// tombstones (ids stable), reload to bit-identical answers, and — no
+// tombstones left — downgrade to format v1 again, so pre-mutation
+// readers can consume a compacted index.
+func TestRoundtripCompactedIndex(t *testing.T) {
+	ix, gen := buildSmall(t)
+	added, err := ix.Add(gen.Generate(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(added); i += 3 {
+		if err := ix.Delete(added[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(0); id < 8000; id += 10 {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveBefore := ix.Live()
+	results, err := ix.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("nothing compacted")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Live() != liveBefore {
+		t.Fatalf("live %d after compacted roundtrip, want %d", loaded.Live(), liveBefore)
+	}
+	for pi, p := range loaded.Parts() {
+		if p.DeadCount() != 0 {
+			t.Fatalf("partition %d reloaded with %d tombstones after compaction", pi, p.DeadCount())
+		}
+		if p.N != p.Live() {
+			t.Fatalf("partition %d rows %d != live %d", pi, p.N, p.Live())
+		}
+	}
+	if loaded.NextID() != ix.NextID() {
+		t.Fatalf("id allocator %d after reload, want %d (ids must stay stable)", loaded.NextID(), ix.NextID())
+	}
+
+	queries := gen.Generate(4)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		want, _, _, err := ix.Search(q, 25, index.KernelFastScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, _, _, err := loaded.Search(q, 25, index.KernelFastScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("query %d rank %d differs after compacted roundtrip", qi, i)
+			}
+		}
+	}
+
+	// With tombstones reclaimed the v1 downgrade path reopens.
+	if err := WriteIndexV1(io.Discard, ix); err != nil {
+		t.Fatalf("WriteIndexV1 refused a compacted index: %v", err)
+	}
+}
+
+// TestSaveDuringCompaction: WriteIndex serializes one atomically loaded
+// snapshot, so saving while compaction (and deletes) republish
+// partitions must produce a loadable, internally consistent image every
+// time — no partial compactions, no id loss.
+func TestSaveDuringCompaction(t *testing.T) {
+	ix, gen := buildSmall(t)
+	if _, err := ix.Add(gen.Generate(500)); err != nil {
+		t.Fatal(err)
+	}
+	liveWant := ix.Live() // deletes below remove exactly deleteN distinct live ids
+	const deleteN = 2000
+	done := make(chan error, 1)
+	go func() {
+		for id := int64(0); id < deleteN; id++ {
+			if err := ix.Delete(id); err != nil {
+				done <- err
+				return
+			}
+			if id%50 == 0 {
+				if _, err := ix.Compact(0.001); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 12; i++ {
+		var buf bytes.Buffer
+		if err := WriteIndex(&buf, ix); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatalf("snapshot %d did not load: %v", i, err)
+		}
+		// Each image is one consistent snapshot: ids are unique across
+		// partitions and the allocator is beyond every persisted id.
+		seen := make(map[int64]bool)
+		maxID := int64(-1)
+		for _, p := range loaded.Parts() {
+			for j := 0; j < p.N; j++ {
+				id := p.ID(j)
+				if seen[id] {
+					t.Fatalf("snapshot %d: id %d appears twice", i, id)
+				}
+				seen[id] = true
+				if id > maxID {
+					maxID = id
+				}
+			}
+		}
+		if loaded.NextID() <= maxID {
+			t.Fatalf("snapshot %d: next id %d not beyond max persisted id %d", i, loaded.NextID(), maxID)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Live(); got != liveWant-deleteN {
+		t.Fatalf("live %d after storm, want %d", got, liveWant-deleteN)
+	}
+}
+
+// TestSaveDuringMutation: WriteIndex serializes one atomically loaded
+// epoch snapshot, so saving while Add/Delete traffic is in flight must
+// neither race (run under -race) nor produce a torn file: every written
+// image must load cleanly with a consistent id allocator.
 func TestSaveDuringMutation(t *testing.T) {
 	ix, gen := buildSmall(t)
 	extra := gen.Generate(300)
@@ -392,7 +537,10 @@ func TestSaveDuringMutation(t *testing.T) {
 				return
 			}
 			if i%4 == 0 {
-				ix.Delete(ids[0])
+				if err := ix.Delete(ids[0]); err != nil {
+					done <- err
+					return
+				}
 			}
 		}
 		done <- nil
@@ -407,7 +555,7 @@ func TestSaveDuringMutation(t *testing.T) {
 			t.Fatalf("snapshot %d did not load: %v", i, err)
 		}
 		maxID := int64(-1)
-		for _, p := range loaded.Parts {
+		for _, p := range loaded.Parts() {
 			for j := 0; j < p.N; j++ {
 				if id := p.ID(j); id > maxID {
 					maxID = id

@@ -118,6 +118,41 @@ func (fs *FastScan) Append(codes []uint8, ids []int64) {
 	}
 }
 
+// Rebind returns a FastScan over np that shares this layout. np must
+// hold exactly the same codes in the same positions — the tombstone-only
+// copy-on-write case, where the grouped layout is unaffected and only
+// the partition binding (whose dead set kernels consult during the scan)
+// changes.
+func (fs *FastScan) Rebind(np *Partition) *FastScan {
+	return &FastScan{part: np, keepN: fs.keepN, c: fs.c, grouped: fs.grouped, orderGroups: fs.orderGroups}
+}
+
+// CloneAppend returns a FastScan over np — p's rows plus the appended
+// ones — without touching this layout: the copy-on-write counterpart of
+// Append for layouts published in snapshots. It produces state
+// byte-identical to calling Append in place (same splice-vs-regroup
+// heuristic, same stable grouping), so results and pruning behaviour
+// match the mutable path exactly.
+func (fs *FastScan) CloneAppend(np *Partition, codes []uint8, ids []int64) *FastScan {
+	n := len(ids)
+	g := fs.grouped
+	nfs := &FastScan{part: np, keepN: fs.keepN, c: fs.c, orderGroups: fs.orderGroups}
+	if n > 64 && n > g.N/8 {
+		allCodes := append(append(make([]uint8, 0, len(g.Codes)+len(codes)), g.Codes...), codes...)
+		allIDs := append(append(make([]int64, 0, len(g.IDs)+n), g.IDs...), ids...)
+		if ng, err := layout.NewGrouped(allCodes, allIDs, fs.c); err == nil {
+			nfs.grouped = ng
+			return nfs
+		}
+	}
+	ng := g.Clone()
+	for i := 0; i < n; i++ {
+		ng.Append(codes[i*M:(i+1)*M], ids[i])
+	}
+	nfs.grouped = ng
+	return nfs
+}
+
 // groupVisitOrder returns the order groups are scanned in: database
 // (key) order by default, or — with the OrderGroups extension — ascending
 // by a conservative per-group distance estimate: the sum of each grouped

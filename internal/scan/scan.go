@@ -100,6 +100,69 @@ func (p *Partition) Append(codes []uint8, ids []int64) {
 	p.N += len(ids)
 }
 
+// CloneAppend returns a new partition holding p's rows followed by the
+// appended ones, leaving p untouched — the copy-on-write counterpart of
+// Append for sealed partitions published in snapshots. The tombstone set
+// is shared with p: appends never tombstone, and sealed partitions only
+// grow their dead sets through CloneTombstone, which copies before
+// writing.
+func (p *Partition) CloneAppend(codes []uint8, ids []int64) *Partition {
+	if len(codes) != len(ids)*p.W {
+		panic("scan: append code/id count mismatch")
+	}
+	nc := make([]uint8, 0, len(p.Codes)+len(codes))
+	nc = append(append(nc, p.Codes...), codes...)
+	ni := make([]int64, 0, p.N+len(ids))
+	if p.IDs == nil {
+		for i := 0; i < p.N; i++ {
+			ni = append(ni, int64(i))
+		}
+	} else {
+		ni = append(ni, p.IDs...)
+	}
+	ni = append(ni, ids...)
+	return &Partition{N: p.N + len(ids), W: p.W, Codes: nc, IDs: ni, dead: p.dead}
+}
+
+// CloneTombstone returns a new partition equal to p with id tombstoned,
+// sharing the (immutable) code and id arrays and copying only the dead
+// set — the copy-on-write counterpart of Tombstone. It reports false
+// (and returns p unchanged) when id is already dead. Like Tombstone, the
+// caller is responsible for only passing ids that live in this
+// partition.
+func (p *Partition) CloneTombstone(id int64) (*Partition, bool) {
+	if _, ok := p.dead[id]; ok {
+		return p, false
+	}
+	nd := make(map[int64]struct{}, len(p.dead)+1)
+	for k := range p.dead {
+		nd[k] = struct{}{}
+	}
+	nd[id] = struct{}{}
+	return &Partition{N: p.N, W: p.W, Codes: p.Codes, IDs: p.IDs, dead: nd}, true
+}
+
+// Compact returns a new partition holding only p's live rows, in their
+// original relative order, with an empty tombstone set. A partition
+// without tombstones compacts to a fresh header over the same (shared)
+// arrays.
+func (p *Partition) Compact() *Partition {
+	if len(p.dead) == 0 {
+		return &Partition{N: p.N, W: p.W, Codes: p.Codes, IDs: p.IDs}
+	}
+	codes := make([]uint8, 0, p.Live()*p.W)
+	ids := make([]int64, 0, p.Live())
+	for i := 0; i < p.N; i++ {
+		id := p.ID(i)
+		if p.IsDead(id) {
+			continue
+		}
+		codes = append(codes, p.Code(i)...)
+		ids = append(ids, id)
+	}
+	return &Partition{N: len(ids), W: p.W, Codes: codes, IDs: ids}
+}
+
 // Tombstone marks id as deleted. It reports whether the id was newly
 // tombstoned (false when it already was). The caller is responsible for
 // only passing ids that live in this partition.

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"pqfastscan"
 )
 
 // Observability is lock-free: every counter is an atomic, so recording a
@@ -134,6 +136,12 @@ type metrics struct {
 	saves      atomic.Int64
 	saveErrors atomic.Int64
 	lastSave   atomic.Int64 // unix seconds, 0 = never
+
+	// Online compaction.
+	compactions      atomic.Int64 // partitions compacted
+	compactReclaimed atomic.Int64 // tombstoned rows reclaimed
+	compactErrors    atomic.Int64
+	lastCompact      atomic.Int64 // unix seconds, 0 = never
 }
 
 func newMetrics(endpoints []string) *metrics {
@@ -194,13 +202,30 @@ func (m *metrics) batchStats() BatchStats {
 
 // Stats is the full /stats document.
 type Stats struct {
-	UptimeS    float64                  `json:"uptime_s"`
-	Live       int                      `json:"live"`
-	Partitions []int                    `json:"partitions"`
-	Endpoints  map[string]EndpointStats `json:"endpoints"`
-	Batch      BatchStats               `json:"batch"`
-	Admission  AdmissionStats           `json:"admission"`
-	Snapshot   SnapshotStats            `json:"snapshot"`
+	UptimeS float64 `json:"uptime_s"`
+	Live    int     `json:"live"`
+	// Partitions is the total row count per cell (live + tombstoned),
+	// kept for dashboard compatibility; PartitionStats carries the
+	// occupancy breakdown.
+	Partitions []int `json:"partitions"`
+	// PartitionStats reports, per cell, the live and tombstoned row
+	// counts, the dead ratio the compaction policy acts on, and the
+	// epoch number of the currently published partition version.
+	PartitionStats []pqfastscan.PartitionStat `json:"partition_stats"`
+	Endpoints      map[string]EndpointStats   `json:"endpoints"`
+	Batch          BatchStats                 `json:"batch"`
+	Admission      AdmissionStats             `json:"admission"`
+	Snapshot       SnapshotStats              `json:"snapshot"`
+	Compaction     CompactionStats            `json:"compaction"`
+}
+
+// CompactionStats is the /stats projection of online compaction.
+type CompactionStats struct {
+	Threshold       float64 `json:"threshold"`
+	Runs            int64   `json:"runs"`      // partitions compacted
+	Reclaimed       int64   `json:"reclaimed"` // tombstoned rows removed
+	Errors          int64   `json:"errors"`
+	LastCompactUnix int64   `json:"last_compact_unix"`
 }
 
 // AdmissionStats is the /stats projection of admission control.

@@ -71,6 +71,15 @@ type Config struct {
 	// SaveInterval enables periodic background Save when positive.
 	SaveInterval time.Duration
 
+	// CompactInterval enables the background compaction policy when
+	// positive: every interval, partitions whose dead ratio reaches
+	// CompactThreshold are rebuilt online without their tombstones.
+	CompactInterval time.Duration
+	// CompactThreshold is the dead ratio (tombstoned rows / total rows)
+	// at which the background policy compacts a partition (default
+	// 0.25). The explicit /compact endpoint takes its own threshold.
+	CompactThreshold float64
+
 	// Logf, when set, receives operational log lines (swaps, saves,
 	// shutdown). Defaults to discarding them.
 	Logf func(format string, args ...any)
@@ -101,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 0.25
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -109,7 +121,7 @@ func (c Config) withDefaults() Config {
 
 // endpoints instrumented in /stats, in display order.
 var endpointNames = []string{
-	"/search", "/add", "/delete", "/healthz", "/stats", "/swap", "/save",
+	"/search", "/add", "/delete", "/healthz", "/stats", "/swap", "/save", "/compact",
 }
 
 // Server serves a pqfastscan index over HTTP. Create with New, mount
@@ -162,10 +174,15 @@ func New(cfg Config) (*Server, error) {
 	s.handle("/stats", http.MethodGet, s.handleStats)
 	s.handle("/swap", http.MethodPost, s.handleSwap)
 	s.handle("/save", http.MethodPost, s.handleSave)
+	s.handle("/compact", http.MethodPost, s.handleCompact)
 
 	if cfg.SaveInterval > 0 && cfg.SnapshotPath != "" {
 		s.bg.Add(1)
 		go s.saveLoop()
+	}
+	if cfg.CompactInterval > 0 {
+		s.bg.Add(1)
+		go s.compactLoop()
 	}
 	return s, nil
 }
@@ -430,7 +447,7 @@ type DeleteRequest struct {
 	ID int64 `json:"id"`
 }
 
-// DeleteResponse reports whether the id was present and alive.
+// DeleteResponse acknowledges a completed delete.
 type DeleteResponse struct {
 	Deleted bool `json:"deleted"`
 }
@@ -442,9 +459,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.swapMu.RLock()
-	deleted := s.idx.Delete(req.ID)
+	err := s.idx.Delete(req.ID)
 	s.swapMu.RUnlock()
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: deleted})
+	if errors.Is(err, pqfastscan.ErrNotFound) {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true})
 }
 
 // --- /healthz, /stats --------------------------------------------------
@@ -461,14 +486,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
-// StatsSnapshot assembles the current /stats document.
+// StatsSnapshot assembles the current /stats document. Live, Partitions
+// and PartitionStats all derive from one PartitionStats() call — one
+// epoch snapshot — so the document is internally consistent
+// (live == sum of per-partition live, partitions[i] == live+dead) no
+// matter what mutations land while it is built.
 func (s *Server) StatsSnapshot() Stats {
+	pstats := s.idx.PartitionStats()
+	live := 0
+	sizes := make([]int, len(pstats))
+	for i, ps := range pstats {
+		live += ps.Live
+		sizes[i] = ps.Live + ps.Dead
+	}
 	st := Stats{
-		UptimeS:    time.Since(s.metrics.start).Seconds(),
-		Live:       s.idx.Live(),
-		Partitions: s.idx.PartitionSizes(),
-		Endpoints:  make(map[string]EndpointStats, len(endpointNames)),
-		Batch:      s.metrics.batchStats(),
+		UptimeS:        time.Since(s.metrics.start).Seconds(),
+		Live:           live,
+		Partitions:     sizes,
+		PartitionStats: pstats,
+		Endpoints:      make(map[string]EndpointStats, len(endpointNames)),
+		Batch:          s.metrics.batchStats(),
+		Compaction: CompactionStats{
+			Threshold:       s.cfg.CompactThreshold,
+			Runs:            s.metrics.compactions.Load(),
+			Reclaimed:       s.metrics.compactReclaimed.Load(),
+			Errors:          s.metrics.compactErrors.Load(),
+			LastCompactUnix: s.metrics.lastCompact.Load(),
+		},
 		Admission: AdmissionStats{
 			MaxInFlight:  s.cfg.MaxInFlight,
 			InFlight:     len(s.sem),
@@ -572,8 +616,13 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) save(path string) error {
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
+	// Shared side of swapMu: a save serializes one immutable epoch
+	// snapshot and never blocks mutations or compaction — it only must
+	// not interleave with a /swap replacing the serving index wholesale.
+	// Concurrent saves are safe with each other (each writes its own
+	// temp file and renames atomically).
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	if err := s.idx.Save(path); err != nil {
 		s.metrics.saveErrors.Add(1)
 		return err
@@ -581,6 +630,148 @@ func (s *Server) save(path string) error {
 	s.metrics.saves.Add(1)
 	s.metrics.lastSave.Store(time.Now().Unix())
 	return nil
+}
+
+// --- /compact ----------------------------------------------------------
+
+// CompactRequest triggers online tombstone reclamation. An absent or
+// negative partition selects policy mode: every partition whose dead
+// ratio reaches Threshold (default: the configured CompactThreshold) is
+// compacted. A non-negative Partition compacts that one cell
+// unconditionally.
+type CompactRequest struct {
+	// Partition, when >= 0, compacts exactly that cell; negative (the
+	// default when the field is absent) applies the threshold policy
+	// across all cells.
+	Partition int `json:"partition"`
+	// Threshold overrides the configured dead-ratio threshold for this
+	// call (policy mode only). Zero means "use the configured value";
+	// to compact any partition holding tombstones pass a tiny positive
+	// value such as 1e-9.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// CompactResponse reports the partitions compacted and the rows
+// reclaimed.
+type CompactResponse struct {
+	Compacted []pqfastscan.CompactionResult `json:"compacted"`
+	Reclaimed int                           `json:"reclaimed"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	req := CompactRequest{Partition: -1}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	if req.Partition >= s.idx.Partitions() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("partition must be in [0,%d) or negative for policy mode", s.idx.Partitions()))
+		return
+	}
+	var results []pqfastscan.CompactionResult
+	var err error
+	if req.Partition >= 0 {
+		s.swapMu.RLock()
+		var one pqfastscan.CompactionResult
+		one, err = s.idx.CompactPartition(req.Partition)
+		s.swapMu.RUnlock()
+		if err == nil && one.Reclaimed > 0 {
+			results = append(results, one)
+		}
+	} else {
+		threshold := req.Threshold
+		if threshold == 0 {
+			threshold = s.cfg.CompactThreshold
+		}
+		results, err = s.compactSweep(threshold)
+	}
+	if err != nil {
+		// The request was well-formed (range-checked above); a failure
+		// here is an index-side problem.
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	reclaimed := 0
+	for _, c := range results {
+		reclaimed += c.Reclaimed
+	}
+	s.recordCompactions(results)
+	writeJSON(w, http.StatusOK, CompactResponse{Compacted: results, Reclaimed: reclaimed})
+}
+
+// compactSweep applies the dead-ratio policy one partition at a time,
+// taking the shared side of swapMu per partition rather than across the
+// whole sweep: compactions must not interleave with a /swap, but a
+// pending swap should wait for at most one partition rebuild — holding
+// the read side across the full sweep would park the swap (and, because
+// a waiting writer blocks new readers, every mutation behind it) for
+// the sweep's whole duration. A swap landing mid-sweep is fine: later
+// iterations just re-evaluate dead ratios against the new index.
+func (s *Server) compactSweep(threshold float64) ([]pqfastscan.CompactionResult, error) {
+	var out []pqfastscan.CompactionResult
+	for _, st := range s.idx.PartitionStats() {
+		if st.Dead == 0 || st.DeadRatio < threshold {
+			continue
+		}
+		s.swapMu.RLock()
+		var (
+			r   pqfastscan.CompactionResult
+			err error
+		)
+		if st.Partition < s.idx.Partitions() { // the index may have been swapped mid-sweep
+			r, err = s.idx.CompactPartition(st.Partition)
+		}
+		s.swapMu.RUnlock()
+		if err != nil {
+			return out, err
+		}
+		if r.Reclaimed > 0 {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// recordCompactions folds completed compactions into the metrics.
+func (s *Server) recordCompactions(results []pqfastscan.CompactionResult) {
+	if len(results) == 0 {
+		return
+	}
+	reclaimed := 0
+	for _, c := range results {
+		reclaimed += c.Reclaimed
+	}
+	s.metrics.compactions.Add(int64(len(results)))
+	s.metrics.compactReclaimed.Add(int64(reclaimed))
+	s.metrics.lastCompact.Store(time.Now().Unix())
+	s.cfg.Logf("server: compacted %d partition(s), reclaimed %d tombstoned rows", len(results), reclaimed)
+}
+
+// compactLoop applies the dead-ratio compaction policy every
+// CompactInterval: partitions past the threshold are rebuilt without
+// their tombstones, off the serving path, and published under live
+// traffic.
+func (s *Server) compactLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			results, err := s.compactSweep(s.cfg.CompactThreshold)
+			if err != nil {
+				s.metrics.compactErrors.Add(1)
+				s.cfg.Logf("server: background compaction: %v", err)
+				continue
+			}
+			s.recordCompactions(results)
+		case <-s.quit:
+			return
+		}
+	}
 }
 
 // saveLoop persists the serving index every SaveInterval, so a crashed

@@ -591,3 +591,202 @@ func TestBodySizeLimit(t *testing.T) {
 		t.Fatalf("oversized body: status %d, want 400 (%s)", status, body)
 	}
 }
+
+// --- delete 404, compaction --------------------------------------------
+
+// TestDeleteNotFoundIs404: the typed ErrNotFound travels index → façade
+// → HTTP as a 404, for never-assigned and double-deleted ids alike.
+func TestDeleteNotFoundIs404(t *testing.T) {
+	idx := buildIndex(t, 29, 2000, 4000)
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: 1 << 40}, nil); status != http.StatusNotFound {
+		t.Fatalf("never-assigned id: status %d, want 404 (%s)", status, body)
+	}
+	var del DeleteResponse
+	if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: 7}, &del); status != http.StatusOK || !del.Deleted {
+		t.Fatalf("live id: status %d deleted %v (%s)", status, del.Deleted, body)
+	}
+	if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: 7}, nil); status != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, want 404 (%s)", status, body)
+	}
+}
+
+// TestCompactEndpoint: /compact reclaims tombstones online, bumps
+// partition epochs in /stats, and leaves search answers unchanged.
+func TestCompactEndpoint(t *testing.T) {
+	idx := buildIndex(t, 31, 2000, 6000)
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 31})
+	gen.Generate(2000 + 6000) // advance past learn+base
+	queries := gen.Generate(4)
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	for id := int64(0); id < 3000; id += 2 {
+		if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: id}, nil); status != http.StatusOK {
+			t.Fatalf("delete %d: status %d (%s)", id, status, body)
+		}
+	}
+	var before Stats
+	if status := getJSON(t, hs.URL+"/stats", &before); status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	deadBefore := 0
+	for _, ps := range before.PartitionStats {
+		deadBefore += ps.Dead
+	}
+	if deadBefore != 1500 {
+		t.Fatalf("stats report %d tombstones before compaction, want 1500", deadBefore)
+	}
+	var wantAnswers []SearchResponse
+	for qi := 0; qi < queries.Rows(); qi++ {
+		var resp SearchResponse
+		if status, body := postJSON(t, hs.URL+"/search", SearchRequest{Query: queries.Row(qi), K: 15, NProbe: 4}, &resp); status != http.StatusOK {
+			t.Fatalf("search: status %d (%s)", status, body)
+		}
+		wantAnswers = append(wantAnswers, resp)
+	}
+
+	var comp CompactResponse
+	if status, body := postJSON(t, hs.URL+"/compact", CompactRequest{Partition: -1, Threshold: 1e-9}, &comp); status != http.StatusOK {
+		t.Fatalf("compact: status %d (%s)", status, body)
+	}
+	if comp.Reclaimed != 1500 {
+		t.Fatalf("compaction reclaimed %d rows, want 1500", comp.Reclaimed)
+	}
+
+	var after Stats
+	if status := getJSON(t, hs.URL+"/stats", &after); status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	for i, ps := range after.PartitionStats {
+		if ps.Dead != 0 {
+			t.Fatalf("partition %d still reports %d tombstones", i, ps.Dead)
+		}
+		if before.PartitionStats[i].Dead > 0 && ps.Epoch <= before.PartitionStats[i].Epoch {
+			t.Fatalf("partition %d epoch did not advance across compaction", i)
+		}
+	}
+	if after.Compaction.Runs != int64(len(comp.Compacted)) || after.Compaction.Reclaimed != 1500 {
+		t.Fatalf("compaction stats %+v, want runs=%d reclaimed=1500", after.Compaction, len(comp.Compacted))
+	}
+
+	for qi := 0; qi < queries.Rows(); qi++ {
+		var resp SearchResponse
+		if status, body := postJSON(t, hs.URL+"/search", SearchRequest{Query: queries.Row(qi), K: 15, NProbe: 4}, &resp); status != http.StatusOK {
+			t.Fatalf("search after compact: status %d (%s)", status, body)
+		}
+		if len(resp.Results) != len(wantAnswers[qi].Results) {
+			t.Fatalf("query %d: %d results after compaction, want %d", qi, len(resp.Results), len(wantAnswers[qi].Results))
+		}
+		for i := range resp.Results {
+			if resp.Results[i] != wantAnswers[qi].Results[i] {
+				t.Fatalf("query %d rank %d changed across compaction", qi, i)
+			}
+		}
+	}
+
+	// Single-partition mode: nothing left to reclaim.
+	var one CompactResponse
+	if status, body := postJSON(t, hs.URL+"/compact", CompactRequest{Partition: 0}, &one); status != http.StatusOK || one.Reclaimed != 0 {
+		t.Fatalf("single-partition compact: status %d reclaimed %d (%s)", status, one.Reclaimed, body)
+	}
+	if status, _ := postJSON(t, hs.URL+"/compact", CompactRequest{Partition: 99}, nil); status != http.StatusBadRequest {
+		t.Fatalf("out-of-range partition: status %d, want 400", status)
+	}
+}
+
+// TestBackgroundCompactionPolicy: with CompactInterval set, partitions
+// past the dead-ratio threshold are compacted without any endpoint call.
+func TestBackgroundCompactionPolicy(t *testing.T) {
+	idx := buildIndex(t, 37, 2000, 4000)
+	_, hs := newTestServer(t, Config{
+		Index:            idx,
+		CompactInterval:  10 * time.Millisecond,
+		CompactThreshold: 0.2,
+	})
+	for id := int64(0); id < 4000; id += 2 {
+		if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: id}, nil); status != http.StatusOK {
+			t.Fatalf("delete %d: status %d (%s)", id, status, body)
+		}
+	}
+	// The policy's steady state: every partition is back under the
+	// threshold (residual tombstones below 20% are by design left for
+	// the next crossing) and at least one compaction ran.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st Stats
+		if status := getJSON(t, hs.URL+"/stats", &st); status != http.StatusOK {
+			t.Fatalf("stats status %d", status)
+		}
+		settled := st.Compaction.Runs > 0 && st.Compaction.Reclaimed > 0
+		for _, ps := range st.PartitionStats {
+			if ps.DeadRatio >= 0.2 {
+				settled = false
+			}
+		}
+		if settled {
+			if st.Live != 2000 {
+				t.Fatalf("live %d after background compaction, want 2000", st.Live)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never settled: %+v", st.Compaction)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSaveDuringActiveCompaction: /save images taken while /compact and
+// /delete republish partitions must every one load cleanly and carry a
+// consistent snapshot.
+func TestSaveDuringActiveCompaction(t *testing.T) {
+	idx := buildIndex(t, 41, 2000, 6000)
+	dir := t.TempDir()
+	_, hs := newTestServer(t, Config{Index: idx})
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := int64(0); id < 3000; id++ {
+			if status, body := postJSON(t, hs.URL+"/delete", DeleteRequest{ID: id}, nil); status != http.StatusOK {
+				firstErr.CompareAndSwap(nil, errSaveSoak("delete "+body))
+				return
+			}
+			if id%200 == 0 {
+				if status, body := postJSON(t, hs.URL+"/compact", CompactRequest{Partition: -1, Threshold: 1e-9}, nil); status != http.StatusOK {
+					firstErr.CompareAndSwap(nil, errSaveSoak("compact "+body))
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		path := filepath.Join(dir, "snap.pqfsidx")
+		var sv SaveResponse
+		if status, body := postJSON(t, hs.URL+"/save", SaveRequest{Path: path}, &sv); status != http.StatusOK || !sv.Saved {
+			t.Fatalf("save %d: status %d (%s)", i, status, body)
+		}
+		loaded, err := pqfastscan.LoadIndex(path)
+		if err != nil {
+			t.Fatalf("save %d produced an unloadable image: %v", i, err)
+		}
+		total := 0
+		for _, ps := range loaded.PartitionStats() {
+			total += ps.Live
+		}
+		if total != loaded.Live() {
+			t.Fatalf("save %d: inconsistent image (live %d vs partition sum %d)", i, loaded.Live(), total)
+		}
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errSaveSoak string
+
+func (e errSaveSoak) Error() string { return string(e) }

@@ -2,6 +2,7 @@ package pqfastscan_test
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"testing"
 
@@ -65,15 +66,15 @@ func newMutateFixture(t *testing.T) *mutateFixture {
 		deleted[ids[i]] = true
 	}
 	for id := range deleted {
-		if !mutated.Delete(id) {
-			t.Fatalf("delete of id %d reported not found", id)
+		if err := mutated.Delete(id); err != nil {
+			t.Fatalf("delete of id %d: %v", id, err)
 		}
 	}
-	if mutated.Delete(ids[0]) {
-		t.Fatal("double delete reported success")
+	if err := mutated.Delete(ids[0]); !errors.Is(err, pqfastscan.ErrNotFound) {
+		t.Fatalf("double delete returned %v, want ErrNotFound", err)
 	}
-	if mutated.Delete(int64(base.Rows() + extra.Rows())) {
-		t.Fatal("delete of never-assigned id reported success")
+	if err := mutated.Delete(int64(base.Rows() + extra.Rows())); !errors.Is(err, pqfastscan.ErrNotFound) {
+		t.Fatalf("delete of never-assigned id returned %v, want ErrNotFound", err)
 	}
 
 	// The reference: a from-scratch build over the surviving vectors, in
@@ -255,7 +256,9 @@ func TestMutationInterleavedEnginesAgree(t *testing.T) {
 		total += int64(len(added))
 		checkEnginesAgree(round)
 		for ; nextDelete < total; nextDelete += 17 {
-			idx.Delete(nextDelete)
+			if err := idx.Delete(nextDelete); err != nil {
+				t.Fatal(err)
+			}
 		}
 		checkEnginesAgree(round)
 		if _, err := idx.Add(gen.Generate(1).Row(0)); err != nil {
@@ -287,8 +290,8 @@ func TestDeletedNeverReturned(t *testing.T) {
 	}
 	removed := map[int64]bool{}
 	for _, r := range before.Results[:5] {
-		if !idx.Delete(r.ID) {
-			t.Fatalf("delete of returned id %d failed", r.ID)
+		if err := idx.Delete(r.ID); err != nil {
+			t.Fatalf("delete of returned id %d: %v", r.ID, err)
 		}
 		removed[r.ID] = true
 	}

@@ -222,12 +222,13 @@ func (ix *Index) Dim() int { return ix.load().Dim }
 
 // Partitions returns the number of IVF cells — the upper bound for
 // WithNProbe — without materializing the per-cell sizes.
-func (ix *Index) Partitions() int { return len(ix.load().Parts) }
+func (ix *Index) Partitions() int { return ix.load().Partitions() }
 
 // Save writes the trained index to path atomically, so the expensive
 // construction pipeline runs once. Load it back with LoadIndex. Saving
-// takes a consistent snapshot under the index read lock, so it is safe
-// under concurrent queries and mutations.
+// serializes the immutable epoch snapshot current at the call, so it is
+// consistent under concurrent queries and mutations without blocking
+// either.
 func (ix *Index) Save(path string) error {
 	return persist.SaveIndex(path, ix.load())
 }

@@ -213,12 +213,48 @@ func (ix *Index) AddBatch(vectors Matrix) ([]int64, error) {
 	return ix.load().Add(vectors)
 }
 
+// ErrNotFound is returned by Delete when the id is not live in the
+// index: never assigned, already deleted, or replaced with a snapshot
+// swap. Test with errors.Is.
+var ErrNotFound = index.ErrNotFound
+
 // Delete removes the vector with the given id from future search
-// results. The deletion is a tombstone: the vector's code stays in its
-// partition block (and is skipped by every kernel) until the index is
-// rebuilt. It reports whether the id was present and alive.
-func (ix *Index) Delete(id int64) bool {
+// results by publishing a copy-on-write tombstone epoch of its
+// partition: in-flight searches keep the snapshot they loaded, later
+// searches skip the id. The code stays in its partition block until the
+// online compactor reclaims it (Compact, or the serving layer's
+// background policy). It returns ErrNotFound when the id was never
+// assigned or is no longer live.
+func (ix *Index) Delete(id int64) error {
 	return ix.load().Delete(id)
+}
+
+// PartitionStat describes one IVF cell's occupancy: live and tombstoned
+// row counts, the dead ratio compaction policies act on, and the epoch
+// number of its currently published version.
+type PartitionStat = index.PartitionStat
+
+// PartitionStats returns per-partition live/dead/epoch counters from the
+// current snapshot.
+func (ix *Index) PartitionStats() []PartitionStat { return ix.load().PartitionStats() }
+
+// CompactionResult reports one partition compaction: how many
+// tombstoned rows were reclaimed and the epoch published.
+type CompactionResult = index.CompactionResult
+
+// Compact rebuilds, online, every partition whose dead ratio is at
+// least minDeadRatio, removing tombstoned codes. Compaction runs off
+// the serving path: searches never block, and results are identical
+// before and after (deleted ids were already excluded). It returns the
+// partitions actually compacted.
+func (ix *Index) Compact(minDeadRatio float64) ([]CompactionResult, error) {
+	return ix.load().Compact(minDeadRatio)
+}
+
+// CompactPartition compacts one partition unconditionally (no-op when it
+// holds no tombstones).
+func (ix *Index) CompactPartition(part int) (CompactionResult, error) {
+	return ix.load().CompactPartition(part)
 }
 
 // Live returns the number of indexed vectors that have not been deleted.
