@@ -12,8 +12,10 @@
 // reference run next to the paper's numbers.
 //
 // -json switches to the wall-clock benchmark suite: every kernel on both
-// execution engines (model and native) over several partition sizes,
-// emitted as a machine-readable JSON report on stdout so the repository
+// execution engines (model and native) over several partition sizes —
+// with one native Fast Scan row per available block-kernel backend
+// (asm-avx2/asm-neon/swar), plus the host's backend and CPU-feature
+// record — emitted as machine-readable JSON on stdout so the repository
 // can record a BENCH_*.json trajectory across PRs.
 //
 // -serve switches to served-throughput load generation against the
@@ -166,9 +168,9 @@ func main() {
 }
 
 // runMachineReadable dispatches the -json / -serve / -mixed modes: a
-// single report alone, or the combined document when several are
-// requested (pqfastscan-bench/v2 for kernels+serve, v3 once the mixed
-// section participates — the BENCH_pr4.json baseline format).
+// single report alone, or the combined pqfastscan-bench/v4 document
+// when several are requested (the BENCH_pr5.json baseline format:
+// kernels per backend + the mixed workload).
 func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig) {
 	var sizes []int
 	if kernels {
@@ -202,10 +204,10 @@ func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string
 		return
 	}
 
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v2"}
-	if mixed {
-		combined.Schema = "pqfastscan-bench/v3"
-	}
+	// v4: the kernels section carries the block-kernel backend record
+	// (active/available backends, CPU features, per-backend native Fast
+	// Scan rows) and the mixed section names its backend.
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v4"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)

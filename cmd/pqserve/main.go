@@ -105,6 +105,14 @@ func main() {
 		_ = srv.Close()      // then stop the batcher and saver
 	}()
 
+	// Name the scan backend at startup so a deployment log makes a
+	// silent SWAR fallback (wrong image, masked CPU features) visible;
+	// /healthz and /stats carry the same value for probes.
+	log.Printf("scan backend %s (cpu features %v, available %v)",
+		pqfastscan.ActiveBackend(), pqfastscan.CPUFeatures(), pqfastscan.AvailableBackends())
+	if note := pqfastscan.BackendInitNote(); note != "" {
+		log.Printf("backend selection: %s", note)
+	}
 	log.Printf("serving %d live vectors (partitions %v) on %s",
 		idx.Live(), idx.PartitionSizes(), *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -117,3 +117,108 @@ func TestParallelMatchesSequentialBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendsReturnIdenticalResults is the public-API face of the
+// cross-backend exactness invariant: every available backend (assembly
+// or SWAR), explicitly pinned with WithBackend, returns the same
+// neighbor lists as the default auto selection — single-probe,
+// multi-probe and batched.
+func TestBackendsReturnIdenticalResults(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+
+	for _, nprobe := range []int{1, 3} {
+		for qi := 0; qi < queries.Rows(); qi++ {
+			q := queries.Row(qi)
+			auto, err := idx.Search(ctx, q, 25, pqfastscan.WithNProbe(nprobe))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, be := range pqfastscan.AvailableBackends() {
+				got, err := idx.Search(ctx, q, 25,
+					pqfastscan.WithNProbe(nprobe), pqfastscan.WithBackend(be))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResultSlices(t, "backend/"+be.String(), auto.Results, got.Results)
+			}
+		}
+	}
+
+	for _, be := range pqfastscan.AvailableBackends() {
+		autoBatch, err := idx.SearchBatch(ctx, queries, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := idx.SearchBatch(ctx, queries, 25, pqfastscan.WithBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			sameResultSlices(t, "batch-backend/"+be.String(), autoBatch[i].Results, batch[i].Results)
+		}
+	}
+}
+
+// TestBackendOptionRejections: an unavailable backend and any
+// backend+model-engine combination fail fast with actionable errors.
+func TestBackendOptionRejections(t *testing.T) {
+	idx, _, queries := sharedAPIIndex(t)
+	ctx := context.Background()
+	q := queries.Row(0)
+
+	var unavailable pqfastscan.Backend
+	found := false
+	for _, be := range []pqfastscan.Backend{pqfastscan.BackendAVX2, pqfastscan.BackendNEON} {
+		avail := false
+		for _, have := range pqfastscan.AvailableBackends() {
+			if have == be {
+				avail = true
+			}
+		}
+		if !avail {
+			unavailable, found = be, true
+			break
+		}
+	}
+	if found {
+		if _, err := idx.Search(ctx, q, 5, pqfastscan.WithBackend(unavailable)); err == nil ||
+			!strings.Contains(err.Error(), "not available") {
+			t.Fatalf("unavailable backend: got err %v", err)
+		}
+	}
+
+	if _, err := idx.Search(ctx, q, 5,
+		pqfastscan.WithBackend(pqfastscan.BackendSWAR), pqfastscan.WithStats()); err == nil {
+		t.Fatal("WithBackend+WithStats must be rejected (model engine has no backends)")
+	}
+	if _, err := idx.Search(ctx, q, 5,
+		pqfastscan.WithBackend(pqfastscan.BackendSWAR),
+		pqfastscan.WithEngine(pqfastscan.EngineModel)); err == nil {
+		t.Fatal("WithBackend+WithEngine(EngineModel) must be rejected")
+	}
+}
+
+// TestActiveBackendSurface sanity-checks the introspection surface the
+// serving layer logs and exports.
+func TestActiveBackendSurface(t *testing.T) {
+	be := pqfastscan.ActiveBackend()
+	if be == pqfastscan.BackendAuto {
+		t.Fatal("ActiveBackend returned auto")
+	}
+	parsed, err := pqfastscan.ParseBackend(be.String())
+	if err != nil || parsed != be {
+		t.Fatalf("ParseBackend(%q) = %v, %v", be.String(), parsed, err)
+	}
+	avail := pqfastscan.AvailableBackends()
+	if len(avail) == 0 {
+		t.Fatal("no available backends")
+	}
+	hasActive := false
+	for _, b := range avail {
+		hasActive = hasActive || b == be
+	}
+	if !hasActive {
+		t.Fatalf("active backend %v not in available set %v", be, avail)
+	}
+}

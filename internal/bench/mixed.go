@@ -103,7 +103,11 @@ type MixedPhase struct {
 
 // MixedReport is the JSON document of one mixed read/write run.
 type MixedReport struct {
-	Schema     string  `json:"schema"`
+	Schema string `json:"schema"`
+	// Backend is the block-kernel backend the readers ran on (the
+	// startup selection; force with PQ_FORCE_BACKEND to record the
+	// mixed workload on another backend).
+	Backend    string  `json:"backend"`
 	BaseN      int     `json:"base_n"`
 	Partitions int     `json:"partitions"`
 	Readers    int     `json:"readers"`
@@ -150,7 +154,8 @@ func MeasureMixed(cfg MixedConfig) (*MixedReport, error) {
 	}
 
 	report := &MixedReport{
-		Schema:     "pqfastscan-mixed/v1",
+		Schema:     "pqfastscan-mixed/v2",
+		Backend:    pqfastscan.ActiveBackend().String(),
 		BaseN:      cfg.BaseN,
 		Partitions: cfg.Partitions,
 		Readers:    cfg.Readers,

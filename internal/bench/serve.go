@@ -263,7 +263,8 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 // throughput and/or the mixed read-write isolation numbers of the same
 // build — the document the BENCH_pr*.json baselines record
 // (cmd/pqbench -json -serve, -json -mixed, or all three). Schema is
-// pqfastscan-bench/v2 without the mixed section and v3 with it.
+// pqfastscan-bench/v4 (v2/v3 predate the backend record in the kernels
+// and mixed sections).
 type CombinedReport struct {
 	Schema  string           `json:"schema"`
 	Kernels *WallClockReport `json:"kernels,omitempty"`

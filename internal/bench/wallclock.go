@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"testing"
 
+	"pqfastscan"
 	"pqfastscan/internal/quantizer"
 	"pqfastscan/internal/rng"
 	"pqfastscan/internal/scan"
+	"pqfastscan/internal/simd/dispatch"
 )
 
 // Wall-clock kernel benchmarks with machine-readable output — the
@@ -19,10 +21,15 @@ import (
 // kernel and engine by engine, and emits JSON so successive PRs can
 // record a BENCH_*.json trajectory (cmd/pqbench -json).
 
-// WallClockResult is one (kernel, engine, partition size) measurement.
+// WallClockResult is one (kernel, engine, backend, partition size)
+// measurement. Backend is set on native Fast Scan rows — the suite runs
+// one row per available block-kernel backend (asm-avx2/asm-neon/swar)
+// so a BENCH_*.json records the assembly-vs-SWAR ratio on the machine
+// that produced it; model rows and the exact scan leave it empty.
 type WallClockResult struct {
 	Kernel      string  `json:"kernel"`
 	Engine      string  `json:"engine"`
+	Backend     string  `json:"backend,omitempty"`
 	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_s"` // code bytes scanned per second
@@ -31,16 +38,21 @@ type WallClockResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// WallClockReport is the JSON document pqbench -json emits.
+// WallClockReport is the JSON document pqbench -json emits
+// (pqfastscan-bench/v4: v3 plus the backend/CPU-feature record and
+// per-backend native rows).
 type WallClockReport struct {
-	Schema  string            `json:"schema"`
-	Go      string            `json:"go"`
-	GOOS    string            `json:"goos"`
-	GOARCH  string            `json:"goarch"`
-	CPUs    int               `json:"cpus"`
-	Seed    uint64            `json:"seed"`
-	K       int               `json:"k"`
-	Results []WallClockResult `json:"results"`
+	Schema            string            `json:"schema"`
+	Go                string            `json:"go"`
+	GOOS              string            `json:"goos"`
+	GOARCH            string            `json:"goarch"`
+	CPUs              int               `json:"cpus"`
+	ActiveBackend     string            `json:"active_backend"`
+	AvailableBackends []string          `json:"available_backends"`
+	CPUFeatures       []string          `json:"cpu_features,omitempty"`
+	Seed              uint64            `json:"seed"`
+	K                 int               `json:"k"`
+	Results           []WallClockResult `json:"results"`
 }
 
 // wallClockFixture builds the pruning-friendly regime the paper
@@ -97,14 +109,22 @@ func RunWallClock(w io.Writer, seed uint64, sizes []int, k int) error {
 // given partition sizes and returns the report (RunWallClock without the
 // serialization, for embedding in a CombinedReport).
 func MeasureWallClock(seed uint64, sizes []int, k int) (*WallClockReport, error) {
+	avail := pqfastscan.AvailableBackends()
+	availNames := make([]string, len(avail))
+	for i, be := range avail {
+		availNames[i] = be.String()
+	}
 	report := WallClockReport{
-		Schema: "pqfastscan-bench/v1",
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		CPUs:   runtime.NumCPU(),
-		Seed:   seed,
-		K:      k,
+		Schema:            "pqfastscan-bench/v4",
+		Go:                runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		CPUs:              runtime.NumCPU(),
+		ActiveBackend:     pqfastscan.ActiveBackend().String(),
+		AvailableBackends: availNames,
+		CPUFeatures:       pqfastscan.CPUFeatures(),
+		Seed:              seed,
+		K:                 k,
 	}
 	for _, n := range sizes {
 		p, tables, fs, err := wallClockFixture(n, seed+uint64(n))
@@ -112,59 +132,65 @@ func MeasureWallClock(seed uint64, sizes []int, k int) (*WallClockReport, error)
 			return nil, fmt.Errorf("bench: fixture n=%d: %w", n, err)
 		}
 		type variant struct {
-			kernel, engine string
-			run            func(b *testing.B)
+			kernel, engine, backend string
+			run                     func(b *testing.B)
 		}
 		sc := scan.NewScratch()
 		variants := []variant{
-			{"naive", "model", func(b *testing.B) {
+			{"naive", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.Naive(p, tables, k)
 				}
 			}},
-			{"libpq", "model", func(b *testing.B) {
+			{"libpq", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.Libpq(p, tables, k)
 				}
 			}},
-			{"avx", "model", func(b *testing.B) {
+			{"avx", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.AVX(p, tables, k)
 				}
 			}},
-			{"gather", "model", func(b *testing.B) {
+			{"gather", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.Gather(p, tables, k)
 				}
 			}},
-			{"quantonly", "model", func(b *testing.B) {
+			{"quantonly", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.QuantizationOnly(p, tables, k, scan.DefaultKeep)
 				}
 			}},
-			{"fastpq", "model", func(b *testing.B) {
+			{"fastpq", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					fs.Scan(tables, k)
 				}
 			}},
-			{"fastpq256", "model", func(b *testing.B) {
+			{"fastpq256", "model", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					fs.Scan256(tables, k)
 				}
 			}},
 			// The native engine serves all four exact-scan selections
-			// with one tuned loop and both Fast Scan widths with the
-			// SWAR kernel; benchmark each implementation once.
-			{"naive", "native", func(b *testing.B) {
+			// with one tuned loop and both Fast Scan widths with one
+			// block kernel; benchmark the exact scan once and Fast Scan
+			// once per available block-kernel backend, so every report
+			// records the assembly-vs-SWAR ratio on its host.
+			{"naive", "native", "", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scan.ExactNative(p, tables, k, sc)
 				}
 			}},
-			{"fastpq", "native", func(b *testing.B) {
+		}
+		for _, be := range dispatch.AvailableBackends() {
+			be := be
+			bsc := scan.NewScratch()
+			variants = append(variants, variant{"fastpq", "native", be.String(), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					fs.ScanNative(tables, k, sc)
+					fs.ScanNativeBackend(tables, k, bsc, be)
 				}
-			}},
+			}})
 		}
 		for _, v := range variants {
 			res := testing.Benchmark(func(b *testing.B) {
@@ -176,6 +202,7 @@ func MeasureWallClock(seed uint64, sizes []int, k int) (*WallClockReport, error)
 			report.Results = append(report.Results, WallClockResult{
 				Kernel:      v.kernel,
 				Engine:      v.engine,
+				Backend:     v.backend,
 				N:           n,
 				NsPerOp:     nsOp,
 				MBPerSec:    float64(n*scan.M) / nsOp * 1e9 / 1e6,

@@ -20,9 +20,47 @@ import (
 	"pqfastscan/internal/par"
 	"pqfastscan/internal/quantizer"
 	"pqfastscan/internal/scan"
+	"pqfastscan/internal/simd/dispatch"
 	"pqfastscan/internal/topk"
 	"pqfastscan/internal/vec"
 )
+
+// Backend selects the native engine's block-kernel implementation: the
+// hand-written assembly kernels (asm-avx2 on amd64, asm-neon on arm64)
+// or the portable SWAR fallback. The zero value BackendAuto defers to
+// the startup feature detection (dispatch.Active), overridable with the
+// PQ_FORCE_BACKEND environment variable. All backends return
+// bit-identical results and statistics (DESIGN.md §12); the model
+// engine has no backends — it models instructions instead of running
+// them.
+type Backend = dispatch.Backend
+
+const (
+	BackendAuto = dispatch.Auto
+	BackendSWAR = dispatch.SWAR
+	BackendAVX2 = dispatch.AVX2
+	BackendNEON = dispatch.NEON
+)
+
+// ActiveBackend returns the backend the native engine selected at
+// startup (never BackendAuto).
+func ActiveBackend() Backend { return dispatch.Active() }
+
+// AvailableBackends lists the concrete backends this machine can run,
+// preferred first.
+func AvailableBackends() []Backend { return dispatch.AvailableBackends() }
+
+// ParseBackend resolves a backend by its String name (auto, swar,
+// asm-avx2, asm-neon).
+func ParseBackend(name string) (Backend, error) { return dispatch.Parse(name) }
+
+// CPUFeatures lists the SIMD features backend selection detected.
+func CPUFeatures() []string { return dispatch.Features() }
+
+// BackendInitNote reports what happened to a PQ_FORCE_BACKEND override
+// that could not be honored ("" when selection was clean) — deployments
+// log it so a silent fallback to SWAR cannot go unnoticed.
+func BackendInitNote() string { return dispatch.InitNote() }
 
 // Engine selects the execution engine a kernel runs on. The two engines
 // execute the same §4 algorithm and return bit-identical result sets
@@ -380,7 +418,7 @@ var scratchPool = sync.Pool{New: func() any { return scan.NewScratch() }}
 // Both engines return bit-identical result sets; only the model engine
 // fills Stats.Ops.
 func (ix *Index) SearchPartitionEngine(query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
-	return ix.searchPartition(ix.snap.Load(), query, k, kernel, engine, part)
+	return ix.searchPartition(ix.snap.Load(), Request{Query: query, K: k, Kernel: kernel, Engine: engine}, part)
 }
 
 // searchPartition scans one partition of an explicitly held snapshot —
@@ -390,12 +428,15 @@ func (ix *Index) SearchPartitionEngine(query []float32, k int, kernel Kernel, en
 //
 // On the native engine the four exact-scan kernel selections (naive,
 // libpq, avx, gather) share one tuned implementation and the two Fast
-// Scan widths share the SWAR kernel: the kernels differ in which
-// hardware technique they model, which is meaningful only under the
-// instruction-counting engine — a 64-bit SWAR word has no second width
-// to widen into. The quantization-only ablation is a diagnostic of the
-// model path and runs there on either engine.
-func (ix *Index) searchPartition(s *Snapshot, query []float32, k int, kernel Kernel, engine Engine, part int) ([]Result, scan.Stats, error) {
+// Scan widths share one block kernel — the backend selected by
+// internal/simd/dispatch (req.Backend, defaulting to the startup
+// feature detection): assembly on capable hardware, SWAR otherwise. The
+// kernels differ in which hardware technique they model, which is
+// meaningful only under the instruction-counting engine. The
+// quantization-only ablation is a diagnostic of the model path and runs
+// there on either engine.
+func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, scan.Stats, error) {
+	query, k, kernel, engine := req.Query, req.K, req.Kernel, req.Engine
 	if part < 0 || part >= len(s.Parts) {
 		return nil, scan.Stats{}, fmt.Errorf("index: partition %d out of range", part)
 	}
@@ -416,7 +457,7 @@ func (ix *Index) searchPartition(s *Snapshot, query []float32, k int, kernel Ker
 				return nil, scan.Stats{}, err
 			}
 			sc := scratchPool.Get().(*scan.Scratch)
-			r, st := fs.ScanNative(t, k, sc)
+			r, st := fs.ScanNativeBackend(t, k, sc, req.Backend)
 			out := append([]Result(nil), r...)
 			scratchPool.Put(sc)
 			return out, st, nil

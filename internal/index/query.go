@@ -21,11 +21,15 @@ import (
 // scans the probed cells concurrently (one goroutine per cell, capped at
 // GOMAXPROCS) instead of sequentially; results are identical — it is an
 // opt-in because the paper measures single-core scans.
+// Backend selects the native engine's block-kernel implementation; the
+// zero value BackendAuto defers to startup feature detection. It is
+// rejected when combined with the model engine, which has no backends.
 type Request struct {
 	Query    []float32
 	K        int
 	Kernel   Kernel
 	Engine   Engine
+	Backend  Backend
 	NProbe   int
 	Parallel bool
 }
@@ -52,6 +56,12 @@ func (ix *Index) validate(s *Snapshot, req Request) error {
 	}
 	if req.Engine != EngineModel && req.Engine != EngineNative {
 		return fmt.Errorf("index: unknown engine %v", req.Engine)
+	}
+	if !req.Backend.Available() {
+		return fmt.Errorf("index: backend %v not available on this machine (have %v)", req.Backend, AvailableBackends())
+	}
+	if req.Backend != BackendAuto && req.Engine == EngineModel {
+		return fmt.Errorf("index: backend %v selects native block kernels; the model engine has none", req.Backend)
 	}
 	if ix.PQ.M != layout.M || ix.PQ.KStar() != 256 {
 		return fmt.Errorf("index: scan kernels require PQ 8x8, index uses %v", ix.PQ.Config)
@@ -89,7 +99,7 @@ func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Resp
 
 	if nprobe == 1 {
 		part := ix.RoutePartition(req.Query)
-		res, stats, err := ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, part)
+		res, stats, err := ix.searchPartition(s, req, part)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +132,7 @@ func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Resp
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, st, err := ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, c.id)
+		res, st, err := ix.searchPartition(s, req, c.id)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +168,7 @@ func (ix *Index) queryParallel(ctx context.Context, s *Snapshot, req Request, ce
 			return
 		}
 		parts[i].res, parts[i].s, parts[i].err =
-			ix.searchPartition(s, req.Query, req.K, req.Kernel, req.Engine, cellIDs[i])
+			ix.searchPartition(s, req, cellIDs[i])
 	})
 	heap := topk.New(req.K)
 	resp := &Response{Partitions: make([]int, 0, len(cellIDs))}

@@ -15,6 +15,7 @@ package layout
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 )
 
 // M is the number of components per code; all scan kernels operate on
@@ -28,6 +29,36 @@ const BlockVectors = 16
 
 // MaxGroupComponents is the deepest grouping the paper uses (c = 4).
 const MaxGroupComponents = 4
+
+// Alignment is the guaranteed base alignment, in bytes, of packed block
+// storage (Grouped.Blocks) and of the scratch buffers the assembly scan
+// backends stream through (internal/simd/dispatch): one cache line, so
+// vector loads in the hot loop never split across more lines than the
+// data itself spans. Kernels use unaligned-tolerant loads (vmovdqu,
+// vld1), so correctness never depends on it — alignment is a
+// performance invariant, maintained here across construction, online
+// appends and clones.
+const Alignment = 64
+
+// AlignedBytes returns a zeroed length-n byte slice whose base address
+// is Alignment-aligned and whose capacity is at least c.
+func AlignedBytes(n, c int) []uint8 {
+	if c < n {
+		c = n
+	}
+	buf := make([]uint8, c+Alignment-1)
+	off := int(-uintptr(unsafe.Pointer(&buf[0]))) & (Alignment - 1)
+	return buf[off : off+n : off+c]
+}
+
+// Aligned reports whether the base address of b is Alignment-aligned
+// (true for empty slices: there is no base to misalign).
+func Aligned(b []uint8) bool {
+	if cap(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[:1][0]))&(Alignment-1) == 0
+}
 
 // GroupSizeFloor is the paper's minimum useful average group size: "For
 // best performance, s should exceed about 50 vectors" (§4.2), giving the
@@ -226,7 +257,7 @@ func NewGrouped(codes []uint8, ids []int64, c int) (*Grouped, error) {
 		g.Groups[i].BlockCount = (g.Groups[i].Count + BlockVectors - 1) / BlockVectors
 		totalBlocks += g.Groups[i].BlockCount
 	}
-	g.Blocks = make([]uint8, totalBlocks*g.blockBytes)
+	g.Blocks = AlignedBytes(totalBlocks*g.blockBytes, 0)
 	for _, grp := range g.Groups {
 		for b := 0; b < grp.BlockCount; b++ {
 			g.packBlock(grp, b)
@@ -342,7 +373,7 @@ func (g *Grouped) Append(code []uint8, id int64) {
 	lane := grp.Count % BlockVectors
 	if grp.Count == grp.BlockCount*BlockVectors {
 		bb := g.blockBytes
-		g.Blocks = append(g.Blocks, make([]uint8, bb)...)
+		g.growBlocks(bb)
 		copy(g.Blocks[(blockAt+1)*bb:], g.Blocks[blockAt*bb:])
 		pad := g.Blocks[blockAt*bb : (blockAt+1)*bb]
 		for i := range pad {
@@ -374,16 +405,36 @@ func (g *Grouped) Append(code []uint8, id int64) {
 	g.N++
 }
 
+// growBlocks extends g.Blocks by extra zero bytes, reallocating with an
+// Alignment-aligned base (and amortizing headroom) when capacity runs
+// out, so the packed block storage keeps the kernel alignment invariant
+// across online appends — a plain append would hand the base address to
+// the runtime allocator.
+func (g *Grouped) growBlocks(extra int) {
+	n := len(g.Blocks)
+	if n+extra <= cap(g.Blocks) {
+		g.Blocks = g.Blocks[:n+extra]
+		clear(g.Blocks[n:])
+		return
+	}
+	nb := AlignedBytes(n+extra, 2*cap(g.Blocks)+extra)
+	copy(nb, g.Blocks)
+	g.Blocks = nb
+}
+
 // Clone returns a deep copy of the layout, for copy-on-write extension:
-// Append on the clone leaves the original untouched.
+// Append on the clone leaves the original untouched. The cloned block
+// storage is reallocated on an Alignment-aligned base.
 func (g *Grouped) Clone() *Grouped {
+	nb := AlignedBytes(len(g.Blocks), 0)
+	copy(nb, g.Blocks)
 	return &Grouped{
 		N:          g.N,
 		C:          g.C,
 		IDs:        append([]int64(nil), g.IDs...),
 		Codes:      append([]uint8(nil), g.Codes...),
 		Groups:     append([]Group(nil), g.Groups...),
-		Blocks:     append([]uint8(nil), g.Blocks...),
+		Blocks:     nb,
 		blockBytes: g.blockBytes,
 	}
 }

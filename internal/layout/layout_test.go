@@ -370,3 +370,33 @@ func TestGroupedAppendMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+func TestBlockStorageAlignment(t *testing.T) {
+	r := rng.New(7)
+	codes := randomCodes(400, 7)
+	g, err := NewGrouped(codes, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Aligned(g.Blocks) {
+		t.Fatal("NewGrouped blocks not Alignment-aligned")
+	}
+	// Force repeated growth through online appends; the base must stay
+	// aligned across every reallocation.
+	code := make([]uint8, M)
+	for i := 0; i < 3000; i++ {
+		for j := range code {
+			code[j] = uint8(r.Intn(256))
+		}
+		g.Append(code, int64(400+i))
+		if !Aligned(g.Blocks) {
+			t.Fatalf("append %d: blocks lost alignment", i)
+		}
+	}
+	if !Aligned(g.Clone().Blocks) {
+		t.Fatal("Clone blocks not Alignment-aligned")
+	}
+	if got := AlignedBytes(10, 100); !Aligned(got) || len(got) != 10 || cap(got) < 100 {
+		t.Fatalf("AlignedBytes(10, 100): len=%d cap=%d aligned=%v", len(got), cap(got), Aligned(got))
+	}
+}

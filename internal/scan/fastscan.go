@@ -382,26 +382,17 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 	stats := Stats{Scanned: fs.part.N, KeepScanned: fs.keepN}
 
 	// Phase 1 (§4.4): plain PQ Scan over the keep region to obtain the
-	// temporary nearest neighbor bounding qmax.
-	libpqRange(fs.part, 0, fs.keepN, t, heap)
+	// temporary nearest neighbor bounding qmax — §4.4 generalized to
+	// topk search (§5.4): the distance to the temporary topk-th nearest
+	// neighbor bounds the representable range (the running pruning
+	// threshold starts exactly at qmax and only decreases, so every
+	// distance quantized to 127 is already prunable; see
+	// pruneThreshold), falling back to the worst temporary distance
+	// while the keep region holds fewer than k vectors. keepBounds is
+	// shared with every native backend and the ablations, so all paths
+	// quantize over the same range.
+	qmin, qmax := keepBounds(fs.part, fs.keepN, t, heap)
 	stats.Ops.Add(libpqPerVector.Scale(float64(fs.keepN)))
-
-	qmin := t.Min()
-	qmax := t.MaxSum()
-	if thr, ok := heap.Threshold(); ok {
-		// §4.4 generalized to topk search (§5.4): the distance to the
-		// temporary topk-th nearest neighbor bounds the representable
-		// range. The running pruning threshold starts exactly at qmax and
-		// only decreases, so every distance quantized to 127 is already
-		// prunable (see pruneThreshold) and the quantizer spends its 127
-		// bins on the only range pruning decisions ever involve.
-		qmax = thr
-	} else if worst, ok := heap.Worst(); ok {
-		// Keep region smaller than k: fall back to the worst temporary
-		// distance, keeping the quantized range on the scale future
-		// thresholds will occupy.
-		qmax = worst
-	}
 	dq := newDistQuantizer(qmin, qmax)
 
 	// Phase 2: build the query-lifetime minimum tables S_C..S_7
@@ -536,30 +527,31 @@ func (fs *FastScan) Scan(t quantizer.Tables, k int) ([]topk.Result, Stats) {
 // distance-quantization technique alone. Results remain bit-identical to
 // PQ Scan.
 func QuantizationOnly(p *Partition, t quantizer.Tables, k int, keep float64) ([]topk.Result, Stats) {
+	return QuantizationOnlyScratch(p, t, k, keep, nil)
+}
+
+// QuantizationOnlyScratch is QuantizationOnly with a reusable Scratch:
+// the quantized full tables are cached per (tables, bounds) key, so
+// sweeping the same query over an unchanged partition — the ablation's
+// usage pattern — quantizes the 8×256 entries once instead of per call.
+// The bounds themselves come from the shared keepBounds helper (the
+// same source the model path and every native backend use), which is
+// what keeps the ablation's pruning counters comparable across engines.
+// Stats.Ops still meters the full modeled instruction stream, cache hit
+// or miss — Ops describe the modeled algorithm, not the host's memoized
+// execution of it.
+func QuantizationOnlyScratch(p *Partition, t quantizer.Tables, k int, keep float64, sc *Scratch) ([]topk.Result, Stats) {
 	check8x8(t)
+	if sc == nil {
+		sc = NewScratch()
+	}
 	heap := topk.New(k)
 	keepN := int(keep * float64(p.N))
 	stats := Stats{Scanned: p.N, KeepScanned: keepN}
-	libpqRange(p, 0, keepN, t, heap)
+	qmin, qmax := keepBounds(p, keepN, t, heap)
 	stats.Ops.Add(libpqPerVector.Scale(float64(keepN)))
-
-	qmin := t.Min()
-	qmax := t.MaxSum()
-	if thr, ok := heap.Threshold(); ok {
-		qmax = thr
-	} else if worst, ok := heap.Worst(); ok {
-		qmax = worst
-	}
 	dq := newDistQuantizer(qmin, qmax)
-
-	// Quantize the full distance tables to 8-bit (256 entries per table).
-	qt := make([]uint8, M*256)
-	for j := 0; j < M; j++ {
-		row := t.Row(j)
-		for i, v := range row {
-			qt[j*256+i] = dq.quantize(v)
-		}
-	}
+	qt := sc.quantizedFullTables(t, dq, qmin, qmax)
 	stats.Ops.Add(perf.OpCounts{ScalarLoadF: 256 * M, ScalarALU: 512 * M})
 
 	thrVal, haveThr := heap.Threshold()
@@ -612,33 +604,48 @@ func QuantizationOnly(p *Partition, t quantizer.Tables, k int, keep float64) ([]
 // against a fixed externally supplied threshold, removing the
 // threshold-convergence dynamics from the measurement. It is a diagnostic
 // used by tests and ablation studies, not a search path.
-func StaticPrune(p *Partition, t quantizer.Tables, threshold float32, keep float64, c int) (pruned, lowerBounds int) {
-	fs, err := NewFastScan(p, FastScanOptions{Keep: keep, GroupComponents: c})
-	if err != nil {
-		return 0, 0
+//
+// The bounds and small tables are the Scratch-cached per-(query, epoch)
+// state shared with the native backends (queryTablesFor), built from the
+// same keep-phase rule as before: sweeping thresholds over a fixed
+// (partition, tables) pair through one Scratch quantizes once, where the
+// previous implementation recomputed the distance-quantizer bounds, the
+// minimum tables and every per-group table on every call — and, because
+// the recomputation was private to this function, could drift from what
+// the engines actually scan with. sc may be nil for a transient scratch.
+func (fs *FastScan) StaticPrune(t quantizer.Tables, threshold float32, sc *Scratch) (pruned, lowerBounds int) {
+	check8x8(t)
+	if sc == nil {
+		sc = NewScratch()
 	}
-	keepRes, _ := Libpq(NewPartition(p.Codes[:fs.keepN*M], nil), t, 100)
-	qmax := t.MaxSum()
-	if len(keepRes) > 0 {
-		qmax = keepRes[len(keepRes)-1].Distance
-	}
-	dq := newDistQuantizer(t.Min(), qmax)
-	st := buildMinTables(t, fs.c, dq)
-	t8 := dq.pruneThreshold(threshold, true)
-	g := fs.grouped
-	var tables [layout.MaxGroupComponents][16]uint8
-	for _, grp := range g.Groups {
-		for j := 0; j < fs.c; j++ {
-			tables[j] = buildGroupTable(t, j, grp.Key[j], dq)
+	// The keep-phase bound is a pure function of (layout epoch, tables):
+	// hoist it behind its own cache key.
+	key := staticPruneKey{data: &t.Data[0], g: fs.grouped}
+	if sc.spKey != key {
+		keepRes, _ := Libpq(NewPartition(fs.part.Codes[:fs.keepN*M], nil), t, 100)
+		qmax := t.MaxSum()
+		if len(keepRes) > 0 {
+			qmax = keepRes[len(keepRes)-1].Distance
 		}
+		sc.spKey = key
+		sc.spQmax = qmax
+	}
+	qt := sc.queryTablesFor(fs, t, t.Min(), sc.spQmax)
+	t8 := qt.dq.pruneThreshold(threshold, true)
+	g := fs.grouped
+	for gi := range g.Groups {
+		grp := &g.Groups[gi]
 		for pos := grp.Start; pos < grp.Start+grp.Count; pos++ {
 			code := g.Code(pos)
 			sum := 0
 			for j := 0; j < fs.c; j++ {
-				sum += int(tables[j][code[j]&0x0f])
+				// A group member's code[j] is Key[j]<<4 | nibble, so the
+				// cached quantized row indexes directly — the same entry
+				// the per-group window would yield.
+				sum += int(qt.qrows[j][code[j]])
 			}
 			for j := fs.c; j < M; j++ {
-				sum += int(st.minTables[j][code[j]>>4])
+				sum += int(qt.st.minTables[j][code[j]>>4])
 			}
 			if sum > 127 {
 				sum = 127
@@ -650,4 +657,16 @@ func StaticPrune(p *Partition, t quantizer.Tables, threshold float32, keep float
 		}
 	}
 	return pruned, lowerBounds
+}
+
+// StaticPrune is the package-level compatibility wrapper: it builds the
+// Fast Scan layout and a transient Scratch per call. Callers sweeping
+// thresholds should build the layout once and use the FastScan method
+// with a reused Scratch.
+func StaticPrune(p *Partition, t quantizer.Tables, threshold float32, keep float64, c int) (pruned, lowerBounds int) {
+	fs, err := NewFastScan(p, FastScanOptions{Keep: keep, GroupComponents: c})
+	if err != nil {
+		return 0, 0
+	}
+	return fs.StaticPrune(t, threshold, nil)
 }

@@ -203,7 +203,13 @@ func (m *metrics) batchStats() BatchStats {
 // Stats is the full /stats document.
 type Stats struct {
 	UptimeS float64 `json:"uptime_s"`
-	Live    int     `json:"live"`
+	// Backend is the active native-engine block-kernel backend
+	// (asm-avx2, asm-neon or swar) and CPUFeatures the SIMD feature set
+	// detection saw — on /stats so fleet dashboards can spot hosts that
+	// silently fell back to the portable path.
+	Backend     string   `json:"backend"`
+	CPUFeatures []string `json:"cpu_features,omitempty"`
+	Live        int      `json:"live"`
 	// Partitions is the total row count per cell (live + tombstoned),
 	// kept for dashboard compatibility; PartitionStats carries the
 	// occupancy breakdown.

@@ -475,10 +475,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // --- /healthz, /stats --------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The scan backend is surfaced here (not only on /stats) so
+	// deployment probes can verify a host is actually running the
+	// assembly kernels and not a silent SWAR fallback.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"live":     s.idx.Live(),
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
+		"backend":  pqfastscan.ActiveBackend().String(),
 	})
 }
 
@@ -501,6 +505,8 @@ func (s *Server) StatsSnapshot() Stats {
 	}
 	st := Stats{
 		UptimeS:        time.Since(s.metrics.start).Seconds(),
+		Backend:        pqfastscan.ActiveBackend().String(),
+		CPUFeatures:    pqfastscan.CPUFeatures(),
 		Live:           live,
 		Partitions:     sizes,
 		PartitionStats: pstats,

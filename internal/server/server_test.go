@@ -208,8 +208,9 @@ func TestHealthzAndStats(t *testing.T) {
 	_, hs := newTestServer(t, Config{Index: idx})
 
 	var health struct {
-		Status string `json:"status"`
-		Live   int    `json:"live"`
+		Status  string `json:"status"`
+		Live    int    `json:"live"`
+		Backend string `json:"backend"`
 	}
 	if status := getJSON(t, hs.URL+"/healthz", &health); status != http.StatusOK {
 		t.Fatalf("healthz status %d", status)
@@ -217,10 +218,17 @@ func TestHealthzAndStats(t *testing.T) {
 	if health.Status != "ok" || health.Live != idx.Live() {
 		t.Fatalf("healthz %+v, live want %d", health, idx.Live())
 	}
+	if health.Backend != pqfastscan.ActiveBackend().String() {
+		t.Fatalf("healthz backend %q, want %q (deployments verify the asm path through this field)",
+			health.Backend, pqfastscan.ActiveBackend())
+	}
 
 	var st Stats
 	if status := getJSON(t, hs.URL+"/stats", &st); status != http.StatusOK {
 		t.Fatalf("stats status %d", status)
+	}
+	if st.Backend != pqfastscan.ActiveBackend().String() {
+		t.Fatalf("stats backend %q, want %q", st.Backend, pqfastscan.ActiveBackend())
 	}
 	if st.Endpoints["/healthz"].Requests != 1 {
 		t.Fatalf("healthz request count %d, want 1", st.Endpoints["/healthz"].Requests)

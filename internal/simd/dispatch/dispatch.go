@@ -1,0 +1,208 @@
+// Package dispatch selects, at startup, the block-kernel backend the
+// native execution engine runs on. Three backends exist:
+//
+//   - asm-avx2: hand-written amd64 assembly over 32-byte ymm registers
+//     (VPSHUFB/VPADDUSB/VPMINUB), processing two 16-lane groups per
+//     iteration — the paper's §4 pipeline on the silicon it was designed
+//     for, one instruction where the SWAR engine spends dozens;
+//   - asm-neon: hand-written arm64 assembly over 16-byte vector
+//     registers (TBL + widening adds + UMIN), one 16-lane group per
+//     iteration;
+//   - swar: the portable uint64 SWAR implementation of internal/scan,
+//     eight byte-lanes per machine word — always available, and the
+//     reference every assembly backend must match bit-for-bit.
+//
+// Selection is by CPU feature detection (CPUID on amd64; NEON is
+// architectural baseline on arm64), overridable with the
+// PQ_FORCE_BACKEND environment variable or per query with the facade's
+// WithBackend option. All backends produce bit-identical results — the
+// DESIGN.md §9 contract between the model and native engines, extended
+// down to the instruction level (DESIGN.md §12).
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Backend names one block-kernel implementation. The zero value Auto
+// defers to the startup selection (Active), so a zero index.Request
+// keeps its pre-dispatch behaviour.
+type Backend uint8
+
+const (
+	// Auto resolves to the best available backend (Active).
+	Auto Backend = iota
+	// SWAR is the portable uint64 engine inside internal/scan.
+	SWAR
+	// AVX2 is the amd64 assembly backend (requires AVX2 CPU support).
+	AVX2
+	// NEON is the arm64 assembly backend (baseline on arm64).
+	NEON
+)
+
+// String returns the stable name used by PQ_FORCE_BACKEND, the facade's
+// ParseBackend, bench JSON documents and the server's /stats.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case SWAR:
+		return "swar"
+	case AVX2:
+		return "asm-avx2"
+	case NEON:
+		return "asm-neon"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// Parse resolves a backend by its String name.
+func Parse(name string) (Backend, error) {
+	for _, b := range []Backend{Auto, SWAR, AVX2, NEON} {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return Auto, fmt.Errorf("dispatch: unknown backend %q (auto, swar, asm-avx2, asm-neon)", name)
+}
+
+// Available reports whether b can execute on this machine. SWAR always
+// can; Auto is available by definition (it resolves to something that
+// is).
+func (b Backend) Available() bool {
+	switch b {
+	case Auto, SWAR:
+		return true
+	case AVX2:
+		return hasAVX2
+	case NEON:
+		return hasNEON
+	default:
+		return false
+	}
+}
+
+// Asm reports whether b is a hand-written assembly backend (as opposed
+// to portable Go).
+func (b Backend) Asm() bool { return b == AVX2 || b == NEON }
+
+// Backends lists every concrete backend, preferred first.
+func Backends() []Backend { return []Backend{AVX2, NEON, SWAR} }
+
+// AvailableBackends lists the concrete backends this machine can run,
+// preferred first.
+func AvailableBackends() []Backend {
+	var out []Backend
+	for _, b := range Backends() {
+		if b.Available() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// active is the startup selection, swappable by Force (tests).
+var active atomic.Uint32
+
+// initNote records what happened to a PQ_FORCE_BACKEND override, for
+// startup logs.
+var initNote string
+
+// EnvVar is the environment variable overriding the startup backend
+// selection.
+const EnvVar = "PQ_FORCE_BACKEND"
+
+func init() {
+	best := SWAR
+	for _, b := range Backends() {
+		if b.Available() {
+			best = b
+			break
+		}
+	}
+	if name := os.Getenv(EnvVar); name != "" {
+		forced, err := Parse(name)
+		switch {
+		case err != nil:
+			initNote = fmt.Sprintf("%s=%q unknown; using %s", EnvVar, name, best)
+		case forced == Auto:
+			// Explicit auto: the detected default.
+		case !forced.Available():
+			initNote = fmt.Sprintf("%s=%s unavailable on this CPU; using %s", EnvVar, forced, best)
+		default:
+			best = forced
+		}
+	}
+	active.Store(uint32(best))
+}
+
+// Active returns the backend the native engine uses when no per-query
+// override is given. It is never Auto.
+func Active() Backend { return Backend(active.Load()) }
+
+// Force pins the startup selection to b (the programmatic counterpart
+// of PQ_FORCE_BACKEND, used by tests and benchmarks). It fails if b is
+// not available on this machine; Force(Auto) restores feature-detected
+// selection.
+func Force(b Backend) error {
+	if !b.Available() {
+		return fmt.Errorf("dispatch: backend %s not available on this CPU (have %v)", b, AvailableBackends())
+	}
+	if b == Auto {
+		b = AvailableBackends()[0]
+	}
+	active.Store(uint32(b))
+	return nil
+}
+
+// Resolve maps Auto to the active backend and leaves concrete backends
+// unchanged.
+func Resolve(b Backend) Backend {
+	if b == Auto {
+		return Active()
+	}
+	return b
+}
+
+// InitNote returns a human-readable note about the startup selection
+// (e.g. a PQ_FORCE_BACKEND value that could not be honored), or "".
+func InitNote() string { return initNote }
+
+// Features lists the CPU SIMD features relevant to backend selection
+// that this machine reports, for bench records and /stats.
+func Features() []string { return cpuFeatures() }
+
+// Accumulate computes the PQ Fast Scan lower-bound bytes of §4.5 for
+// nblocks consecutive packed blocks of one group, on backend be (Auto
+// resolves to Active). For every block b and lane i it evaluates
+//
+//	dst[b*16+i] = min(Σ_j table_j[idx_j(b, i)], 127)
+//
+// where, for grouped components j < c, idx_j is the lane's packed low
+// nibble, and for ungrouped components j >= c it is the high nibble of
+// the lane's full code byte — the pshufb/paddusb/pminub pipeline with
+// the per-step saturating accumulation folded into min(sum, 127)
+// (the two are equal for non-negative addends; DESIGN.md §12).
+//
+// blocks must hold nblocks packed blocks of blockBytes bytes (the group
+// slice of layout.Grouped.Blocks); tables is the 8×16-byte small-table
+// block (grouped windows first, then minimum tables); dst receives
+// nblocks*16 lower-bound bytes. Backends produce bit-identical dst.
+func Accumulate(be Backend, blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	if nblocks == 0 {
+		return
+	}
+	_ = blocks[nblocks*blockBytes-1] // bounds contract
+	_ = dst[nblocks*16-1]
+	switch Resolve(be) {
+	case AVX2:
+		accumulateAVX2Blocks(blocks, blockBytes, c, nblocks, tables, dst)
+	case NEON:
+		accumulateNEONBlocks(blocks, blockBytes, c, nblocks, tables, dst)
+	default:
+		AccumulateGeneric(blocks, blockBytes, c, nblocks, tables, dst)
+	}
+}

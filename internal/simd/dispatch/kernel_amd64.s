@@ -1,0 +1,176 @@
+// amd64 AVX2 backend: the PQ Fast Scan lower-bound pipeline of §4.5 on
+// real vector registers. One iteration processes TWO 16-lane blocks of
+// the same group: the group's 16-entry small table is broadcast into
+// both 128-bit lanes of a ymm register (VBROADCASTI128), so a single
+// VPSHUFB performs 32 table lookups — vpshufb shuffles each 128-bit
+// lane independently, which is exactly the two-blocks-per-register
+// layout FAISS IndexPQFastScan and ScaNN adopted from this paper.
+//
+// Accumulation is VPADDUSB (unsigned saturating at 255) followed by one
+// final VPMINUB against 127: for non-negative addends this equals the
+// SWAR engine's per-step saturation at 127 (min(sum,127) both ways, see
+// DESIGN.md §12), so the stored lower-bound bytes are bit-identical to
+// every other backend.
+
+#include "textflag.h"
+
+DATA mask0f<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA mask0f<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA mask0f<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA mask0f<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL mask0f<>(SB), RODATA|NOPTR, $32
+
+DATA mask7f<>+0(SB)/8, $0x7f7f7f7f7f7f7f7f
+DATA mask7f<>+8(SB)/8, $0x7f7f7f7f7f7f7f7f
+DATA mask7f<>+16(SB)/8, $0x7f7f7f7f7f7f7f7f
+DATA mask7f<>+24(SB)/8, $0x7f7f7f7f7f7f7f7f
+GLOBL mask7f<>(SB), RODATA|NOPTR, $32
+
+// func accumulateAVX2(blocks *byte, blockBytes, c, nblocks int, tables *byte, dst *byte)
+TEXT ·accumulateAVX2(SB), NOSPLIT, $0-48
+	MOVQ blocks+0(FP), SI
+	MOVQ blockBytes+8(FP), BX
+	MOVQ c+16(FP), CX
+	MOVQ nblocks+24(FP), R8
+	MOVQ tables+32(FP), DX
+	MOVQ dst+40(FP), DI
+
+	VMOVDQU mask0f<>(SB), Y10
+	VMOVDQU mask7f<>(SB), Y11
+
+	MOVQ $8, R14
+	SUBQ CX, R14               // R14 = 8 - c (ungrouped components)
+
+pairloop:
+	CMPQ R8, $2
+	JL   tail
+
+	// Two blocks per iteration: A at SI, B at SI+blockBytes.
+	MOVQ  DX, R9               // table cursor
+	MOVQ  SI, R10              // block A cursor
+	LEAQ  (SI)(BX*1), R13      // block B cursor
+	VPXOR Y0, Y0, Y0           // 32-lane accumulator
+	MOVQ  CX, R11
+	TESTQ R11, R11
+	JZ    pair_ungrouped
+
+pair_grouped:
+	// Grouped component: 8 packed nibble bytes per block. Unpack the
+	// 16 packed bytes (A|B) into per-block lane indexes: lane 2k is
+	// byte k's low nibble, lane 2k+1 its high nibble (layout.packLane),
+	// which is exactly an interleave of the nibble vectors.
+	VBROADCASTI128 (R9), Y1    // small table in both lanes
+	VMOVQ      (R10), X2
+	VPINSRQ    $1, (R13), X2, X2
+	VPAND      X10, X2, X3     // low nibbles
+	VPSRLW     $4, X2, X4
+	VPAND      X10, X4, X4     // high nibbles
+	VPUNPCKLBW X4, X3, X5      // block A lane indexes 0..15
+	VPUNPCKHBW X4, X3, X6      // block B lane indexes 0..15
+	VINSERTI128 $1, X6, Y5, Y7
+	VPSHUFB    Y7, Y1, Y8      // 32 lookups in one shuffle
+	VPADDUSB   Y8, Y0, Y0
+	ADDQ       $16, R9
+	ADDQ       $8, R10
+	ADDQ       $8, R13
+	DECQ       R11
+	JNZ        pair_grouped
+
+pair_ungrouped:
+	MOVQ  R14, R11
+	TESTQ R11, R11
+	JZ    pair_done
+
+pair_ungrouped_loop:
+	// Ungrouped component: 16 full code bytes per block, indexed by
+	// their 4 most significant bits against the minimum table.
+	VBROADCASTI128 (R9), Y1
+	VMOVDQU     (R10), X2
+	VINSERTI128 $1, (R13), Y2, Y2
+	VPSRLW      $4, Y2, Y3
+	VPAND       Y10, Y3, Y3    // high nibbles
+	VPSHUFB     Y3, Y1, Y8
+	VPADDUSB    Y8, Y0, Y0
+	ADDQ        $16, R9
+	ADDQ        $16, R10
+	ADDQ        $16, R13
+	DECQ        R11
+	JNZ         pair_ungrouped_loop
+
+pair_done:
+	VPMINUB Y11, Y0, Y0        // saturate the quantized range at 127
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, DI
+	LEAQ    (SI)(BX*2), SI
+	SUBQ    $2, R8
+	JMP     pairloop
+
+tail:
+	TESTQ R8, R8
+	JZ    done
+
+	// Odd final block: same pipeline at xmm width.
+	MOVQ  DX, R9
+	MOVQ  SI, R10
+	VPXOR X0, X0, X0
+	MOVQ  CX, R11
+	TESTQ R11, R11
+	JZ    tail_ungrouped
+
+tail_grouped:
+	VMOVDQU    (R9), X1
+	VMOVQ      (R10), X2
+	VPAND      X10, X2, X3
+	VPSRLW     $4, X2, X4
+	VPAND      X10, X4, X4
+	VPUNPCKLBW X4, X3, X5
+	VPSHUFB    X5, X1, X8
+	VPADDUSB   X8, X0, X0
+	ADDQ       $16, R9
+	ADDQ       $8, R10
+	DECQ       R11
+	JNZ        tail_grouped
+
+tail_ungrouped:
+	MOVQ  R14, R11
+	TESTQ R11, R11
+	JZ    tail_done
+
+tail_ungrouped_loop:
+	VMOVDQU  (R9), X1
+	VMOVDQU  (R10), X2
+	VPSRLW   $4, X2, X3
+	VPAND    X10, X3, X3
+	VPSHUFB  X3, X1, X8
+	VPADDUSB X8, X0, X0
+	ADDQ     $16, R9
+	ADDQ     $16, R10
+	DECQ     R11
+	JNZ      tail_ungrouped_loop
+
+tail_done:
+	VPMINUB X11, X0, X0
+	VMOVDQU X0, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

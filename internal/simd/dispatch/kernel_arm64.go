@@ -1,0 +1,25 @@
+//go:build arm64
+
+package dispatch
+
+// Advanced SIMD (NEON) is architectural baseline on arm64: every
+// AArch64 core implements it, so no runtime probing is needed.
+var hasNEON = true
+
+// hasAVX2 is an amd64 feature; never on arm64.
+var hasAVX2 = false
+
+func cpuFeatures() []string { return []string{"neon"} }
+
+// accumulateNEON is the hand-written kernel in kernel_arm64.s.
+//
+//go:noescape
+func accumulateNEON(blocks *byte, blockBytes, c, nblocks int, tables *byte, dst *byte)
+
+func accumulateNEONBlocks(blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	accumulateNEON(&blocks[0], blockBytes, c, nblocks, &tables[0], &dst[0])
+}
+
+func accumulateAVX2Blocks(blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	panic("dispatch: asm-avx2 backend is amd64-only")
+}

@@ -1,0 +1,84 @@
+// arm64 NEON backend: the PQ Fast Scan lower-bound pipeline of §4.5 on
+// AArch64 vector registers, one 16-lane block per iteration. TBL is the
+// NEON counterpart of pshufb (16-entry in-register table lookup);
+// accumulation uses widening adds into two 8×16-bit accumulators (sums
+// of eight 7-bit entries stay exact, at most 1016), then UMIN against
+// 127 and an even-byte UZP1 narrow. The stored lower-bound bytes equal
+// min(sum, 127) per lane — bit-identical to the SWAR engine's per-step
+// saturation at 127 and to the AVX2 backend's paddusb/pminub pipeline
+// (DESIGN.md §12).
+
+#include "textflag.h"
+
+DATA const127h<>+0(SB)/8, $0x007f007f007f007f
+DATA const127h<>+8(SB)/8, $0x007f007f007f007f
+GLOBL const127h<>(SB), RODATA|NOPTR, $16
+
+// func accumulateNEON(blocks *byte, blockBytes, c, nblocks int, tables *byte, dst *byte)
+TEXT ·accumulateNEON(SB), NOSPLIT, $0-48
+	MOVD blocks+0(FP), R0
+	MOVD blockBytes+8(FP), R1
+	MOVD c+16(FP), R2
+	MOVD nblocks+24(FP), R3
+	MOVD tables+32(FP), R4
+	MOVD dst+40(FP), R5
+
+	VMOVI $15, V29.B16           // low-nibble mask
+	MOVD  $const127h<>(SB), R6
+	VLD1  (R6), [V30.B16]        // 127 in every 16-bit lane
+
+	MOVD $8, R7
+	SUB  R2, R7, R7              // R7 = 8 - c (ungrouped components)
+
+blockloop:
+	CBZ  R3, done
+	MOVD R4, R8                  // table cursor
+	MOVD R0, R9                  // block cursor
+	VEOR V20.B16, V20.B16, V20.B16 // accumulator, lanes 0-7 (8×16 bit)
+	VEOR V21.B16, V21.B16, V21.B16 // accumulator, lanes 8-15
+	MOVD R2, R10
+	CBZ  R10, ungrouped
+
+grouped:
+	// Grouped component: 8 packed nibble bytes; lane 2k is byte k's
+	// low nibble, lane 2k+1 its high nibble (layout.packLane), so the
+	// index vector is ZIP1 of the nibble vectors.
+	VLD1.P  16(R8), [V1.B16]     // small table j
+	VLD1    (R9), [V2.B8]
+	ADD     $8, R9
+	VAND    V29.B16, V2.B16, V3.B16 // low nibbles
+	VUSHR   $4, V2.B16, V4.B16      // high nibbles
+	VZIP1   V4.B16, V3.B16, V5.B16  // lane indexes 0..15
+	VTBL    V5.B16, [V1.B16], V6.B16 // 16 lookups in one instruction
+	VUADDW  V6.B8, V20.H8, V20.H8
+	VUADDW2 V6.B16, V21.H8, V21.H8
+	SUB     $1, R10, R10
+	CBNZ    R10, grouped
+
+ungrouped:
+	MOVD R7, R10
+	CBZ  R10, finish
+
+ungrouped_loop:
+	// Ungrouped component: 16 full code bytes, indexed by their 4 most
+	// significant bits against the minimum table.
+	VLD1.P  16(R8), [V1.B16]
+	VLD1.P  16(R9), [V2.B16]
+	VUSHR   $4, V2.B16, V5.B16
+	VTBL    V5.B16, [V1.B16], V6.B16
+	VUADDW  V6.B8, V20.H8, V20.H8
+	VUADDW2 V6.B16, V21.H8, V21.H8
+	SUB     $1, R10, R10
+	CBNZ    R10, ungrouped_loop
+
+finish:
+	VUMIN  V30.H8, V20.H8, V20.H8 // saturate the quantized range at 127
+	VUMIN  V30.H8, V21.H8, V21.H8
+	VUZP1  V21.B16, V20.B16, V22.B16 // even bytes: exact narrow after the clamp
+	VST1.P [V22.B16], 16(R5)
+	ADD    R1, R0, R0
+	SUB    $1, R3, R3
+	B      blockloop
+
+done:
+	RET

@@ -1,0 +1,37 @@
+package dispatch
+
+// AccumulateGeneric is the portable reference implementation of
+// Accumulate: one scalar table lookup per (lane, component), exact
+// 16-bit sums clamped to 127 at the end. It is deliberately written for
+// obviousness, not speed — the SWAR backend never routes through it
+// (internal/scan's fused pipelines are the SWAR implementation of
+// record); its job is to pin the semantics every assembly kernel is
+// tested against, on every architecture.
+func AccumulateGeneric(blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	for b := 0; b < nblocks; b++ {
+		blk := blocks[b*blockBytes : (b+1)*blockBytes]
+		var sums [16]uint16
+		for j := 0; j < c; j++ {
+			tab := tables[j*16 : j*16+16]
+			packed := blk[j*8 : j*8+8]
+			for k, pb := range packed {
+				sums[2*k] += uint16(tab[pb&0x0f])
+				sums[2*k+1] += uint16(tab[pb>>4])
+			}
+		}
+		for j := c; j < 8; j++ {
+			tab := tables[j*16 : j*16+16]
+			full := blk[c*8+(j-c)*16 : c*8+(j-c)*16+16]
+			for lane, fb := range full {
+				sums[lane] += uint16(tab[fb>>4])
+			}
+		}
+		out := dst[b*16 : b*16+16]
+		for lane, s := range sums {
+			if s > 127 {
+				s = 127
+			}
+			out[lane] = uint8(s)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !amd64 && !arm64
+
+package dispatch
+
+// No assembly backend on this architecture: the SWAR engine (and the
+// generic reference kernel) carry the build.
+var (
+	hasAVX2 = false
+	hasNEON = false
+)
+
+func cpuFeatures() []string { return nil }
+
+func accumulateAVX2Blocks(blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	panic("dispatch: asm-avx2 backend is amd64-only")
+}
+
+func accumulateNEONBlocks(blocks []byte, blockBytes, c, nblocks int, tables *[128]byte, dst []byte) {
+	panic("dispatch: asm-neon backend is arm64-only")
+}

@@ -97,6 +97,46 @@ const (
 	EngineNative = index.EngineNative
 )
 
+// Backend selects the native engine's block-kernel implementation: the
+// hand-written assembly scan kernels (BackendAVX2 on amd64, BackendNEON
+// on arm64) or the portable BackendSWAR fallback. BackendAuto — the
+// default — defers to startup CPU feature detection, overridable with
+// the PQ_FORCE_BACKEND environment variable. All backends return
+// bit-identical results and statistics (DESIGN.md §12); they differ
+// only in wall-clock speed.
+type Backend = index.Backend
+
+const (
+	BackendAuto = index.BackendAuto
+	BackendSWAR = index.BackendSWAR
+	BackendAVX2 = index.BackendAVX2
+	BackendNEON = index.BackendNEON
+)
+
+// ActiveBackend returns the backend the native engine selected at
+// startup (never BackendAuto): the fastest assembly backend the CPU
+// supports, or BackendSWAR, or whatever PQ_FORCE_BACKEND pinned.
+func ActiveBackend() Backend { return index.ActiveBackend() }
+
+// AvailableBackends lists the backends this machine can run, preferred
+// first (always at least BackendSWAR).
+func AvailableBackends() []Backend { return index.AvailableBackends() }
+
+// ParseBackend resolves a backend by its String name (auto, swar,
+// asm-avx2, asm-neon).
+func ParseBackend(name string) (Backend, error) { return index.ParseBackend(name) }
+
+// CPUFeatures lists the SIMD features backend selection detected on
+// this machine (e.g. avx, avx2, avx512f, neon), for logs and benchmark
+// records.
+func CPUFeatures() []string { return index.CPUFeatures() }
+
+// BackendInitNote reports what happened to a PQ_FORCE_BACKEND override
+// that could not be honored ("" when selection was clean). Deployments
+// should log it at startup so a silent fallback to the SWAR path cannot
+// go unnoticed.
+func BackendInitNote() string { return index.BackendInitNote() }
+
 // ParseKernel resolves a kernel by its String name (the labels of the
 // paper's figures: naive, libpq, avx, gather, fastpq, quantonly,
 // fastpq256).

@@ -30,6 +30,7 @@ type searchConfig struct {
 	kernel    Kernel
 	engine    Engine
 	engineSet bool
+	backend   Backend
 	nprobe    int
 	parallel  bool
 	stats     bool
@@ -47,6 +48,21 @@ func WithKernel(k Kernel) SearchOption {
 // see DESIGN.md §9, "Two engines, one algorithm".
 func WithEngine(e Engine) SearchOption {
 	return func(c *searchConfig) { c.engine = e; c.engineSet = true }
+}
+
+// WithBackend pins the native engine's block kernels to one backend —
+// the hand-written assembly kernels (BackendAVX2 on amd64, BackendNEON
+// on arm64) or the portable BackendSWAR fallback — instead of the
+// startup feature detection (BackendAuto, the default; see
+// ActiveBackend). Every backend returns bit-identical results and
+// statistics; only wall-clock speed differs, so this option exists for
+// benchmarking, regression hunting and pinning deployments. Requesting
+// a backend the machine cannot run is rejected by the search call, as
+// is combining it with the model engine (WithStats or an explicit
+// WithEngine(EngineModel)) — the model counts instructions rather than
+// executing a backend's.
+func WithBackend(b Backend) SearchOption {
+	return func(c *searchConfig) { c.backend = b }
 }
 
 // WithNProbe scans the nprobe closest partitions and merges their
@@ -108,7 +124,7 @@ func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...Sea
 	}
 	resp, err := ix.load().Query(ctx, index.Request{
 		Query: query, K: k, Kernel: cfg.kernel, Engine: cfg.engine,
-		NProbe: cfg.nprobe, Parallel: cfg.parallel,
+		Backend: cfg.backend, NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +142,7 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 	}
 	resps, err := ix.load().QueryBatch(ctx, queries, index.Request{
 		K: k, Kernel: cfg.kernel, Engine: cfg.engine,
-		NProbe: cfg.nprobe, Parallel: cfg.parallel,
+		Backend: cfg.backend, NProbe: cfg.nprobe, Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +171,9 @@ func resolveOptions(opts []SearchOption) (searchConfig, error) {
 			return cfg, fmt.Errorf("pqfastscan: WithStats requires the model engine (only it counts instructions); use WithEngine(EngineModel) or drop one of the options")
 		}
 		cfg.engine = EngineModel
+	}
+	if cfg.backend != BackendAuto && cfg.engine == EngineModel {
+		return cfg, fmt.Errorf("pqfastscan: WithBackend selects native block kernels; the model engine (WithStats / WithEngine(EngineModel)) has none")
 	}
 	return cfg, nil
 }
