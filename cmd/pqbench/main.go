@@ -40,6 +40,18 @@
 //	pqbench -mixed
 //	pqbench -mixed -mixed-write-ratio 0.2
 //	pqbench -json -mixed > BENCH_prN.json
+//
+// -shards runs the cluster scaling benchmark (internal/cluster,
+// DESIGN.md §13): one synthetic index split over 1, then 2, then 4
+// in-process pqserve shards behind a scatter-gather router, the same
+// load driven through the router at each shard count. Every layout is
+// first verified to answer bit-identically to the single-node index;
+// the report records the QPS/latency curve and the speedup over one
+// shard. Combine with the other modes for the pqfastscan-bench/v5
+// document (the BENCH_pr6.json baseline):
+//
+//	pqbench -serve -shards 1,2,4
+//	pqbench -json -serve -shards 1,2,4 > BENCH_prN.json
 package main
 
 import (
@@ -80,11 +92,23 @@ func main() {
 		mixedReaders = flag.Int("mixed-readers", 0, "concurrent searcher goroutines for -mixed (0 = 2×GOMAXPROCS)")
 		mixedRatio   = flag.Float64("mixed-write-ratio", 0.05, "target write fraction of total operations during the mutating phase")
 		mixedDur     = flag.Duration("mixed-duration", 3*time.Second, "per-phase measurement window for -mixed")
+
+		shardsFlag = flag.String("shards", "", "comma-separated shard counts for the cluster scaling benchmark, e.g. \"1,2,4\"; with -json/-serve/-mixed, emit one combined report")
+		shardN     = flag.Int("shard-n", 100000, "database size for the -shards benchmark")
+		shardParts = flag.Int("shard-partitions", 8, "IVF cells for the -shards benchmark")
+		shardDur   = flag.Duration("shard-duration", 3*time.Second, "measurement window per shard count for -shards")
+		shardConc  = flag.Int("shard-conc", 16, "concurrent load-generator clients for -shards")
+		shardNP    = flag.Int("shard-nprobe", 2, "nprobe per routed query for -shards")
 	)
 	flag.Parse()
 
-	if *jsonOut || *serveOut || *mixedOut {
-		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *seed, *jsonSize, *jsonK,
+	shardCounts, err := parseShardCounts(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut || *serveOut || *mixedOut || len(shardCounts) > 0 {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, shardCounts, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -101,6 +125,16 @@ func main() {
 				Readers:    *mixedReaders,
 				WriteRatio: *mixedRatio,
 				Duration:   *mixedDur,
+			},
+			bench.ClusterConfig{
+				BaseN:       *shardN,
+				Partitions:  *shardParts,
+				Seed:        *seed,
+				K:           *jsonK,
+				NProbe:      *shardNP,
+				Concurrency: *shardConc,
+				Duration:    *shardDur,
+				Shards:      shardCounts,
 			})
 		return
 	}
@@ -167,11 +201,29 @@ func main() {
 	}
 }
 
-// runMachineReadable dispatches the -json / -serve / -mixed modes: a
-// single report alone, or the combined pqfastscan-bench/v4 document
-// when several are requested (the BENCH_pr5.json baseline format:
-// kernels per backend + the mixed workload).
-func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig) {
+// parseShardCounts parses the -shards flag: a comma-separated list of
+// shard counts to measure. Empty disables the cluster benchmark.
+func parseShardCounts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive shard counts, e.g. \"1,2,4\")", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runMachineReadable dispatches the -json / -serve / -mixed / -shards
+// modes: a single report alone, or the combined pqfastscan-bench/v5
+// document when several are requested (the BENCH_pr6.json baseline
+// format: kernels per backend + serving + the cluster scaling curve).
+func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, clusterCfg bench.ClusterConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -182,8 +234,9 @@ func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string
 			sizes = append(sizes, v)
 		}
 	}
+	shards := len(shardCounts) > 0
 	single := 0
-	for _, on := range []bool{kernels, serve, mixed} {
+	for _, on := range []bool{kernels, serve, mixed, shards} {
 		if on {
 			single++
 		}
@@ -195,6 +248,8 @@ func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string
 			err = bench.RunServe(os.Stdout, serveCfg)
 		case mixed:
 			err = bench.RunMixed(os.Stdout, mixedCfg)
+		case shards:
+			err = bench.RunCluster(os.Stdout, clusterCfg)
 		default:
 			err = bench.RunWallClock(os.Stdout, seed, sizes, k)
 		}
@@ -204,10 +259,11 @@ func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string
 		return
 	}
 
-	// v4: the kernels section carries the block-kernel backend record
-	// (active/available backends, CPU features, per-backend native Fast
-	// Scan rows) and the mixed section names its backend.
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v4"}
+	// v5: adds the cluster scaling section; v4's kernels section carries
+	// the block-kernel backend record (active/available backends, CPU
+	// features, per-backend native Fast Scan rows) and the mixed section
+	// names its backend.
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v5"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
@@ -231,6 +287,14 @@ func runMachineReadable(kernels, serve, mixed bool, seed uint64, sizeList string
 			log.Fatal(err)
 		}
 		combined.Mixed = mr
+	}
+	if shards {
+		fmt.Fprintln(os.Stderr, "running cluster scaling benchmark...")
+		cr, err := bench.MeasureCluster(clusterCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.Cluster = cr
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,110 @@
+// Command pqrouter fronts a fleet of pqserve shards with scatter-gather
+// query serving (internal/cluster, DESIGN.md §13). Each -shard flag
+// assigns an inclusive IVF cell range to one shard's endpoints — the
+// primary first, read replicas after it:
+//
+//	pqrouter -addr :8080 \
+//	    -shard 0-3=http://10.0.0.1:8081,http://10.0.0.3:8081 \
+//	    -shard 4-7=http://10.0.0.2:8081
+//
+// At startup the router fetches every shard's /meta, verifies the fleet
+// serves one snapshot (bit-identical coarse centroids) and that the
+// ranges tile the cell space, then answers the same API a single
+// pqserve exposes — clients cannot tell a router from a node, and
+// results are bit-identical to a single node holding all cells:
+//
+//	POST /search   {"query":[...],"k":10,"nprobe":2,"kernel":"fastpq"}
+//	POST /swap     {"path":"/data/new.idx"}  fleet-wide two-phase swap
+//	GET  /healthz  liveness
+//	GET  /readyz   readiness (503 while draining)
+//	GET  /stats    fanout latency, per-shard failovers and hedges
+//
+// A shard sub-request that fails is retried on the shard's replicas; a
+// primary that is merely slow is hedged after -hedge-delay. /swap
+// prepares the snapshot on every endpoint before committing it
+// anywhere, so a fleet swap under traffic serves zero failed requests
+// and the fleet never mixes epochs for longer than one commit round.
+// SIGTERM drains gracefully: /readyz goes 503, in-flight fanouts
+// finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pqfastscan/internal/cluster"
+)
+
+// shardFlags collects repeated -shard specs.
+type shardFlags []cluster.ShardSpec
+
+func (s *shardFlags) String() string { return fmt.Sprint(*s) }
+
+func (s *shardFlags) Set(v string) error {
+	spec, err := cluster.ParseShardSpec(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, spec)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("pqrouter: ")
+	var shards shardFlags
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "budget for one shard sub-request including failover")
+		hedgeDelay   = flag.Duration("hedge-delay", 50*time.Millisecond, "wait before hedging a slow primary to a replica (negative disables)")
+		maxK         = flag.Int("max-k", 1000, "largest accepted k")
+	)
+	flag.Var(&shards, "shard", "cell range and endpoints, \"LO-HI=URL[,URL...]\" (primary first; repeatable)")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		log.Fatal("at least one -shard is required")
+	}
+	router, err := cluster.New(cluster.Config{
+		Shards:       shards,
+		ShardTimeout: *shardTimeout,
+		HedgeDelay:   *hedgeDelay,
+		MaxK:         *maxK,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: router.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: draining in-flight fanouts")
+		router.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		log.Printf("shutdown complete")
+	}()
+
+	for si, spec := range shards {
+		log.Printf("shard %d: cells %d-%d on %v", si, spec.Lo, spec.Hi, spec.Endpoints)
+	}
+	log.Printf("routing %d cells over %d shards on %s", router.Partitions(), len(shards), *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -5,38 +5,57 @@
 //
 //	pqserve -addr :8080 -index /data/sift.idx
 //
+// Serve only a subset of its IVF cells — one shard of a cluster behind
+// cmd/pqrouter (DESIGN.md §13):
+//
+//	pqserve -addr :8081 -index /data/sift.idx -cells 0-3
+//
 // Or bring up a synthetic index for smoke tests and demos:
 //
 //	pqserve -addr 127.0.0.1:8080 -synthetic 100000
 //
-// Endpoints (JSON over HTTP, see DESIGN.md §10):
+// Endpoints (JSON over HTTP, see DESIGN.md §10 and §13):
 //
-//	POST /search   {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
-//	POST /add      {"vectors":[[...],...]}
-//	POST /delete   {"id":123}                 404 when the id is not live
-//	POST /swap     {"path":"/data/new.idx"}   hot snapshot swap
-//	POST /save     {"path":"..."}             persist the serving index
-//	POST /compact  {"partition":-1}           reclaim tombstones online
-//	GET  /healthz
-//	GET  /stats    request counts, p50/p99 latency, batch widths, sheds,
-//	               per-partition live/dead/epoch counters
+//	POST /search        {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
+//	                    or {"query":[...],"k":10,"cells":[0,2]} (router sub-requests)
+//	POST /add           {"vectors":[[...],...]}
+//	POST /delete        {"id":123}               404 when the id is not live
+//	POST /swap          {"path":"/data/new.idx"} hot snapshot swap
+//	POST /swap/prepare  {"path":"..."}           stage a snapshot (two-phase swap)
+//	POST /swap/commit                            publish the staged snapshot
+//	POST /swap/abort                             discard the staged snapshot
+//	POST /save          {"path":"..."}           persist the serving index
+//	POST /compact       {"partition":-1}         reclaim tombstones online
+//	GET  /healthz       liveness: 200 while the process runs, even warming
+//	GET  /readyz        readiness: 503 while loading, preparing, draining
+//	GET  /meta          index geometry + coarse centroids + shard cells
+//	GET  /stats         request counts, p50/p99 latency, batch widths, sheds,
+//	                    per-partition live/dead/epoch counters
 //
 // Concurrent /search requests are micro-batched into SearchBatch calls;
 // load beyond -max-inflight is shed with 429 after -queue-timeout; -save-
 // interval enables periodic background persistence to -snapshot;
 // -compact-interval enables the background dead-ratio compaction policy
 // (partitions past -compact-threshold are rebuilt online without their
-// tombstones).
+// tombstones). With -warm the index loads in the background while the
+// listener is already up: /healthz answers immediately and /readyz flips
+// to 200 when the load completes, so orchestrators can route around a
+// shard streaming a large snapshot in. SIGTERM triggers a graceful
+// shutdown: /readyz goes 503, the listener stops accepting, every
+// in-flight and queued request is served, then the process exits 0.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +72,8 @@ func main() {
 		synthetic    = flag.Int("synthetic", 0, "build a synthetic index of this many vectors instead of loading one")
 		partitions   = flag.Int("partitions", 8, "IVF partitions for -synthetic builds")
 		seed         = flag.Uint64("seed", 42, "seed for -synthetic builds")
+		cellsFlag    = flag.String("cells", "", "IVF cells this shard serves, e.g. \"0-3\" or \"0,2,5-7\" (default: all)")
+		warm         = flag.Bool("warm", false, "start serving probes immediately and load the index in the background")
 		batchWindow  = flag.Duration("batch-window", time.Millisecond, "micro-batching window for /search coalescing")
 		maxBatch     = flag.Int("max-batch", 64, "maximum queries per coalesced SearchBatch call")
 		maxInFlight  = flag.Int("max-inflight", 0, "admission-control bound on concurrent searches (0 = 8×GOMAXPROCS)")
@@ -65,7 +86,7 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, err := openIndex(*indexPath, *synthetic, *partitions, *seed)
+	cells, err := parseCells(*cellsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,8 +95,8 @@ func main() {
 		snapPath = *indexPath
 	}
 
-	srv, err := server.New(server.Config{
-		Index:            idx,
+	cfg := server.Config{
+		Cells:            cells,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
 		MaxInFlight:      *maxInFlight,
@@ -86,7 +107,21 @@ func main() {
 		CompactInterval:  *compactEvery,
 		CompactThreshold: *compactAt,
 		Logf:             log.Printf,
-	})
+	}
+	load := func() (*pqfastscan.Index, error) {
+		return openIndex(*indexPath, *synthetic, *partitions, *seed, cells)
+	}
+	if *warm {
+		cfg.Load = load
+	} else {
+		idx, err := load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Index = idx
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,11 +133,17 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("shutting down")
+		log.Printf("shutting down: draining in-flight requests")
+		// The graceful order: flip /readyz so routers stop sending new
+		// work, stop accepting and drain the handlers (each waits for
+		// its coalesced batch), then stop the batcher and background
+		// loops — which serves anything still queued.
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = hs.Shutdown(ctx) // stop accepting, drain handlers
-		_ = srv.Close()      // then stop the batcher and saver
+		_ = hs.Shutdown(ctx)
+		_ = srv.Close()
+		log.Printf("shutdown complete")
 	}()
 
 	// Name the scan backend at startup so a deployment log makes a
@@ -113,21 +154,61 @@ func main() {
 	if note := pqfastscan.BackendInitNote(); note != "" {
 		log.Printf("backend selection: %s", note)
 	}
-	log.Printf("serving %d live vectors (partitions %v) on %s",
-		idx.Live(), idx.PartitionSizes(), *addr)
+	if idx := srv.Index(); idx != nil {
+		log.Printf("serving %d live vectors (partitions %v) on %s",
+			idx.Live(), idx.PartitionSizes(), *addr)
+	} else {
+		log.Printf("listening on %s, index loading in background", *addr)
+	}
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
 }
 
-// openIndex loads the persisted index, or builds a synthetic one for
-// demo and smoke-test runs.
-func openIndex(path string, synthetic, partitions int, seed uint64) (*pqfastscan.Index, error) {
+// parseCells parses the -cells flag: a comma-separated list of cell ids
+// and inclusive ranges ("0-3,5,7-8"). Empty means all cells (nil).
+func parseCells(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	seen := make(map[int]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, ranged := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("-cells %q: bad cell %q", s, part)
+		}
+		b := a
+		if ranged {
+			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+				return nil, fmt.Errorf("-cells %q: bad range %q", s, part)
+			}
+		}
+		if a < 0 || b < a {
+			return nil, fmt.Errorf("-cells %q: range %q is empty or negative", s, part)
+		}
+		for c := a; c <= b; c++ {
+			if seen[c] {
+				return nil, fmt.Errorf("-cells %q: cell %d listed twice", s, c)
+			}
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// openIndex loads the persisted index (restricted to the shard's cells
+// when given), or builds a synthetic one for demo and smoke-test runs.
+func openIndex(path string, synthetic, partitions int, seed uint64, cells []int) (*pqfastscan.Index, error) {
 	switch {
 	case path != "":
 		start := time.Now()
-		idx, err := pqfastscan.LoadIndex(path)
+		idx, err := pqfastscan.LoadIndexCells(path, cells)
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +227,11 @@ func openIndex(path string, synthetic, partitions int, seed uint64) (*pqfastscan
 		idx, err := pqfastscan.Build(gen.Generate(learnN), gen.Generate(synthetic), opt)
 		if err != nil {
 			return nil, err
+		}
+		if cells != nil {
+			if idx, err = idx.RestrictCells(cells...); err != nil {
+				return nil, err
+			}
 		}
 		log.Printf("built synthetic index (%d vectors) in %v", synthetic, time.Since(start).Round(time.Millisecond))
 		return idx, nil

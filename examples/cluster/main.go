@@ -1,0 +1,174 @@
+// Cluster: run a two-shard pqfastscan fleet behind a scatter-gather
+// router, all in-process (the same internal/cluster engine the
+// pqrouter binary deploys, fronting the same internal/server engine
+// pqserve deploys), and drive it the way an operator would — JSON over
+// HTTP: query through the router, check the answer is bit-identical to
+// a single node holding every cell, then roll the whole fleet onto a
+// new snapshot with the two-phase swap while it keeps serving. In a
+// real deployment this program collapses to:
+//
+//	pqserve  -addr :8081 -index full.idx -cells 0-3
+//	pqserve  -addr :8082 -index full.idx -cells 4-7
+//	pqrouter -addr :8080 -shard 0-3=http://localhost:8081 \
+//	                     -shard 4-7=http://localhost:8082
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"pqfastscan"
+	"pqfastscan/internal/cluster"
+	"pqfastscan/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pqcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Build one index, split it over two shards --------------------
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 7})
+	learn := gen.Generate(5000)
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 8
+	full, err := pqfastscan.Build(learn, gen.Generate(40000), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built a %d-cell index, %d vectors\n", 8, full.Live())
+
+	shardURLs := make([]string, 2)
+	for i, cells := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		shard, err := full.RestrictCells(cells...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Index: shard, Cells: cells})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		shardURLs[i] = serve(srv.Handler())
+		fmt.Printf("shard %d: cells %v, %d vectors on %s\n", i, cells, shard.Live(), shardURLs[i])
+	}
+
+	// --- Front them with a router -------------------------------------
+	router, err := cluster.New(cluster.Config{Shards: []cluster.ShardSpec{
+		{Lo: 0, Hi: 3, Endpoints: []string{shardURLs[0]}},
+		{Lo: 4, Hi: 7, Endpoints: []string{shardURLs[1]}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	routerURL := serve(router.Handler())
+	fmt.Printf("router: %d cells over 2 shards on %s\n\n", router.Partitions(), routerURL)
+
+	// --- Query the cluster; it must answer like the single node -------
+	query := gen.Generate(1).Row(0)
+	var clustered server.SearchResponse
+	mustPost(routerURL+"/search", server.SearchRequest{Query: query, K: 5, NProbe: 3}, &clustered)
+	single, err := full.Search(context.Background(), query, 5, pqfastscan.WithNProbe(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 through the router (probed cells %v):\n", clustered.Partitions)
+	for rank, r := range clustered.Results {
+		s := single.Results[rank]
+		if r.ID != s.ID || r.Distance != s.Distance {
+			log.Fatalf("rank %d: cluster (%d, %g) != single node (%d, %g)",
+				rank+1, r.ID, r.Distance, s.ID, s.Distance)
+		}
+		fmt.Printf("  #%d id=%d distance=%.1f  (single node agrees)\n", rank+1, r.ID, r.Distance)
+	}
+
+	// --- Roll the fleet onto a new snapshot ---------------------------
+	// Build tomorrow's index (same geometry, more vectors), persist it
+	// where every shard can load it, and swap the whole fleet in two
+	// phases: every shard prepares (loads and validates only its own
+	// cells) before any shard commits.
+	next, err := pqfastscan.Build(learn, gen.Generate(60000), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "next.idx")
+	if err := next.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	var swap cluster.FleetSwapResult
+	mustPost(routerURL+"/swap", map[string]string{"path": path}, &swap)
+	fmt.Printf("\nfleet swap committed=%v on %d endpoints\n", swap.Committed, len(swap.Endpoints))
+
+	// Every shard now serves its slice of the new snapshot.
+	for i, u := range shardURLs {
+		var health struct {
+			Live int `json:"live"`
+		}
+		mustGet(u+"/healthz", &health)
+		fmt.Printf("shard %d after swap: %d live vectors\n", i, health.Live)
+	}
+	mustPost(routerURL+"/search", server.SearchRequest{Query: query, K: 5, NProbe: 3}, &clustered)
+	fmt.Printf("same query on the new snapshot: best id=%d distance=%.1f\n",
+		clustered.Results[0].ID, clustered.Results[0].Distance)
+
+	// --- The router exports its own observability ---------------------
+	var stats cluster.RouterStats
+	mustGet(routerURL+"/stats", &stats)
+	fmt.Printf("\n/stats: %d queries routed, p50 %.2fms; %d fleet swaps; %d failovers, %d hedges\n",
+		stats.Queries, stats.P50Ms, stats.FleetSwaps, stats.Failovers, stats.Hedges)
+}
+
+// serve mounts a handler on a loopback listener and returns its URL.
+func serve(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = (&http.Server{Handler: h}).Serve(ln) }()
+	return "http://" + ln.Addr().String()
+}
+
+func mustPost(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, out)
+}
+
+func mustGet(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, out)
+}
+
+func decode(url string, resp *http.Response, out any) {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

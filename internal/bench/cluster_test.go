@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSplitRanges(t *testing.T) {
+	cases := []struct {
+		partitions, n int
+		want          [][2]int
+	}{
+		{8, 1, [][2]int{{0, 7}}},
+		{8, 2, [][2]int{{0, 3}, {4, 7}}},
+		{8, 4, [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}},
+		{8, 3, [][2]int{{0, 2}, {3, 5}, {6, 7}}},
+		{5, 5, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}},
+	}
+	for _, c := range cases {
+		specs := splitRanges(c.partitions, c.n)
+		if len(specs) != len(c.want) {
+			t.Fatalf("splitRanges(%d, %d): %d specs, want %d", c.partitions, c.n, len(specs), len(c.want))
+		}
+		for i, w := range c.want {
+			if specs[i].Lo != w[0] || specs[i].Hi != w[1] {
+				t.Errorf("splitRanges(%d, %d)[%d] = %d-%d, want %d-%d",
+					c.partitions, c.n, i, specs[i].Lo, specs[i].Hi, w[0], w[1])
+			}
+		}
+	}
+}
+
+// TestMeasureClusterMicro runs the full scaling sweep at micro scale —
+// including the per-layout bit-identity oracle gate, which is the part
+// that must never regress.
+func TestMeasureClusterMicro(t *testing.T) {
+	report, err := MeasureCluster(ClusterConfig{
+		BaseN:       12000,
+		LearnN:      3000,
+		Partitions:  4,
+		Seed:        42,
+		K:           10,
+		NProbe:      2,
+		Concurrency: 4,
+		Duration:    200 * time.Millisecond,
+		Shards:      []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OracleOK {
+		t.Fatal("oracle gate did not run")
+	}
+	if len(report.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(report.Points))
+	}
+	for _, p := range report.Points {
+		if p.OK == 0 {
+			t.Errorf("%d shards: no successful requests (errors=%d, shed=%d)", p.Shards, p.Errors, p.Shed)
+		}
+		if p.Errors > 0 {
+			t.Errorf("%d shards: %d errored requests", p.Shards, p.Errors)
+		}
+		if p.Failovers != 0 || p.Hedges != 0 {
+			t.Errorf("%d shards: unexpected failovers=%d hedges=%d on healthy in-process fleet",
+				p.Shards, p.Failovers, p.Hedges)
+		}
+	}
+	if report.Points[1].SpeedupVs1 <= 0 {
+		t.Errorf("2-shard point has no speedup ratio recorded: %+v", report.Points[1])
+	}
+
+	if _, err := MeasureCluster(ClusterConfig{Partitions: 4, Shards: []int{8}}); err == nil {
+		t.Error("shard count beyond partitions was accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/server"
+)
+
+// The closed-loop load driver shared by the serve and cluster benches:
+// a worker pool posts pre-marshaled /search bodies at a target for a
+// fixed window and reports counts, QPS, and latency quantiles. Keeping
+// one driver means a single-node run and a router run measure the exact
+// same client behavior, so their numbers compare.
+
+// loadStats is what one driveLoad window observed.
+type loadStats struct {
+	DurationS                  float64
+	Requests, OK, Shed, Errors int64
+	QPS                        float64 // successful responses per second
+	P50Ms, P90Ms, P99Ms, MaxMs float64
+}
+
+// searchBodies pre-marshals a disjoint pool of /search request bodies
+// (seed+1 keeps the load queries off the indexed vectors), cycled by
+// the workers so marshaling cost stays off the measurement path.
+func searchBodies(seed uint64, k, nprobe int) ([][]byte, error) {
+	queries := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: seed + 1}).Generate(256)
+	bodies := make([][]byte, queries.Rows())
+	for i := range bodies {
+		raw, err := json.Marshal(server.SearchRequest{
+			Query: queries.Row(i), K: k, NProbe: nprobe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = raw
+	}
+	return bodies, nil
+}
+
+// driveLoad runs the worker pool against url's /search for the window
+// and aggregates what the clients saw. 429s count as shed, everything
+// else non-200 as an error; only 200s contribute latencies and QPS.
+func driveLoad(url string, bodies [][]byte, concurrency int, duration time.Duration) loadStats {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	type workerResult struct {
+		lats             []time.Duration
+		ok, shed, errors int64
+	}
+	results := make([]workerResult, concurrency)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			for i := w; time.Now().Before(deadline); i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					r.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					r.ok++
+					r.lats = append(r.lats, lat)
+				case http.StatusTooManyRequests:
+					r.shed++
+				default:
+					r.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var stats loadStats
+	stats.DurationS = elapsed.Seconds()
+	var lats []time.Duration
+	for i := range results {
+		r := &results[i]
+		stats.OK += r.ok
+		stats.Shed += r.shed
+		stats.Errors += r.errors
+		lats = append(lats, r.lats...)
+	}
+	stats.Requests = stats.OK + stats.Shed + stats.Errors
+	if stats.OK > 0 {
+		stats.QPS = float64(stats.OK) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i].Nanoseconds()) / 1e6
+		}
+		stats.P50Ms = q(0.50)
+		stats.P90Ms = q(0.90)
+		stats.P99Ms = q(0.99)
+		stats.MaxMs = float64(lats[len(lats)-1].Nanoseconds()) / 1e6
+	}
+	return stats
+}

@@ -1,14 +1,11 @@
 package bench
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
 	"pqfastscan"
@@ -157,84 +154,21 @@ func MeasureServe(cfg ServeConfig) (*ServeReport, error) {
 	}
 
 	// A disjoint pool of query vectors, cycled by the workers.
-	queries := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 1}).Generate(256)
-	bodies := make([][]byte, queries.Rows())
-	for i := range bodies {
-		raw, err := json.Marshal(server.SearchRequest{
-			Query: queries.Row(i), K: cfg.K, NProbe: cfg.NProbe,
-		})
-		if err != nil {
-			return nil, err
-		}
-		bodies[i] = raw
+	bodies, err := searchBodies(cfg.Seed, cfg.K, cfg.NProbe)
+	if err != nil {
+		return nil, err
 	}
-
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: cfg.Concurrency,
-	}}
-	type workerResult struct {
-		lats             []time.Duration
-		ok, shed, errors int64
-	}
-	results := make([]workerResult, cfg.Concurrency)
-	deadline := time.Now().Add(cfg.Duration)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			r := &results[w]
-			for i := w; time.Now().Before(deadline); i++ {
-				body := bodies[i%len(bodies)]
-				t0 := time.Now()
-				resp, err := client.Post(url+"/search", "application/json", bytes.NewReader(body))
-				if err != nil {
-					r.errors++
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				lat := time.Since(t0)
-				switch resp.StatusCode {
-				case http.StatusOK:
-					r.ok++
-					r.lats = append(r.lats, lat)
-				case http.StatusTooManyRequests:
-					r.shed++
-				default:
-					r.errors++
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	report.DurationS = elapsed.Seconds()
-
-	var lats []time.Duration
-	for i := range results {
-		r := &results[i]
-		report.OK += r.ok
-		report.Shed += r.shed
-		report.Errors += r.errors
-		lats = append(lats, r.lats...)
-	}
-	report.Requests = report.OK + report.Shed + report.Errors
-	if report.OK > 0 {
-		report.QPS = float64(report.OK) / elapsed.Seconds()
-	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-		q := func(p float64) float64 {
-			i := int(p * float64(len(lats)-1))
-			return float64(lats[i].Nanoseconds()) / 1e6
-		}
-		report.P50Ms = q(0.50)
-		report.P90Ms = q(0.90)
-		report.P99Ms = q(0.99)
-		report.MaxMs = float64(lats[len(lats)-1].Nanoseconds()) / 1e6
-	}
+	load := driveLoad(url, bodies, cfg.Concurrency, cfg.Duration)
+	report.DurationS = load.DurationS
+	report.Requests = load.Requests
+	report.OK = load.OK
+	report.Shed = load.Shed
+	report.Errors = load.Errors
+	report.QPS = load.QPS
+	report.P50Ms = load.P50Ms
+	report.P90Ms = load.P90Ms
+	report.P99Ms = load.P99Ms
+	report.MaxMs = load.MaxMs
 
 	if srv != nil {
 		after := srv.StatsSnapshot()
@@ -260,14 +194,16 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 }
 
 // CombinedReport pairs the kernel wall-clock trajectory with the served
-// throughput and/or the mixed read-write isolation numbers of the same
-// build — the document the BENCH_pr*.json baselines record
-// (cmd/pqbench -json -serve, -json -mixed, or all three). Schema is
-// pqfastscan-bench/v4 (v2/v3 predate the backend record in the kernels
-// and mixed sections).
+// throughput, the mixed read-write isolation numbers, and/or the
+// cluster scaling curve of the same build — the document the
+// BENCH_pr*.json baselines record (cmd/pqbench -json, -serve, -mixed,
+// -shards, in any combination). Schema is pqfastscan-bench/v5 (v4
+// predates the cluster section; v2/v3 predate the backend record in
+// the kernels and mixed sections).
 type CombinedReport struct {
 	Schema  string           `json:"schema"`
 	Kernels *WallClockReport `json:"kernels,omitempty"`
 	Serve   *ServeReport     `json:"serve,omitempty"`
 	Mixed   *MixedReport     `json:"mixed,omitempty"`
+	Cluster *ClusterReport   `json:"cluster,omitempty"`
 }

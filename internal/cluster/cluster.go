@@ -1,0 +1,352 @@
+// Package cluster is the scatter-gather serving layer over a fleet of
+// pqserve shards (DESIGN.md §13). A Router owns a shard map keyed by
+// IVF coarse-cell ranges: because the paper's index is already
+// partitioned by the coarse quantizer (Algorithm 1 step 1 routes a
+// query to cells before any scanning), the natural shard key is the
+// cell id — a shard is simply a pqserve process that loaded a subset of
+// the cells from the same snapshot file.
+//
+// The bit-identical guarantee. For every query the router runs the same
+// cell ranking the engine runs (index.RankCells over the coarse
+// centroids fetched from /meta, ties broken by cell id), takes the top
+// nprobe cells, and sends each shard exactly its share of that probe
+// set as an explicit cell list. Each shard scans those cells against
+// the same snapshot data a single node would hold, and the router's
+// merge (topk.MergeResults) retains the k smallest (distance, id) pairs
+// of the deduplicated union — which is precisely the retained set of a
+// single node's bounded heap over the union of the same cells. Results,
+// distances and probe order are therefore identical to a single-node
+// query, regardless of shard count, shard order, or replica failover.
+//
+// Availability. Each shard may list replica endpoints after its
+// primary. A sub-request that errors fails over to the next replica,
+// and a primary that is merely slow is hedged: after HedgeDelay the
+// router also asks a replica and takes whichever answers first.
+// Duplicate ids from a hedge race are collapsed by the merge.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan/internal/hist"
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/server"
+	"pqfastscan/internal/vec"
+)
+
+// ShardSpec assigns an inclusive range of IVF cells to an ordered list
+// of endpoints: the primary first, read replicas after it.
+type ShardSpec struct {
+	Lo, Hi    int
+	Endpoints []string
+}
+
+// String renders the spec in the form ParseShardSpec accepts.
+func (s ShardSpec) String() string {
+	return fmt.Sprintf("%d-%d=%s", s.Lo, s.Hi, strings.Join(s.Endpoints, ","))
+}
+
+// ParseShardSpec parses "LO-HI=URL[,URL...]" (or "CELL=URL" for a
+// single-cell shard): the cell range this shard serves and its
+// endpoints, primary first.
+func ParseShardSpec(spec string) (ShardSpec, error) {
+	cells, urls, ok := strings.Cut(spec, "=")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q: want CELLS=URL[,URL...]", spec)
+	}
+	var out ShardSpec
+	lo, hi, ranged := strings.Cut(cells, "-")
+	var err error
+	if out.Lo, err = strconv.Atoi(strings.TrimSpace(lo)); err != nil {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q: bad cell range: %v", spec, err)
+	}
+	out.Hi = out.Lo
+	if ranged {
+		if out.Hi, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+			return ShardSpec{}, fmt.Errorf("cluster: shard spec %q: bad cell range: %v", spec, err)
+		}
+	}
+	if out.Lo < 0 || out.Hi < out.Lo {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q: cell range %d-%d is empty or negative", spec, out.Lo, out.Hi)
+	}
+	for _, u := range strings.Split(urls, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		out.Endpoints = append(out.Endpoints, u)
+	}
+	if len(out.Endpoints) == 0 {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q: no endpoints", spec)
+	}
+	return out, nil
+}
+
+// Cells expands the spec's range into the explicit cell list.
+func (s ShardSpec) Cells() []int {
+	out := make([]int, 0, s.Hi-s.Lo+1)
+	for c := s.Lo; c <= s.Hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Config configures a Router. Shards is required; zero-valued tuning
+// fields select defaults.
+type Config struct {
+	// Shards is the cluster map. The ranges must tile [0, partitions)
+	// exactly — every cell served by exactly one shard — which New
+	// verifies against the fleet's /meta.
+	Shards []ShardSpec
+
+	// ShardTimeout bounds one whole shard sub-request including
+	// failover attempts (default 10s).
+	ShardTimeout time.Duration
+	// HedgeDelay is how long the router waits on a shard's primary
+	// before also asking a replica (default 50ms; negative disables
+	// hedging, leaving failover on error only).
+	HedgeDelay time.Duration
+	// MaxK rejects requests asking for more neighbors than this
+	// (default 1000).
+	MaxK int
+	// MaxBodyBytes caps a request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// Client overrides the HTTP client (tests inject httptest
+	// transports). Defaults to a pooled transport sized for fanout.
+	Client *http.Client
+
+	// Logf, when set, receives operational log lines. Defaults to
+	// discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				// Fanout sends one request per shard per query; idle
+				// pooling per endpoint is what keeps that from paying a
+				// TCP handshake per sub-request.
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// fleetMeta is the geometry the fleet agreed on at startup (or after a
+// fleet swap): everything the router needs to rank cells exactly as the
+// engine does.
+type fleetMeta struct {
+	dim        int
+	partitions int
+	pqm        int
+	coarse     vec.Matrix
+}
+
+// shard is one entry of the shard map plus its runtime counters.
+type shard struct {
+	spec  ShardSpec
+	cells []int
+
+	requests  hist.Hist // sub-request latency, successful tries
+	failovers counter   // tries that moved on to the next endpoint
+	hedges    counter   // replica requests launched by the hedge timer
+}
+
+// Router fans queries out over the shard map and merges their answers.
+// Create with New, mount Handler behind an http.Server (cmd/pqrouter),
+// or call Search directly.
+type Router struct {
+	cfg      Config
+	shards   []*shard
+	byCell   []int // cell id -> index into shards
+	meta     atomicMeta
+	metrics  *routerMetrics
+	draining atomic.Bool
+}
+
+// New validates the shard map against the live fleet and returns a
+// ready Router. It requires every shard's /meta to agree on geometry
+// (dim, partitions, PQ m, and bit-identical coarse centroids — without
+// that, ranking is undefined) and the shard ranges to tile the cell
+// space exactly.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg, metrics: newRouterMetrics()}
+	for _, spec := range cfg.Shards {
+		r.shards = append(r.shards, &shard{spec: spec, cells: spec.Cells()})
+	}
+	if err := r.refreshMeta(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// refreshMeta fetches /meta from every shard, checks the fleet agrees,
+// rebuilds the cell->shard table and publishes the geometry. Called at
+// startup and again after a fleet swap (a new snapshot may carry new
+// centroids even when it is swap-compatible).
+func (r *Router) refreshMeta() error {
+	var ref *server.MetaResponse
+	for si, sh := range r.shards {
+		meta, ep, err := r.fetchMeta(sh)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d (%s): %w", si, sh.spec.String(), err)
+		}
+		if sh.spec.Hi >= meta.Partitions {
+			return fmt.Errorf("cluster: shard %d range %d-%d exceeds %d partitions",
+				si, sh.spec.Lo, sh.spec.Hi, meta.Partitions)
+		}
+		if meta.Cells != nil {
+			held := make(map[int]bool, len(meta.Cells))
+			for _, c := range meta.Cells {
+				held[c] = true
+			}
+			for _, c := range sh.cells {
+				if !held[c] {
+					return fmt.Errorf("cluster: shard %d (%s) is assigned cell %d but does not serve it (serves %v)",
+						si, ep, c, meta.Cells)
+				}
+			}
+		}
+		if ref == nil {
+			ref = meta
+			continue
+		}
+		if err := sameGeometry(ref, meta); err != nil {
+			return fmt.Errorf("cluster: shard %d (%s) disagrees with shard 0: %w", si, ep, err)
+		}
+	}
+
+	byCell := make([]int, ref.Partitions)
+	for i := range byCell {
+		byCell[i] = -1
+	}
+	for si, sh := range r.shards {
+		for _, c := range sh.cells {
+			if byCell[c] != -1 {
+				return fmt.Errorf("cluster: cell %d assigned to shards %d and %d", c, byCell[c], si)
+			}
+			byCell[c] = si
+		}
+	}
+	for c, si := range byCell {
+		if si == -1 {
+			return fmt.Errorf("cluster: cell %d not assigned to any shard", c)
+		}
+	}
+
+	coarse := vec.NewMatrix(ref.Partitions, ref.Dim)
+	for i, row := range ref.Centroids {
+		copy(coarse.Row(i), row)
+	}
+	r.byCell = byCell
+	r.meta.store(&fleetMeta{dim: ref.Dim, partitions: ref.Partitions, pqm: ref.PQM, coarse: coarse})
+	return nil
+}
+
+// fetchMeta asks a shard's endpoints for /meta, in order, returning the
+// first answer and the endpoint that gave it.
+func (r *Router) fetchMeta(sh *shard) (*server.MetaResponse, string, error) {
+	var lastErr error
+	for _, ep := range sh.spec.Endpoints {
+		var meta server.MetaResponse
+		if err := r.getJSON(ep+"/meta", &meta); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(meta.Centroids) != meta.Partitions {
+			return nil, ep, fmt.Errorf("meta from %s: %d centroids for %d partitions", ep, len(meta.Centroids), meta.Partitions)
+		}
+		return &meta, ep, nil
+	}
+	return nil, "", fmt.Errorf("no endpoint answered /meta: %w", lastErr)
+}
+
+// sameGeometry verifies two /meta documents describe interchangeable
+// engines: identical shape and bit-identical centroids. Float equality
+// is intentional — the centroids came from the same snapshot file, so
+// anything but exact agreement means the shards loaded different
+// snapshots, and ranking (hence results) would silently diverge.
+func sameGeometry(a, b *server.MetaResponse) error {
+	if a.Dim != b.Dim || a.Partitions != b.Partitions || a.PQM != b.PQM {
+		return fmt.Errorf("geometry mismatch: dim %d/%d, partitions %d/%d, pq_m %d/%d",
+			a.Dim, b.Dim, a.Partitions, b.Partitions, a.PQM, b.PQM)
+	}
+	for i := range a.Centroids {
+		if len(a.Centroids[i]) != len(b.Centroids[i]) {
+			return fmt.Errorf("centroid %d length mismatch", i)
+		}
+		for j := range a.Centroids[i] {
+			if a.Centroids[i][j] != b.Centroids[i][j] {
+				return fmt.Errorf("centroid %d component %d differs: shards serve different snapshots", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Partitions returns the fleet's cell count.
+func (r *Router) Partitions() int { return r.meta.load().partitions }
+
+// Dim returns the fleet's vector dimensionality.
+func (r *Router) Dim() int { return r.meta.load().dim }
+
+// probeSet returns the cells to scan for a query, in the engine's
+// deterministic rank order, and groups them by owning shard preserving
+// that order. Explicit cells skip ranking, exactly as on a single node.
+func (r *Router) probeSet(query []float32, nprobe int, cells []int) (probe []int, byShard map[int][]int) {
+	if len(cells) > 0 {
+		probe = cells
+	} else {
+		probe = index.RankCells(query, r.meta.load().coarse)[:nprobe]
+	}
+	byShard = make(map[int][]int, len(r.shards))
+	for _, c := range probe {
+		si := r.byCell[c]
+		byShard[si] = append(byShard[si], c)
+	}
+	return probe, byShard
+}
+
+// shardIDs returns the keys of a shard group in ascending order, so
+// fanout work and error reporting are deterministic.
+func shardIDs(byShard map[int][]int) []int {
+	ids := make([]int, 0, len(byShard))
+	for si := range byShard {
+		ids = append(ids, si)
+	}
+	sort.Ints(ids)
+	return ids
+}

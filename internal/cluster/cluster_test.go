@@ -1,0 +1,566 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/server"
+)
+
+// --- fixtures ----------------------------------------------------------
+
+var (
+	fixOnce    sync.Once
+	fixIdx     *pqfastscan.Index
+	fixQueries pqfastscan.Matrix
+	fixErr     error
+)
+
+// fullIndex returns a lazily built 8-cell index plus a pool of queries.
+func fullIndex(t *testing.T) (*pqfastscan.Index, pqfastscan.Matrix) {
+	t.Helper()
+	fixOnce.Do(func() {
+		gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 31})
+		opt := pqfastscan.DefaultBuildOptions()
+		opt.Partitions = 8
+		fixIdx, fixErr = pqfastscan.Build(gen.Generate(3000), gen.Generate(12000), opt)
+		fixQueries = gen.Generate(32)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixIdx, fixQueries
+}
+
+// shardServer stands up one in-process pqserve holding only the given
+// cells of full, exactly as `pqserve -cells` would after loading the
+// shared snapshot.
+func shardServer(t *testing.T, full *pqfastscan.Index, cells []int) *httptest.Server {
+	t.Helper()
+	restricted, err := full.RestrictCells(cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Index: restricted, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return hs
+}
+
+// newRouter builds a Router over equal ranges of the given shard
+// endpoints (each entry is one shard's endpoint list).
+func newRouter(t *testing.T, partitions int, shardEndpoints [][]string, tune func(*Config)) *Router {
+	t.Helper()
+	per := partitions / len(shardEndpoints)
+	cfg := Config{}
+	for i, eps := range shardEndpoints {
+		lo := i * per
+		hi := lo + per - 1
+		if i == len(shardEndpoints)-1 {
+			hi = partitions - 1
+		}
+		cfg.Shards = append(cfg.Shards, ShardSpec{Lo: lo, Hi: hi, Endpoints: eps})
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func routerSearch(t *testing.T, handler http.Handler, req server.SearchRequest) (int, server.SearchResponse, string) {
+	t.Helper()
+	raw, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(raw)))
+	var resp server.SearchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode response: %v (%s)", err, rec.Body.String())
+		}
+	}
+	return rec.Code, resp, rec.Body.String()
+}
+
+// --- shard spec parsing ------------------------------------------------
+
+func TestParseShardSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want ShardSpec
+	}{
+		{"0-3=http://a:1", ShardSpec{0, 3, []string{"http://a:1"}}},
+		{"4-7=http://a:1,http://b:2", ShardSpec{4, 7, []string{"http://a:1", "http://b:2"}}},
+		{"5=localhost:9000", ShardSpec{5, 5, []string{"http://localhost:9000"}}},
+		{" 0-1 = http://a/ ", ShardSpec{0, 1, []string{"http://a"}}},
+	}
+	for _, tc := range good {
+		got, err := ParseShardSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseShardSpec(%q): %v", tc.in, err)
+		}
+		if got.Lo != tc.want.Lo || got.Hi != tc.want.Hi || len(got.Endpoints) != len(tc.want.Endpoints) {
+			t.Fatalf("ParseShardSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		for i := range got.Endpoints {
+			if got.Endpoints[i] != tc.want.Endpoints[i] {
+				t.Fatalf("ParseShardSpec(%q) endpoint %d = %q, want %q", tc.in, i, got.Endpoints[i], tc.want.Endpoints[i])
+			}
+		}
+	}
+	bad := []string{"", "0-3", "x-3=http://a", "3-1=http://a", "-1-2=http://a", "0-3=", "0-3=,"}
+	for _, in := range bad {
+		if _, err := ParseShardSpec(in); err == nil {
+			t.Fatalf("ParseShardSpec(%q) accepted malformed spec", in)
+		}
+	}
+}
+
+// --- the tentpole guarantee -------------------------------------------
+
+// TestClusterOracleEquality is the acceptance criterion of DESIGN.md
+// §13: a router over N shards answers every query bit-identically to a
+// single node holding the whole index — same ids, same distances, same
+// probe list — for 1, 2 and 4 shards, across nprobe values that cross
+// shard boundaries.
+func TestClusterOracleEquality(t *testing.T) {
+	full, queries := fullIndex(t)
+	layouts := map[string][][]int{
+		"1shard":  {{0, 1, 2, 3, 4, 5, 6, 7}},
+		"2shards": {{0, 1, 2, 3}, {4, 5, 6, 7}},
+		"4shards": {{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+	}
+	for name, layout := range layouts {
+		t.Run(name, func(t *testing.T) {
+			var eps [][]string
+			for _, cells := range layout {
+				eps = append(eps, []string{shardServer(t, full, cells).URL})
+			}
+			router := newRouter(t, 8, eps, nil)
+			handler := router.Handler()
+
+			for qi := 0; qi < 8; qi++ {
+				q := queries.Row(qi)
+				for _, nprobe := range []int{1, 2, 3, 8} {
+					k := 5 + qi
+					status, got, body := routerSearch(t, handler,
+						server.SearchRequest{Query: q, K: k, NProbe: nprobe})
+					if status != http.StatusOK {
+						t.Fatalf("router search (nprobe=%d): status %d (%s)", nprobe, status, body)
+					}
+					want, err := full.Search(context.Background(), q, k, pqfastscan.WithNProbe(nprobe))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got.Results) != len(want.Results) {
+						t.Fatalf("query %d nprobe %d: %d results, single node has %d",
+							qi, nprobe, len(got.Results), len(want.Results))
+					}
+					for i, w := range want.Results {
+						if got.Results[i].ID != w.ID || got.Results[i].Distance != w.Distance {
+							t.Fatalf("query %d nprobe %d rank %d: router %+v, single node %+v",
+								qi, nprobe, i, got.Results[i], w)
+						}
+					}
+					if len(got.Partitions) != len(want.Partitions) {
+						t.Fatalf("query %d nprobe %d: probe list %v, single node %v",
+							qi, nprobe, got.Partitions, want.Partitions)
+					}
+					for i := range want.Partitions {
+						if got.Partitions[i] != want.Partitions[i] {
+							t.Fatalf("query %d nprobe %d: probe list %v, single node %v",
+								qi, nprobe, got.Partitions, want.Partitions)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- replica failover and hedging -------------------------------------
+
+func TestFailoverToReplica(t *testing.T) {
+	full, queries := fullIndex(t)
+	liveA := shardServer(t, full, []int{0, 1, 2, 3})
+	liveB := shardServer(t, full, []int{4, 5, 6, 7})
+
+	// A dead primary: an endpoint that refuses connections.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	router := newRouter(t, 8, [][]string{
+		{dead.URL, liveA.URL}, // primary down, replica up
+		{liveB.URL},
+	}, func(c *Config) { c.HedgeDelay = -1 }) // failover on error only
+
+	q := queries.Row(0)
+	resp, err := router.Search(context.Background(), q, SearchOptions{K: 10, NProbe: 8})
+	if err != nil {
+		t.Fatalf("search with dead primary: %v", err)
+	}
+	want, err := full.Search(context.Background(), q, 10, pqfastscan.WithNProbe(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Results {
+		if resp.Results[i].ID != w.ID || resp.Results[i].Distance != w.Distance {
+			t.Fatalf("failover result rank %d: %+v, want %+v", i, resp.Results[i], w)
+		}
+	}
+	if got := router.metrics.failovers.Load(); got == 0 {
+		t.Fatal("failover counter did not move")
+	}
+}
+
+func TestHedgedRequestToSlowPrimary(t *testing.T) {
+	full, queries := fullIndex(t)
+	fast := shardServer(t, full, []int{0, 1, 2, 3, 4, 5, 6, 7})
+
+	// A slow primary: same data, but every /search stalls far longer
+	// than the hedge delay.
+	restricted, err := full.RestrictCells(0, 1, 2, 3, 4, 5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSrv, err := server.New(server.Config{Index: restricted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			time.Sleep(2 * time.Second)
+		}
+		slowSrv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		slow.Close()
+		slowSrv.Close()
+	})
+
+	router := newRouter(t, 8, [][]string{{slow.URL, fast.URL}}, func(c *Config) {
+		c.HedgeDelay = 10 * time.Millisecond
+	})
+
+	start := time.Now()
+	resp, err := router.Search(context.Background(), queries.Row(0), SearchOptions{K: 10, NProbe: 2})
+	if err != nil {
+		t.Fatalf("hedged search: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged search took %v; the replica should have answered at ~hedge delay", elapsed)
+	}
+	if len(resp.Results) != 10 {
+		t.Fatalf("hedged search returned %d results, want 10", len(resp.Results))
+	}
+	if got := router.metrics.hedges.Load(); got == 0 {
+		t.Fatal("hedge counter did not move")
+	}
+}
+
+// --- fleet swap --------------------------------------------------------
+
+func TestFleetSwapUpdatesEveryEndpointAndMeta(t *testing.T) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 41})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 4
+	buildAt := func(n int) *pqfastscan.Index {
+		idx, err := pqfastscan.Build(gen.Generate(2000), gen.Generate(n), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	current := buildAt(4000)
+	next := buildAt(6000)
+	path := filepath.Join(t.TempDir(), "next.idx")
+	if err := next.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	mkShard := func(cells []int) *httptest.Server {
+		restricted, err := current.RestrictCells(cells...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := server.New(server.Config{Index: restricted, Cells: cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		return hs
+	}
+	shardA := mkShard([]int{0, 1})
+	shardB := mkShard([]int{2, 3})
+	router := newRouter(t, 4, [][]string{{shardA.URL}, {shardB.URL}}, nil)
+
+	result, err := router.SwapAll(context.Background(), path)
+	if err != nil {
+		t.Fatalf("fleet swap: %v", err)
+	}
+	if !result.Committed || len(result.Endpoints) != 2 {
+		t.Fatalf("fleet swap result %+v, want committed on 2 endpoints", result)
+	}
+
+	// After the swap, the router must answer from the new snapshot,
+	// bit-identically to a single node holding it.
+	queries := gen.Generate(4)
+	for qi := 0; qi < 4; qi++ {
+		q := queries.Row(qi)
+		resp, err := router.Search(context.Background(), q, SearchOptions{K: 8, NProbe: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := next.Search(context.Background(), q, 8, pqfastscan.WithNProbe(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(want.Results) {
+			t.Fatalf("post-swap query %d: %d results, want %d", qi, len(resp.Results), len(want.Results))
+		}
+		for i, w := range want.Results {
+			if resp.Results[i].ID != w.ID || resp.Results[i].Distance != w.Distance {
+				t.Fatalf("post-swap query %d rank %d: %+v, want %+v", qi, i, resp.Results[i], w)
+			}
+		}
+	}
+}
+
+func TestFleetSwapAbortsOnPrepareFailure(t *testing.T) {
+	full, queries := fullIndex(t)
+	shardA := shardServer(t, full, []int{0, 1, 2, 3})
+
+	// Shard B refuses /swap/prepare, as a shard with a missing or
+	// corrupt snapshot file would.
+	restrictedB, err := full.RestrictCells(4, 5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := server.New(server.Config{Index: restrictedB, Cells: []int{4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/swap/prepare" {
+			http.Error(w, `{"error":"disk on fire"}`, http.StatusInternalServerError)
+			return
+		}
+		srvB.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { shardB.Close(); srvB.Close() })
+
+	router := newRouter(t, 8, [][]string{{shardA.URL}, {shardB.URL}}, nil)
+
+	// Give shard A a real, loadable snapshot so its prepare succeeds
+	// and the abort path actually has something staged to discard.
+	path := filepath.Join(t.TempDir(), "snap.idx")
+	if err := full.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := queryLive(t, shardA.URL)
+	result, err := router.SwapAll(context.Background(), path)
+	if err == nil {
+		t.Fatal("fleet swap succeeded although one prepare failed")
+	}
+	if result.Committed {
+		t.Fatal("fleet swap reported committed after a prepare failure")
+	}
+	for _, es := range result.Endpoints {
+		if es.Committed {
+			t.Fatalf("endpoint %s committed during an aborted fleet swap", es.Endpoint)
+		}
+	}
+	// Nothing changed on the healthy shard: same snapshot, and the
+	// staged one was discarded (a direct commit now has nothing).
+	if live := queryLive(t, shardA.URL); live != liveBefore {
+		t.Fatalf("aborted swap changed shard A: live %d -> %d", liveBefore, live)
+	}
+	resp, err := http.Post(shardA.URL+"/swap/commit", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("commit after aborted fleet swap: status %d, want 409 (staged snapshot must be gone)", resp.StatusCode)
+	}
+	// And the fleet still answers queries.
+	if _, err := router.Search(context.Background(), queries.Row(0), SearchOptions{K: 5, NProbe: 8}); err != nil {
+		t.Fatalf("search after aborted swap: %v", err)
+	}
+}
+
+func queryLive(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Live int `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Live
+}
+
+// --- startup validation ------------------------------------------------
+
+func TestNewRejectsBadShardMaps(t *testing.T) {
+	full, _ := fullIndex(t)
+	a := shardServer(t, full, []int{0, 1, 2, 3})
+	b := shardServer(t, full, []int{4, 5, 6, 7})
+
+	cases := []struct {
+		name   string
+		shards []ShardSpec
+	}{
+		{"gap", []ShardSpec{
+			{Lo: 0, Hi: 3, Endpoints: []string{a.URL}},
+			{Lo: 5, Hi: 7, Endpoints: []string{b.URL}},
+		}},
+		{"overlap", []ShardSpec{
+			{Lo: 0, Hi: 4, Endpoints: []string{a.URL}},
+			{Lo: 4, Hi: 7, Endpoints: []string{b.URL}},
+		}},
+		{"out of range", []ShardSpec{
+			{Lo: 0, Hi: 3, Endpoints: []string{a.URL}},
+			{Lo: 4, Hi: 9, Endpoints: []string{b.URL}},
+		}},
+		{"cell not served by shard", []ShardSpec{
+			{Lo: 0, Hi: 4, Endpoints: []string{a.URL}}, // a serves only 0-3
+			{Lo: 5, Hi: 7, Endpoints: []string{b.URL}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := New(Config{Shards: tc.shards}); err == nil {
+			t.Fatalf("%s: New accepted an invalid shard map", tc.name)
+		}
+	}
+}
+
+func TestNewRejectsMismatchedGeometry(t *testing.T) {
+	full, _ := fullIndex(t)
+	a := shardServer(t, full, []int{0, 1, 2, 3})
+
+	// A shard from a different build: same shape, different centroids.
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 77})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 8
+	other, err := pqfastscan.Build(gen.Generate(2000), gen.Generate(4000), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := shardServer(t, other, []int{4, 5, 6, 7})
+
+	_, err = New(Config{Shards: []ShardSpec{
+		{Lo: 0, Hi: 3, Endpoints: []string{a.URL}},
+		{Lo: 4, Hi: 7, Endpoints: []string{b.URL}},
+	}})
+	if err == nil {
+		t.Fatal("New accepted shards serving different snapshots")
+	}
+}
+
+// TestRouterHandlerContract smoke-tests the HTTP surface: healthz,
+// readyz flipping on drain, stats accounting, validation statuses.
+func TestRouterHandlerContract(t *testing.T) {
+	full, queries := fullIndex(t)
+	a := shardServer(t, full, []int{0, 1, 2, 3})
+	b := shardServer(t, full, []int{4, 5, 6, 7})
+	router := newRouter(t, 8, [][]string{{a.URL}, {b.URL}}, nil)
+	handler := router.Handler()
+
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code
+	}
+	if st := get("/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz: %d", st)
+	}
+	if st := get("/readyz"); st != http.StatusOK {
+		t.Fatalf("readyz: %d", st)
+	}
+
+	if st, _, body := routerSearch(t, handler, server.SearchRequest{Query: queries.Row(0), K: 5, NProbe: 3}); st != http.StatusOK {
+		t.Fatalf("search: %d (%s)", st, body)
+	}
+	if st, _, _ := routerSearch(t, handler, server.SearchRequest{Query: []float32{1, 2}, K: 5}); st != http.StatusBadRequest {
+		t.Fatalf("bad dim: status %d, want 400", st)
+	}
+	if st, _, _ := routerSearch(t, handler, server.SearchRequest{Query: queries.Row(0), K: 5, NProbe: 99}); st != http.StatusBadRequest {
+		t.Fatalf("bad nprobe: status %d, want 400", st)
+	}
+
+	var stats RouterStats
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries < 1 || stats.Rejected < 2 || len(stats.Shards) != 2 {
+		t.Fatalf("stats accounting off: %+v", stats)
+	}
+
+	router.BeginDrain()
+	if st := get("/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", st)
+	}
+	if st := get("/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200", st)
+	}
+}
+
+// TestExplicitCellsThroughRouter: a router accepts explicit cell lists
+// too (it is a drop-in superset of a node), groups them by shard and
+// still matches the single-node answer.
+func TestExplicitCellsThroughRouter(t *testing.T) {
+	full, queries := fullIndex(t)
+	a := shardServer(t, full, []int{0, 1, 2, 3})
+	b := shardServer(t, full, []int{4, 5, 6, 7})
+	router := newRouter(t, 8, [][]string{{a.URL}, {b.URL}}, nil)
+
+	q := queries.Row(3)
+	cells := []int{6, 1, 4} // crosses both shards, out of rank order
+	resp, err := router.Search(context.Background(), q, SearchOptions{K: 7, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Search(context.Background(), q, 7, pqfastscan.WithCells(cells...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(want.Results) {
+		t.Fatalf("%d results, want %d", len(resp.Results), len(want.Results))
+	}
+	for i, w := range want.Results {
+		if resp.Results[i].ID != w.ID || resp.Results[i].Distance != w.Distance {
+			t.Fatalf("rank %d: %+v, want %+v", i, resp.Results[i], w)
+		}
+	}
+	for i, c := range cells {
+		if resp.Partitions[i] != c {
+			t.Fatalf("probe list %v, want %v", resp.Partitions, cells)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Scatter-gather execution: per-shard sub-requests with failover and
+// hedging, and the deterministic cross-shard merge.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan/internal/server"
+	"pqfastscan/internal/topk"
+)
+
+// validationError marks a request rejected before any fanout — the
+// router's handler maps it to 400, everything else to 502.
+type validationError struct{ msg string }
+
+func (e *validationError) Error() string { return e.msg }
+
+func validationErrorf(format string, args ...any) error {
+	return &validationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// counter is a tiny named atomic for per-shard stats.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Load() int64 { return c.v.Load() }
+
+// atomicMeta publishes the fleet geometry: readers (every query) load
+// it lock-free; a fleet swap republishes it wholesale.
+type atomicMeta struct{ p atomic.Pointer[fleetMeta] }
+
+func (m *atomicMeta) load() *fleetMeta   { return m.p.Load() }
+func (m *atomicMeta) store(f *fleetMeta) { m.p.Store(f) }
+
+// SearchOptions parameterizes one routed query. Zero values select the
+// single-node defaults: K 10, NProbe 1, the engine's default kernel.
+type SearchOptions struct {
+	K      int
+	NProbe int
+	Cells  []int // explicit probe set; mutually exclusive with NProbe
+	Kernel string
+}
+
+// Search answers one query over the whole fleet: rank cells, fan the
+// probe set out to the owning shards, merge. The response has exactly
+// the shape and content a single node holding all cells would return.
+func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions) (*server.SearchResponse, error) {
+	meta := r.meta.load()
+	if len(query) != meta.dim {
+		return nil, validationErrorf("cluster: query dim %d != index dim %d", len(query), meta.dim)
+	}
+	if opt.K == 0 {
+		opt.K = 10
+	}
+	if opt.K < 0 || opt.K > r.cfg.MaxK {
+		return nil, validationErrorf("cluster: k must be in [1,%d]", r.cfg.MaxK)
+	}
+	if len(opt.Cells) > 0 {
+		if opt.NProbe != 0 {
+			return nil, validationErrorf("cluster: cells and nprobe are mutually exclusive")
+		}
+		seen := make(map[int]bool, len(opt.Cells))
+		for _, c := range opt.Cells {
+			if c < 0 || c >= meta.partitions {
+				return nil, validationErrorf("cluster: cell %d out of range [0,%d)", c, meta.partitions)
+			}
+			if seen[c] {
+				return nil, validationErrorf("cluster: cell %d listed twice", c)
+			}
+			seen[c] = true
+		}
+	} else {
+		if opt.NProbe == 0 {
+			opt.NProbe = 1
+		}
+		if opt.NProbe < 1 || opt.NProbe > meta.partitions {
+			return nil, validationErrorf("cluster: nprobe must be in [1,%d]", meta.partitions)
+		}
+	}
+
+	probe, byShard := r.probeSet(query, opt.NProbe, opt.Cells)
+	ids := shardIDs(byShard)
+
+	// Fan out. Every shard sub-request asks for the full k: the global
+	// top k can come entirely from one shard's cells, so nothing less is
+	// sound.
+	lists := make([][]topk.Result, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, si := range ids {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			resp, err := r.shardSearch(ctx, r.shards[si], server.SearchRequest{
+				Query:  query,
+				K:      opt.K,
+				Cells:  byShard[si],
+				Kernel: opt.Kernel,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d (cells %v): %w", si, byShard[si], err)
+				return
+			}
+			list := make([]topk.Result, len(resp.Results))
+			for j, n := range resp.Results {
+				list[j] = topk.Result{ID: n.ID, Distance: n.Distance}
+			}
+			lists[i] = list
+		}(i, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := topk.MergeResults(opt.K, lists...)
+	resp := &server.SearchResponse{
+		Results:    make([]server.SearchNeighbor, len(merged)),
+		Partitions: probe,
+	}
+	for i, m := range merged {
+		resp.Results[i] = server.SearchNeighbor{ID: m.ID, Distance: m.Distance}
+	}
+	return resp, nil
+}
+
+// shardSearch runs one shard sub-request with failover and hedging.
+// The primary is asked first; an error moves on to the next replica
+// immediately (failover), and a primary that is merely slow gets a
+// replica launched beside it after HedgeDelay (hedge) — first success
+// wins, the loser's response is discarded. The whole attempt shares one
+// ShardTimeout budget.
+func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRequest) (*server.SearchResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	start := time.Now()
+
+	type outcome struct {
+		resp *server.SearchResponse
+		err  error
+	}
+	results := make(chan outcome, len(sh.spec.Endpoints))
+	launched, failed := 0, 0
+	launch := func() {
+		ep := sh.spec.Endpoints[launched]
+		launched++
+		go func() {
+			var out server.SearchResponse
+			err := r.postJSON(ctx, ep+"/search", req, &out)
+			results <- outcome{&out, err}
+		}()
+	}
+	launch()
+
+	var hedge <-chan time.Time
+	if len(sh.spec.Endpoints) > 1 && r.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(r.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case o := <-results:
+			if o.err == nil {
+				sh.requests.Observe(time.Since(start))
+				return o.resp, nil
+			}
+			failed++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launched < len(sh.spec.Endpoints) {
+				sh.failovers.Add(1)
+				r.metrics.failovers.Add(1)
+				launch()
+			} else if failed == launched {
+				return nil, firstErr
+			}
+		case <-hedge:
+			hedge = nil
+			if launched < len(sh.spec.Endpoints) {
+				sh.hedges.Add(1)
+				r.metrics.hedges.Add(1)
+				launch()
+			}
+		case <-ctx.Done():
+			if firstErr != nil {
+				return nil, fmt.Errorf("%w (after %v)", firstErr, ctx.Err())
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// httpStatusError lets callers distinguish a shard that answered with
+// an HTTP error (carrying its status and body) from a transport error.
+type httpStatusError struct {
+	status int
+	body   string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.status, e.body)
+}
+
+// postJSON posts body to url and decodes a 200 reply into out.
+func (r *Router) postJSON(ctx context.Context, url string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.doJSON(req, out)
+}
+
+// getJSON fetches url and decodes a 200 reply into out.
+func (r *Router) getJSON(url string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return r.doJSON(req, out)
+}
+
+func (r *Router) doJSON(req *http.Request, out any) error {
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

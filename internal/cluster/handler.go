@@ -1,0 +1,187 @@
+// The router's own HTTP surface (cmd/pqrouter): the same /search,
+// /healthz, /readyz and /stats contract a single pqserve exposes —
+// clients cannot tell a router from a node — plus /swap, which here
+// means a fleet-wide two-phase swap.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan/internal/hist"
+	"pqfastscan/internal/server"
+)
+
+// routerMetrics aggregates the router's counters.
+type routerMetrics struct {
+	start     time.Time
+	queries   atomic.Int64
+	errors    atomic.Int64
+	rejected  atomic.Int64
+	lat       hist.Hist
+	failovers atomic.Int64
+	hedges    atomic.Int64
+	swaps     atomic.Int64
+}
+
+func newRouterMetrics() *routerMetrics { return &routerMetrics{start: time.Now()} }
+
+// ShardStats is one shard's row in /stats.
+type ShardStats struct {
+	Cells     string   `json:"cells"`
+	Endpoints []string `json:"endpoints"`
+	Requests  int64    `json:"requests"`
+	P50Ms     float64  `json:"p50_ms"`
+	P99Ms     float64  `json:"p99_ms"`
+	Failovers int64    `json:"failovers"`
+	Hedges    int64    `json:"hedges"`
+}
+
+// RouterStats is the /stats document of a router.
+type RouterStats struct {
+	UptimeS    float64      `json:"uptime_s"`
+	Partitions int          `json:"partitions"`
+	Queries    int64        `json:"queries"`
+	Errors     int64        `json:"errors"`
+	Rejected   int64        `json:"rejected"`
+	P50Ms      float64      `json:"p50_ms"`
+	P99Ms      float64      `json:"p99_ms"`
+	Failovers  int64        `json:"failovers"`
+	Hedges     int64        `json:"hedges"`
+	FleetSwaps int64        `json:"fleet_swaps"`
+	Shards     []ShardStats `json:"shards"`
+}
+
+// Stats assembles the current /stats document.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		UptimeS:    time.Since(r.metrics.start).Seconds(),
+		Partitions: r.Partitions(),
+		Queries:    r.metrics.queries.Load(),
+		Errors:     r.metrics.errors.Load(),
+		Rejected:   r.metrics.rejected.Load(),
+		P50Ms:      r.metrics.lat.QuantileMs(0.50),
+		P99Ms:      r.metrics.lat.QuantileMs(0.99),
+		Failovers:  r.metrics.failovers.Load(),
+		Hedges:     r.metrics.hedges.Load(),
+		FleetSwaps: r.metrics.swaps.Load(),
+	}
+	for _, sh := range r.shards {
+		st.Shards = append(st.Shards, ShardStats{
+			Cells:     fmt.Sprintf("%d-%d", sh.spec.Lo, sh.spec.Hi),
+			Endpoints: sh.spec.Endpoints,
+			Requests:  sh.requests.Count(),
+			P50Ms:     sh.requests.QuantileMs(0.50),
+			P99Ms:     sh.requests.QuantileMs(0.99),
+			Failovers: sh.failovers.Load(),
+			Hedges:    sh.hedges.Load(),
+		})
+	}
+	return st
+}
+
+// BeginDrain flips /readyz to 503 so load balancers steer new traffic
+// away while in-flight fanouts finish. The SIGTERM sequence of
+// pqrouter: BeginDrain, http.Server.Shutdown, exit.
+func (r *Router) BeginDrain() { r.draining.Store(true) }
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/search", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		start := time.Now()
+		r.metrics.queries.Add(1)
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		var sr server.SearchRequest
+		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+			r.metrics.rejected.Add(1)
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		resp, err := r.Search(req.Context(), sr.Query, SearchOptions{
+			K: sr.K, NProbe: sr.NProbe, Cells: sr.Cells, Kernel: sr.Kernel,
+		})
+		if err != nil {
+			// Validation failures are the client's; anything that made it
+			// to the fanout and failed there is the fleet's.
+			var ve *validationError
+			if errors.As(err, &ve) {
+				r.metrics.rejected.Add(1)
+				httpError(w, http.StatusBadRequest, err.Error())
+			} else {
+				r.metrics.errors.Add(1)
+				httpError(w, http.StatusBadGateway, err.Error())
+			}
+			return
+		}
+		r.metrics.lat.Observe(time.Since(start))
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"role":     "router",
+			"shards":   len(r.shards),
+			"uptime_s": time.Since(r.metrics.start).Seconds(),
+		})
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		if r.draining.Load() {
+			httpError(w, http.StatusServiceUnavailable, "draining: shutdown in progress")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Stats())
+	})
+
+	mux.HandleFunc("/swap", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		var sr server.SwapRequest
+		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		result, err := r.SwapAll(req.Context(), sr.Path)
+		if err != nil {
+			status := http.StatusBadGateway
+			if result == nil {
+				status = http.StatusBadRequest
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "detail": result})
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,154 @@
+// Fleet-wide two-phase snapshot swap. The slow phase (every endpoint
+// loads and validates the snapshot) runs everywhere before the fast
+// phase (every endpoint's atomic pointer swap) starts anywhere, so the
+// fleet's epoch skew is bounded by commit-RPC latency, not load time —
+// and a snapshot that any endpoint cannot serve is rejected before
+// anything observable changed.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"pqfastscan/internal/server"
+)
+
+// EndpointSwap reports one endpoint's part in a fleet swap.
+type EndpointSwap struct {
+	Endpoint  string `json:"endpoint"`
+	Prepared  bool   `json:"prepared"`
+	Committed bool   `json:"committed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// FleetSwapResult reports a whole fleet swap.
+type FleetSwapResult struct {
+	Committed bool           `json:"committed"`
+	Path      string         `json:"path"`
+	Endpoints []EndpointSwap `json:"endpoints"`
+}
+
+// endpoints lists every endpoint in the fleet — primaries and replicas
+// of every shard — each exactly once, in shard order. Replicas serve
+// reads during failover and hedging, so they swap with the fleet; a
+// replica left on the old snapshot would leak stale results into
+// merges.
+func (r *Router) endpoints() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, sh := range r.shards {
+		for _, ep := range sh.spec.Endpoints {
+			if !seen[ep] {
+				seen[ep] = true
+				out = append(out, ep)
+			}
+		}
+	}
+	return out
+}
+
+// SwapAll replaces the snapshot on every endpoint of the fleet with the
+// two-phase protocol: prepare everywhere, then — only if every prepare
+// succeeded — commit everywhere. Any prepare failure aborts the staged
+// snapshot on every endpoint and returns an error with nothing changed.
+// After a successful commit the router refetches /meta, because a
+// compatible snapshot may still carry different coarse centroids.
+//
+// Traffic keeps flowing throughout: prepare changes nothing a query can
+// see, and each commit is one atomic pointer swap on its shard —
+// in-flight scans drain on the snapshot they started on.
+func (r *Router) SwapAll(ctx context.Context, path string) (*FleetSwapResult, error) {
+	if strings.TrimSpace(path) == "" {
+		return nil, fmt.Errorf("cluster: swap path must be non-empty")
+	}
+	eps := r.endpoints()
+	result := &FleetSwapResult{Path: path, Endpoints: make([]EndpointSwap, len(eps))}
+	for i, ep := range eps {
+		result.Endpoints[i].Endpoint = ep
+	}
+
+	// Phase 1: prepare everywhere, in parallel — the loads are the slow
+	// part and they are independent.
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			var prep server.PrepareResponse
+			err := r.postJSON(ctx, ep+"/swap/prepare", server.SwapRequest{Path: path}, &prep)
+			if err != nil {
+				result.Endpoints[i].Error = err.Error()
+				return
+			}
+			result.Endpoints[i].Prepared = true
+		}(i, ep)
+	}
+	wg.Wait()
+
+	var failures []string
+	for _, es := range result.Endpoints {
+		if !es.Prepared {
+			failures = append(failures, fmt.Sprintf("%s: %s", es.Endpoint, es.Error))
+		}
+	}
+	if len(failures) > 0 {
+		// Roll back: discard whatever was staged on the endpoints that
+		// did prepare. Abort is idempotent, so asking everyone is fine.
+		for _, ep := range eps {
+			wg.Add(1)
+			go func(ep string) {
+				defer wg.Done()
+				_ = r.postJSON(ctx, ep+"/swap/abort", struct{}{}, nil)
+			}(ep)
+		}
+		wg.Wait()
+		r.cfg.Logf("cluster: fleet swap of %s aborted: %s", path, strings.Join(failures, "; "))
+		return result, fmt.Errorf("cluster: prepare failed on %d/%d endpoints, fleet swap aborted: %s",
+			len(failures), len(eps), strings.Join(failures, "; "))
+	}
+
+	// Phase 2: commit everywhere. Each commit is microseconds on the
+	// shard; running them in parallel keeps the fleet's mixed-epoch
+	// window to one RPC round trip.
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			var com server.CommitResponse
+			err := r.postJSON(ctx, ep+"/swap/commit", struct{}{}, &com)
+			if err != nil {
+				result.Endpoints[i].Error = err.Error()
+				return
+			}
+			result.Endpoints[i].Committed = true
+		}(i, ep)
+	}
+	wg.Wait()
+
+	var commitFailures []string
+	for _, es := range result.Endpoints {
+		if !es.Committed {
+			commitFailures = append(commitFailures, fmt.Sprintf("%s: %s", es.Endpoint, es.Error))
+		}
+	}
+	if len(commitFailures) > 0 {
+		// Prepare validated compatibility on every endpoint, so a failed
+		// commit means an endpoint died (or a conflicting direct /swap
+		// raced us) between the phases. There is no rolling back the
+		// endpoints that committed; surface the split for the operator.
+		return result, fmt.Errorf("cluster: commit failed on %d/%d endpoints — fleet is split across epochs: %s",
+			len(commitFailures), len(eps), strings.Join(commitFailures, "; "))
+	}
+
+	result.Committed = true
+	r.metrics.swaps.Add(1)
+	if err := r.refreshMeta(); err != nil {
+		// The swap itself succeeded; stale centroids would break ranking
+		// determinism, so report it loudly.
+		return result, fmt.Errorf("cluster: fleet swap committed but meta refresh failed: %w", err)
+	}
+	r.cfg.Logf("cluster: fleet swapped to %s on %d endpoints", path, len(eps))
+	return result, nil
+}

@@ -342,6 +342,43 @@ func Restore(dim int, coarse vec.Matrix, pq *quantizer.ProductQuantizer, parts [
 	return ix
 }
 
+// RestrictCells returns a new index over the same trained quantizers
+// serving only the listed coarse cells: kept partitions share their
+// sealed data with the receiver's current snapshot, every other cell
+// becomes empty. The cell count, centroids and id allocator are
+// unchanged, so cell numbering — and therefore routing, Tables and
+// distances — stays global: a shard holding cells {2,5} of an 8-cell
+// index answers exactly what a full index answers for those cells.
+// This is the in-process counterpart of persist.LoadIndexCells, used
+// by pqserve -cells over -synthetic builds and by cluster benchmarks.
+func (ix *Index) RestrictCells(cells []int) (*Index, error) {
+	s := ix.snap.Load()
+	keep := make([]bool, len(s.Parts))
+	for _, c := range cells {
+		if c < 0 || c >= len(s.Parts) {
+			return nil, fmt.Errorf("index: cell %d out of range [0,%d)", c, len(s.Parts))
+		}
+		keep[c] = true
+	}
+	parts := make([]*scan.Partition, len(s.Parts))
+	for i, pe := range s.Parts {
+		if keep[i] {
+			parts[i] = pe.Part
+		} else {
+			parts[i] = scan.NewPartitionW(nil, nil, ix.PQ.M)
+		}
+	}
+	out := &Index{
+		Dim:    ix.Dim,
+		Coarse: ix.Coarse,
+		PQ:     ix.PQ,
+		opt:    ix.opt,
+	}
+	out.install(parts)
+	out.nextID.Store(ix.nextID.Load())
+	return out, nil
+}
+
 // PartitionSizes returns the vector count of every partition (Table 3).
 func (ix *Index) PartitionSizes() []int {
 	s := ix.snap.Load()

@@ -24,6 +24,11 @@ import (
 // Backend selects the native engine's block-kernel implementation; the
 // zero value BackendAuto defers to startup feature detection. It is
 // rejected when combined with the model engine, which has no backends.
+// Cells, when non-empty, bypasses coarse routing entirely and scans
+// exactly the listed cells in order — the shard-side half of
+// scatter-gather serving (internal/cluster): the router runs step 1 of
+// Algorithm 1 once, fleet-wide, and tells each shard which of its cells
+// to scan. Cells is mutually exclusive with NProbe.
 type Request struct {
 	Query    []float32
 	K        int
@@ -31,6 +36,7 @@ type Request struct {
 	Engine   Engine
 	Backend  Backend
 	NProbe   int
+	Cells    []int
 	Parallel bool
 }
 
@@ -53,6 +59,21 @@ func (ix *Index) validate(s *Snapshot, req Request) error {
 	}
 	if req.NProbe < 0 || req.NProbe > len(s.Parts) {
 		return fmt.Errorf("index: nprobe %d out of range [1,%d]", req.NProbe, len(s.Parts))
+	}
+	if len(req.Cells) > 0 {
+		if req.NProbe > 1 {
+			return fmt.Errorf("index: explicit cells and nprobe %d are mutually exclusive", req.NProbe)
+		}
+		seen := make(map[int]bool, len(req.Cells))
+		for _, c := range req.Cells {
+			if c < 0 || c >= len(s.Parts) {
+				return fmt.Errorf("index: cell %d out of range [0,%d)", c, len(s.Parts))
+			}
+			if seen[c] {
+				return fmt.Errorf("index: cell %d listed twice", c)
+			}
+			seen[c] = true
+		}
 	}
 	if req.Engine != EngineModel && req.Engine != EngineNative {
 		return fmt.Errorf("index: unknown engine %v", req.Engine)
@@ -97,6 +118,18 @@ func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Resp
 		return nil, err
 	}
 
+	// Explicit cell lists skip routing entirely: the caller (a cluster
+	// router, or a test pinning a scan) already decided which cells
+	// matter. Scanned in the given order; results are identical to a
+	// multi-probe scan visiting the same set because the bounded heap's
+	// retained set is order-independent.
+	if len(req.Cells) > 0 {
+		if req.Parallel {
+			return ix.queryParallel(ctx, s, req, req.Cells)
+		}
+		return ix.queryCells(ctx, s, req, req.Cells)
+	}
+
 	if nprobe == 1 {
 		part := ix.RoutePartition(req.Query)
 		res, stats, err := ix.searchPartition(s, req, part)
@@ -107,32 +140,27 @@ func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Resp
 	}
 
 	// Multi-probe: visit the nprobe cells closest to the query and merge
-	// their neighbors.
-	type cell struct {
-		id int
-		d  float32
-	}
-	cells := make([]cell, len(s.Parts))
-	for i := range s.Parts {
-		cells[i] = cell{id: i, d: vec.L2Squared(req.Query, ix.Coarse.Row(i))}
-	}
-	sort.Slice(cells, func(a, b int) bool { return cells[a].d < cells[b].d })
-
+	// their neighbors. RankCells breaks coarse-distance ties by cell id,
+	// so the probed set is reproducible — and matches what a cluster
+	// router ranking the same centroids independently would select.
+	ids := RankCells(req.Query, ix.Coarse)[:nprobe]
 	if req.Parallel {
-		ids := make([]int, nprobe)
-		for i, c := range cells[:nprobe] {
-			ids[i] = c.id
-		}
 		return ix.queryParallel(ctx, s, req, ids)
 	}
+	return ix.queryCells(ctx, s, req, ids)
+}
 
+// queryCells scans the given cells sequentially and merges their
+// neighbors — the shared tail of the multi-probe and explicit-cells
+// paths.
+func (ix *Index) queryCells(ctx context.Context, s *Snapshot, req Request, cellIDs []int) (*Response, error) {
 	heap := topk.New(req.K)
-	resp := &Response{Partitions: make([]int, 0, nprobe)}
-	for _, c := range cells[:nprobe] {
+	resp := &Response{Partitions: make([]int, 0, len(cellIDs))}
+	for _, c := range cellIDs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, st, err := ix.searchPartition(s, req, c.id)
+		res, st, err := ix.searchPartition(s, req, c)
 		if err != nil {
 			return nil, err
 		}
@@ -140,10 +168,40 @@ func (ix *Index) querySnap(ctx context.Context, s *Snapshot, req Request) (*Resp
 			heap.Push(r.ID, r.Distance)
 		}
 		resp.Stats.Merge(st)
-		resp.Partitions = append(resp.Partitions, c.id)
+		resp.Partitions = append(resp.Partitions, c)
 	}
 	resp.Results = heap.Results()
 	return resp, nil
+}
+
+// RankCells orders every cell id by ascending coarse distance between
+// the query and coarse's rows (ties by cell id) — step 1 of Algorithm 1
+// as a standalone function. It is the one routing order in the system:
+// Query's multi-probe path and the scatter-gather cluster router
+// (internal/cluster) both rank with it, which is what lets a router
+// that only holds the coarse centroids pick the exact probe set a
+// single-node multi-probe query would, ties included.
+func RankCells(query []float32, coarse vec.Matrix) []int {
+	n := coarse.Rows()
+	type cell struct {
+		id int
+		d  float32
+	}
+	cells := make([]cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = cell{id: i, d: vec.L2Squared(query, coarse.Row(i))}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].d != cells[b].d {
+			return cells[a].d < cells[b].d
+		}
+		return cells[a].id < cells[b].id
+	})
+	out := make([]int, n)
+	for i, c := range cells {
+		out[i] = c.id
+	}
+	return out
 }
 
 // queryParallel scans the probed cells of one query concurrently — the

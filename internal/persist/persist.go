@@ -219,6 +219,19 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // ReadIndex deserializes an index written by WriteIndex or WriteIndexV1:
 // the reader is backward compatible with every format version to date.
 func ReadIndex(r io.Reader) (*index.Index, error) {
+	return ReadIndexCells(r, nil)
+}
+
+// ReadIndexCells is ReadIndex restricted to a subset of coarse cells —
+// the shard-side load path of scatter-gather cluster serving. A nil
+// keep loads everything; otherwise partitions whose cell id is not in
+// keep are decoded and discarded, leaving empty partitions in their
+// slots. Cell count, centroids, quantizers and the id allocator are
+// identical to a full load, so cell numbering stays global: a shard
+// holding cells {2,5} of an 8-cell index computes the same residual
+// tables and distances for those cells as a full single-node load.
+// The trailing CRC still covers the whole file, skipped cells included.
+func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magicPrefix)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -283,6 +296,16 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		return nil, fmt.Errorf("persist: inconsistent header (dim=%d partitions=%d m=%d bits=%d subdim=%d)",
 			dim, partitions, m, bits, subdim)
 	}
+	var keepSet map[int]bool
+	if keep != nil {
+		keepSet = make(map[int]bool, len(keep))
+		for _, c := range keep {
+			if c < 0 || c >= partitions {
+				return nil, fmt.Errorf("persist: kept cell %d out of range [0,%d)", c, partitions)
+			}
+			keepSet[c] = true
+		}
+	}
 	cfg := quantizer.Config{M: m, Bits: bits}
 	pq := &quantizer.ProductQuantizer{
 		Config:    cfg,
@@ -345,11 +368,28 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		if _, err := io.ReadFull(cr, idBuf); err != nil {
 			return nil, fmt.Errorf("persist: reading partition %d ids: %w", pi, err)
 		}
-		ids := make([]int64, n)
-		for i := range ids {
-			ids[i] = int64(le.Uint64(idBuf[8*i:]))
+		if version < version2 {
+			// No stored allocator: recompute it here, over every cell's
+			// ids — a subset load must not hand out ids that live in a
+			// cell it skipped.
+			for i := 0; i < n; i++ {
+				if id := int64(le.Uint64(idBuf[8*i:])); id >= nextID {
+					nextID = id + 1
+				}
+			}
 		}
-		parts[pi] = scan.NewPartitionW(codes, ids, m)
+		kept := keepSet == nil || keepSet[pi]
+		if kept {
+			ids := make([]int64, n)
+			for i := range ids {
+				ids[i] = int64(le.Uint64(idBuf[8*i:]))
+			}
+			parts[pi] = scan.NewPartitionW(codes, ids, m)
+		} else {
+			// Skipped cell: the bytes were still read (the CRC covers
+			// them), but the slot holds an empty partition.
+			parts[pi] = scan.NewPartitionW(nil, nil, m)
+		}
 		if version >= version2 {
 			nDead, err := readU32()
 			if err != nil {
@@ -362,11 +402,13 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 			if _, err := io.ReadFull(cr, deadBuf); err != nil {
 				return nil, fmt.Errorf("persist: reading partition %d tombstones: %w", pi, err)
 			}
-			dead := make([]int64, nDead)
-			for i := range dead {
-				dead[i] = int64(le.Uint64(deadBuf[8*i:]))
+			if kept {
+				dead := make([]int64, nDead)
+				for i := range dead {
+					dead[i] = int64(le.Uint64(deadBuf[8*i:]))
+				}
+				parts[pi].RestoreDead(dead)
 			}
-			parts[pi].RestoreDead(dead)
 		}
 	}
 
@@ -404,12 +446,18 @@ func SaveIndex(path string, ix *index.Index) error {
 
 // LoadIndex reads an index from path.
 func LoadIndex(path string) (*index.Index, error) {
+	return LoadIndexCells(path, nil)
+}
+
+// LoadIndexCells reads an index from path keeping only the listed
+// coarse cells (nil keeps all) — see ReadIndexCells.
+func LoadIndexCells(path string, keep []int) (*index.Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening index: %w", err)
 	}
 	defer f.Close()
-	return ReadIndex(f)
+	return ReadIndexCells(f, keep)
 }
 
 func dirOf(path string) string {

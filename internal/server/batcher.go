@@ -19,6 +19,8 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,16 +32,42 @@ var errClosed = errors.New("server: shutting down")
 
 // batchKey identifies searches that may share one SearchBatch call.
 // Fields are the normalized search parameters (defaults applied), so two
-// requests spelling the default differently still coalesce.
+// requests spelling the default differently still coalesce. cells is
+// the canonical explicit-cell list ("" when the request routes through
+// the coarse quantizer): router sub-requests for the same cell set —
+// the common case under scatter-gather fanout, where a hot query
+// population probes the same top cells — coalesce exactly like
+// same-nprobe client requests do.
 type batchKey struct {
 	k      int
 	nprobe int
 	kernel pqfastscan.Kernel
+	cells  string
+}
+
+// cellsKey canonicalizes an explicit cell list for batch grouping. The
+// scan visits cells in the given order, so order is part of the key —
+// two requests probing the same set in a different order return the
+// same results but are not coalesced (routers emit a deterministic
+// order, so this does not cost coalescing in practice).
+func cellsKey(cells []int) string {
+	if len(cells) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
 }
 
 // searchJob is one /search request in flight through the batcher.
 type searchJob struct {
 	key   batchKey
+	cells []int
 	query []float32
 	resp  *pqfastscan.SearchResult
 	err   error
@@ -199,8 +227,15 @@ func (b *batcher) execute(key batchKey, group []*searchJob) {
 		copy(queries.Row(i), j.query)
 	}
 	b.metrics.observeBatch(len(group))
-	resps, err := b.idx.SearchBatch(ctx, queries, key.k,
-		pqfastscan.WithKernel(key.kernel), pqfastscan.WithNProbe(key.nprobe))
+	opts := []pqfastscan.SearchOption{pqfastscan.WithKernel(key.kernel)}
+	if len(group[0].cells) > 0 {
+		// All jobs in a group share the same canonical cell list (it is
+		// part of the batch key), so the first job's slice speaks for all.
+		opts = append(opts, pqfastscan.WithCells(group[0].cells...))
+	} else {
+		opts = append(opts, pqfastscan.WithNProbe(key.nprobe))
+	}
+	resps, err := b.idx.SearchBatch(ctx, queries, key.k, opts...)
 	for i, j := range group {
 		if err != nil {
 			j.err = err

@@ -5,88 +5,22 @@ import (
 	"time"
 
 	"pqfastscan"
+	"pqfastscan/internal/hist"
 )
 
 // Observability is lock-free: every counter is an atomic, so recording a
 // sample from a request goroutine never contends with another request or
-// with a /stats read. Latencies go into fixed-bound geometric histograms
-// (1µs doubling up to ~16s) whose quantiles are answered from cumulative
-// bucket counts; the error of a reported quantile is bounded by one
-// bucket width (a factor of 2), which is the right fidelity for p50/p99
-// dashboards at zero steady-state allocation.
-
-// latBuckets is the number of geometric latency buckets. Bucket i counts
-// samples in [2^i µs, 2^(i+1) µs); the last bucket absorbs everything
-// slower.
-const latBuckets = 25
-
-// histogram is a concurrent geometric latency histogram.
-type histogram struct {
-	counts [latBuckets]atomic.Int64
-	count  atomic.Int64
-	sumNs  atomic.Int64
-	maxNs  atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	b := 0
-	for us := ns / 1e3; us > 1 && b < latBuckets-1; us >>= 1 {
-		b++
-	}
-	h.counts[b].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(ns)
-	for {
-		cur := h.maxNs.Load()
-		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
-}
-
-// quantileMs returns the q-quantile (0 < q <= 1) in milliseconds as the
-// upper bound of the bucket holding it, clamped to the observed maximum.
-func (h *histogram) quantileMs(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i := 0; i < latBuckets; i++ {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			upperNs := float64(int64(1)<<uint(i+1)) * 1e3
-			if maxNs := float64(h.maxNs.Load()); upperNs > maxNs {
-				upperNs = maxNs
-			}
-			return upperNs / 1e6
-		}
-	}
-	return float64(h.maxNs.Load()) / 1e6
-}
-
-func (h *histogram) meanMs() float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return float64(h.sumNs.Load()) / float64(n) / 1e6
-}
+// with a /stats read. Latencies go into the shared geometric histograms
+// of internal/hist (1µs doubling buckets, quantile error bounded by one
+// bucket width — the right fidelity for p50/p99 dashboards at zero
+// steady-state allocation).
 
 // endpointMetrics aggregates one HTTP endpoint.
 type endpointMetrics struct {
 	requests atomic.Int64 // all requests, including rejected ones
 	errors   atomic.Int64 // responses with status >= 500
 	rejected atomic.Int64 // responses with status in [400, 500)
-	lat      histogram
+	lat      hist.Hist
 }
 
 // EndpointStats is the /stats projection of one endpoint.
@@ -105,10 +39,10 @@ func (m *endpointMetrics) stats() EndpointStats {
 		Requests: m.requests.Load(),
 		Errors:   m.errors.Load(),
 		Rejected: m.rejected.Load(),
-		P50Ms:    m.lat.quantileMs(0.50),
-		P99Ms:    m.lat.quantileMs(0.99),
-		MeanMs:   m.lat.meanMs(),
-		MaxMs:    float64(m.lat.maxNs.Load()) / 1e6,
+		P50Ms:    m.lat.QuantileMs(0.50),
+		P99Ms:    m.lat.QuantileMs(0.99),
+		MeanMs:   m.lat.MeanMs(),
+		MaxMs:    m.lat.MaxMs(),
 	}
 }
 

@@ -26,18 +26,39 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pqfastscan"
 )
 
 // Config configures a Server. The zero value of every tuning field
-// selects a sensible default; only Index is required.
+// selects a sensible default; exactly one of Index and Load is
+// required.
 type Config struct {
 	// Index is the serving snapshot holder. The server retains this
 	// exact handle and re-points it on /swap, so the caller can share it
 	// (e.g. for out-of-band mutation).
 	Index *pqfastscan.Index
+
+	// Load, when set instead of Index, defers the index load: New
+	// returns immediately with the server in warming state (/readyz
+	// 503, data endpoints 503, /healthz alive) and runs Load on a
+	// background goroutine; the server becomes ready when it returns.
+	// This is what lets a shard expose liveness and readiness probes
+	// while a large index file is still streaming in, so a cluster
+	// router (or a k8s-style deployment) routes around the warming
+	// process instead of timing out on it.
+	Load func() (*pqfastscan.Index, error)
+
+	// Cells, when non-nil, declares the IVF cells this server is
+	// responsible for — the shard assignment of cluster serving. It is
+	// reported on /meta and applied to every snapshot load the server
+	// performs itself (/swap and /swap/prepare load only these cells
+	// via LoadIndexCells). It does not restrict queries: cell numbering
+	// is global, and a scan of a cell the shard does not hold simply
+	// finds an empty partition.
+	Cells []int
 
 	// BatchWindow is the longest a /search request waits for companions
 	// to coalesce with (default 1ms). Zero selects the default; negative
@@ -121,17 +142,39 @@ func (c Config) withDefaults() Config {
 
 // endpoints instrumented in /stats, in display order.
 var endpointNames = []string{
-	"/search", "/add", "/delete", "/healthz", "/stats", "/swap", "/save", "/compact",
+	"/search", "/add", "/delete", "/healthz", "/readyz", "/meta", "/stats",
+	"/swap", "/swap/prepare", "/swap/commit", "/swap/abort", "/save", "/compact",
 }
 
 // Server serves a pqfastscan index over HTTP. Create with New, mount
 // Handler on an http.Server, and Close when done.
 type Server struct {
 	cfg     Config
-	idx     *pqfastscan.Index
-	batch   *batcher
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// idx and batch are nil until the (possibly deferred) index load
+	// installs them; every data endpoint checks ready() first, so the
+	// nil window is only observable as 503 warming responses.
+	idx   atomic.Pointer[pqfastscan.Index]
+	batch atomic.Pointer[batcher]
+
+	// warming is true from New until the index is installed; loadErr
+	// carries a failed deferred load's message for /readyz.
+	warming atomic.Bool
+	loadErr atomic.Pointer[string]
+	// draining is set by Close (and BeginDrain) so readiness probes and
+	// routers steer new traffic away while in-flight work finishes.
+	draining atomic.Bool
+
+	// Two-phase snapshot swap state (DESIGN.md §13): /swap/prepare
+	// stages a loaded-and-validated index without serving it,
+	// /swap/commit publishes it atomically, /swap/abort discards it.
+	// preparing counts in-flight prepare loads for /readyz.
+	stagedMu   sync.Mutex
+	staged     *pqfastscan.Index
+	stagedPath string
+	preparing  atomic.Int32
 
 	sem chan struct{} // admission tokens; len(sem) = in-flight
 
@@ -150,31 +193,55 @@ type Server struct {
 	bg        sync.WaitGroup
 }
 
-// New builds a Server around cfg.Index.
+// New builds a Server around cfg.Index, or — when cfg.Load is set —
+// around a deferred index load that completes in the background while
+// the server is already answering liveness probes.
 func New(cfg Config) (*Server, error) {
-	if cfg.Index == nil {
-		return nil, errors.New("server: Config.Index is required")
+	if (cfg.Index == nil) == (cfg.Load == nil) {
+		return nil, errors.New("server: exactly one of Config.Index and Config.Load is required")
 	}
 	cfg = cfg.withDefaults()
 	m := newMetrics(endpointNames)
 	s := &Server{
 		cfg:     cfg,
-		idx:     cfg.Index,
 		metrics: m,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		quit:    make(chan struct{}),
 	}
-	s.batch = newBatcher(s.idx, cfg.BatchWindow, cfg.MaxBatch, cfg.SearchTimeout, m)
+	s.warming.Store(true)
 
 	s.mux = http.NewServeMux()
 	s.handle("/search", http.MethodPost, s.handleSearch)
 	s.handle("/add", http.MethodPost, s.handleAdd)
 	s.handle("/delete", http.MethodPost, s.handleDelete)
 	s.handle("/healthz", http.MethodGet, s.handleHealthz)
+	s.handle("/readyz", http.MethodGet, s.handleReadyz)
+	s.handle("/meta", http.MethodGet, s.handleMeta)
 	s.handle("/stats", http.MethodGet, s.handleStats)
 	s.handle("/swap", http.MethodPost, s.handleSwap)
+	s.handle("/swap/prepare", http.MethodPost, s.handleSwapPrepare)
+	s.handle("/swap/commit", http.MethodPost, s.handleSwapCommit)
+	s.handle("/swap/abort", http.MethodPost, s.handleSwapAbort)
 	s.handle("/save", http.MethodPost, s.handleSave)
 	s.handle("/compact", http.MethodPost, s.handleCompact)
+
+	if cfg.Index != nil {
+		s.install(cfg.Index)
+	} else {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			idx, err := cfg.Load()
+			if err != nil {
+				msg := err.Error()
+				s.loadErr.Store(&msg)
+				s.cfg.Logf("server: deferred index load failed: %v", err)
+				return
+			}
+			s.install(idx)
+			s.cfg.Logf("server: index loaded, serving %d live vectors", idx.Live())
+		}()
+	}
 
 	if cfg.SaveInterval > 0 && cfg.SnapshotPath != "" {
 		s.bg.Add(1)
@@ -187,20 +254,65 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// install publishes the loaded index and its batcher and flips the
+// server ready. The batcher is stored before the index: handlers gate
+// on the index pointer (requireIndex), so observing it non-nil
+// guarantees the batcher is there too.
+func (s *Server) install(idx *pqfastscan.Index) {
+	s.batch.Store(newBatcher(idx, s.cfg.BatchWindow, s.cfg.MaxBatch, s.cfg.SearchTimeout, s.metrics))
+	s.idx.Store(idx)
+	s.warming.Store(false)
+}
+
+// requireIndex returns the serving index, or answers 503 and returns
+// nil while a deferred load is still warming (or has failed). Every
+// data endpoint calls it first, so the nil-index window of a deferred
+// load is observable only as a not-ready response, never a crash.
+func (s *Server) requireIndex(w http.ResponseWriter) *pqfastscan.Index {
+	if idx := s.idx.Load(); idx != nil {
+		return idx
+	}
+	msg := "warming up: index load in progress"
+	if e := s.loadErr.Load(); e != nil {
+		msg = "index load failed: " + *e
+	}
+	httpError(w, http.StatusServiceUnavailable, msg)
+	return nil
+}
+
+// ready reports whether the index is installed and data endpoints can
+// serve. Draining servers stay "ready" for in-flight semantics — the
+// readiness probe is what goes negative, steering new traffic away.
+func (s *Server) ready() bool { return !s.warming.Load() }
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Index returns the serving snapshot holder.
-func (s *Server) Index() *pqfastscan.Index { return s.idx }
+// Index returns the serving snapshot holder (nil while a deferred load
+// is still warming).
+func (s *Server) Index() *pqfastscan.Index { return s.idx.Load() }
+
+// BeginDrain marks the server not-ready without stopping it: /readyz
+// turns 503 so probes and routers steer new traffic away, while
+// everything already in flight (and still arriving) is served normally.
+// Deployments call it on SIGTERM, then shut the HTTP listener down,
+// then Close.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Close stops the batcher (after serving everything already admitted)
-// and the background saver. It does not close HTTP listeners; that is
+// and the background loops. It does not close HTTP listeners; that is
 // the owning http.Server's job.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
 		close(s.quit)
-		s.batch.close()
+		// The deferred load goroutine (if any) is part of bg and may
+		// still install the batcher; wait for it before closing, so the
+		// batcher cannot be created after its close.
 		s.bg.Wait()
+		if b := s.batch.Load(); b != nil {
+			b.close()
+		}
 	})
 	return nil
 }
@@ -223,7 +335,7 @@ func (s *Server) handle(path, method string, h func(http.ResponseWriter, *http.R
 			}
 			h(sw, r)
 		}
-		em.lat.observe(time.Since(start))
+		em.lat.Observe(time.Since(start))
 		switch {
 		case sw.status >= 500:
 			em.errors.Add(1)
@@ -298,11 +410,15 @@ func (s *Server) release() { <-s.sem }
 // --- /search -----------------------------------------------------------
 
 // SearchRequest is the /search body. K defaults to 10, NProbe to 1 and
-// Kernel to the engine default (PQ Fast Scan) when omitted.
+// Kernel to the engine default (PQ Fast Scan) when omitted. Cells, when
+// present, scans exactly those IVF cells instead of routing through the
+// coarse quantizer — the sub-request shape a cluster router sends to
+// its shards (nprobe must then be omitted).
 type SearchRequest struct {
 	Query  []float32 `json:"query"`
 	K      int       `json:"k"`
 	NProbe int       `json:"nprobe,omitempty"`
+	Cells  []int     `json:"cells,omitempty"`
 	Kernel string    `json:"kernel,omitempty"`
 }
 
@@ -319,6 +435,10 @@ type SearchResponse struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -331,16 +451,36 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d]", s.cfg.MaxK))
 		return
 	}
-	if req.NProbe == 0 {
-		req.NProbe = 1
-	}
-	if dim := s.idx.Dim(); len(req.Query) != dim {
+	if dim := idx.Dim(); len(req.Query) != dim {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("query dim %d != index dim %d", len(req.Query), dim))
 		return
 	}
-	if np := s.idx.Partitions(); req.NProbe < 1 || req.NProbe > np {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("nprobe must be in [1,%d]", np))
-		return
+	np := idx.Partitions()
+	if len(req.Cells) > 0 {
+		if req.NProbe != 0 {
+			httpError(w, http.StatusBadRequest, "cells and nprobe are mutually exclusive")
+			return
+		}
+		seen := make(map[int]bool, len(req.Cells))
+		for _, c := range req.Cells {
+			if c < 0 || c >= np {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("cell %d out of range [0,%d)", c, np))
+				return
+			}
+			if seen[c] {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("cell %d listed twice", c))
+				return
+			}
+			seen[c] = true
+		}
+	} else {
+		if req.NProbe == 0 {
+			req.NProbe = 1
+		}
+		if req.NProbe < 1 || req.NProbe > np {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("nprobe must be in [1,%d]", np))
+			return
+		}
 	}
 	kernel := pqfastscan.KernelFastScan
 	if req.Kernel != "" {
@@ -371,11 +511,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	job := &searchJob{
-		key:   batchKey{k: req.K, nprobe: req.NProbe, kernel: kernel},
+		key:   batchKey{k: req.K, nprobe: req.NProbe, kernel: kernel, cells: cellsKey(req.Cells)},
+		cells: req.Cells,
 		query: req.Query,
 		done:  make(chan struct{}),
 	}
-	if err := s.batch.submit(job); err != nil {
+	if err := s.batch.Load().submit(job); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -410,6 +551,10 @@ type AddResponse struct {
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
 	var req AddRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -419,7 +564,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "vectors must be non-empty")
 		return
 	}
-	dim := s.idx.Dim()
+	dim := idx.Dim()
 	m := pqfastscan.NewMatrix(len(req.Vectors), dim)
 	for i, v := range req.Vectors {
 		if len(v) != dim {
@@ -431,7 +576,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	// Shared side of swapMu: concurrent adds proceed together (the index
 	// write lock orders them), but never interleave with a /swap.
 	s.swapMu.RLock()
-	ids, err := s.idx.AddBatch(m)
+	ids, err := idx.AddBatch(m)
 	s.swapMu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -453,13 +598,17 @@ type DeleteResponse struct {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
 	var req DeleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	s.swapMu.RLock()
-	err := s.idx.Delete(req.ID)
+	err := idx.Delete(req.ID)
 	s.swapMu.RUnlock()
 	if errors.Is(err, pqfastscan.ErrNotFound) {
 		httpError(w, http.StatusNotFound, err.Error())
@@ -472,17 +621,86 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true})
 }
 
-// --- /healthz, /stats --------------------------------------------------
+// --- /healthz, /readyz, /meta, /stats ----------------------------------
 
+// handleHealthz is the liveness probe: it answers 200 whenever the
+// process is up — including while the index is still loading, while a
+// swap-prepare is staging, and while the server drains for shutdown. A
+// supervisor restarting on liveness failures must never kill a process
+// that is merely warming or draining; that is what /readyz signals.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// The scan backend is surfaced here (not only on /stats) so
 	// deployment probes can verify a host is actually running the
 	// assembly kernels and not a silent SWAR fallback.
+	live := 0
+	if idx := s.idx.Load(); idx != nil {
+		live = idx.Live()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"live":     s.idx.Live(),
+		"live":     live,
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 		"backend":  pqfastscan.ActiveBackend().String(),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only when the server wants
+// new traffic. It goes 503 (with a reason) while the initial index load
+// is in progress or has failed, while a /swap/prepare is loading and
+// validating a snapshot, and from the moment a drain begins — so
+// routers and deployment probes steer requests elsewhere during exactly
+// the windows where this process would serve them slowly or not at all.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		httpError(w, http.StatusServiceUnavailable, "draining: shutdown in progress")
+	case s.warming.Load():
+		msg := "warming up: index load in progress"
+		if e := s.loadErr.Load(); e != nil {
+			msg = "index load failed: " + *e
+		}
+		httpError(w, http.StatusServiceUnavailable, msg)
+	case s.preparing.Load() > 0:
+		httpError(w, http.StatusServiceUnavailable, "swap prepare in progress")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// MetaResponse is the /meta reply: the immutable shape of the serving
+// index plus this server's shard assignment. A cluster router reads it
+// at startup to learn the coarse centroids (for bit-identical cell
+// ranking), validate that every shard serves the same geometry, and
+// check cell coverage.
+type MetaResponse struct {
+	Dim        int `json:"dim"`
+	Partitions int `json:"partitions"`
+	PQM        int `json:"pq_m"`
+	Live       int `json:"live"`
+	// Cells is the shard assignment (Config.Cells); absent means the
+	// server holds every cell, i.e. it is a whole-index node.
+	Cells []int `json:"cells,omitempty"`
+	// Centroids is the coarse quantizer codebook, row per IVF cell.
+	// float32 values survive a JSON round trip exactly (encoding/json
+	// formats them shortest-form and parses back to the same bits), so
+	// the router's cell ranking matches the engine's bit-for-bit.
+	Centroids [][]float32 `json:"centroids"`
+	Backend   string      `json:"backend"`
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, MetaResponse{
+		Dim:        idx.Dim(),
+		Partitions: idx.Partitions(),
+		PQM:        idx.PQM(),
+		Live:       idx.Live(),
+		Cells:      s.cfg.Cells,
+		Centroids:  idx.CoarseCentroids(),
+		Backend:    pqfastscan.ActiveBackend().String(),
 	})
 }
 
@@ -496,7 +714,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // (live == sum of per-partition live, partitions[i] == live+dead) no
 // matter what mutations land while it is built.
 func (s *Server) StatsSnapshot() Stats {
-	pstats := s.idx.PartitionStats()
+	var pstats []pqfastscan.PartitionStat
+	if idx := s.idx.Load(); idx != nil {
+		pstats = idx.PartitionStats()
+	}
 	live := 0
 	sizes := make([]int, len(pstats))
 	for i, ps := range pstats {
@@ -554,6 +775,10 @@ type SwapResponse struct {
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
 	var req SwapRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -566,25 +791,141 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	// Load and validate entirely off the serving path — before taking
 	// swapMu, so a slow disk read never stalls mutations or saves;
 	// traffic keeps flowing on the current snapshot until the single
-	// atomic store.
-	next, err := pqfastscan.LoadIndex(req.Path)
+	// atomic store. A sharded server loads only its assigned cells.
+	next, err := pqfastscan.LoadIndexCells(req.Path, s.cfg.Cells)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "load: "+err.Error())
 		return
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	if _, err := s.idx.Swap(next); err != nil {
+	if _, err := idx.Swap(next); err != nil {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
 	s.metrics.swaps.Add(1)
-	s.cfg.Logf("server: swapped in snapshot %s (%d live vectors)", req.Path, s.idx.Live())
+	s.cfg.Logf("server: swapped in snapshot %s (%d live vectors)", req.Path, idx.Live())
 	writeJSON(w, http.StatusOK, SwapResponse{
 		Swapped:    true,
-		Live:       s.idx.Live(),
-		Partitions: s.idx.PartitionSizes(),
+		Live:       idx.Live(),
+		Partitions: idx.PartitionSizes(),
 	})
+}
+
+// --- two-phase swap: /swap/prepare, /swap/commit, /swap/abort ----------
+//
+// The one-shot /swap is perfect for a single node, but a router swapping
+// a whole fleet with it would expose mixed-epoch windows: shard 1 serves
+// the new snapshot while shard 2 still loads it, and cross-shard merges
+// combine different datasets. The two-phase protocol separates the slow
+// part from the visible part. Prepare loads and validates the snapshot
+// off the serving path and stages it — taking seconds, changing nothing
+// observable. Commit publishes the staged index — one atomic pointer
+// swap, microseconds. A router prepares everywhere, then commits
+// everywhere, and the fleet's epoch skew shrinks from load time to
+// commit-RPC time; any prepare failure aborts the fleet before anything
+// changed.
+
+// PrepareResponse acknowledges a staged snapshot.
+type PrepareResponse struct {
+	Prepared bool   `json:"prepared"`
+	Path     string `json:"path"`
+	Live     int    `json:"live"`
+}
+
+func (s *Server) handleSwapPrepare(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Path) == "" {
+		httpError(w, http.StatusBadRequest, "path must be non-empty")
+		return
+	}
+	// The load runs outside every lock; preparing makes /readyz report
+	// not-ready so routers deprioritize a shard busy churning page cache.
+	s.preparing.Add(1)
+	next, err := pqfastscan.LoadIndexCells(req.Path, s.cfg.Cells)
+	s.preparing.Add(-1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "load: "+err.Error())
+		return
+	}
+	// Validate now, against the serving index, so commit cannot fail for
+	// a reason prepare could have caught — that is the point of the
+	// protocol.
+	if err := idx.CompatibleWith(next); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.stagedMu.Lock()
+	replaced := s.staged != nil
+	s.staged, s.stagedPath = next, req.Path
+	s.stagedMu.Unlock()
+	if replaced {
+		s.cfg.Logf("server: re-prepared snapshot %s (replacing previously staged)", req.Path)
+	} else {
+		s.cfg.Logf("server: prepared snapshot %s (%d live vectors staged)", req.Path, next.Live())
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{Prepared: true, Path: req.Path, Live: next.Live()})
+}
+
+// CommitResponse acknowledges a committed (published) snapshot.
+type CommitResponse struct {
+	Committed bool   `json:"committed"`
+	Path      string `json:"path"`
+	Live      int    `json:"live"`
+}
+
+func (s *Server) handleSwapCommit(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
+	s.stagedMu.Lock()
+	next, path := s.staged, s.stagedPath
+	s.staged, s.stagedPath = nil, ""
+	s.stagedMu.Unlock()
+	if next == nil {
+		httpError(w, http.StatusConflict, "no snapshot staged: call /swap/prepare first")
+		return
+	}
+	s.swapMu.Lock()
+	_, err := idx.Swap(next)
+	s.swapMu.Unlock()
+	if err != nil {
+		// Unreachable when prepare validated against the same serving
+		// index, but a direct /swap can land between the two phases.
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.metrics.swaps.Add(1)
+	s.cfg.Logf("server: committed snapshot %s (%d live vectors)", path, idx.Live())
+	writeJSON(w, http.StatusOK, CommitResponse{Committed: true, Path: path, Live: idx.Live()})
+}
+
+// AbortResponse reports whether an abort discarded a staged snapshot.
+type AbortResponse struct {
+	Aborted   bool   `json:"aborted"`
+	Discarded bool   `json:"discarded"`
+	Path      string `json:"path,omitempty"`
+}
+
+func (s *Server) handleSwapAbort(w http.ResponseWriter, r *http.Request) {
+	s.stagedMu.Lock()
+	discarded := s.staged != nil
+	path := s.stagedPath
+	s.staged, s.stagedPath = nil, ""
+	s.stagedMu.Unlock()
+	if discarded {
+		s.cfg.Logf("server: aborted staged snapshot %s", path)
+	}
+	writeJSON(w, http.StatusOK, AbortResponse{Aborted: true, Discarded: discarded, Path: path})
 }
 
 // SaveRequest optionally overrides the configured snapshot path.
@@ -622,6 +963,10 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) save(path string) error {
+	idx := s.idx.Load()
+	if idx == nil {
+		return errors.New("server: no index loaded yet")
+	}
 	// Shared side of swapMu: a save serializes one immutable epoch
 	// snapshot and never blocks mutations or compaction — it only must
 	// not interleave with a /swap replacing the serving index wholesale.
@@ -629,7 +974,7 @@ func (s *Server) save(path string) error {
 	// temp file and renames atomically).
 	s.swapMu.RLock()
 	defer s.swapMu.RUnlock()
-	if err := s.idx.Save(path); err != nil {
+	if err := idx.Save(path); err != nil {
 		s.metrics.saveErrors.Add(1)
 		return err
 	}
@@ -665,6 +1010,10 @@ type CompactResponse struct {
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	idx := s.requireIndex(w)
+	if idx == nil {
+		return
+	}
 	req := CompactRequest{Partition: -1}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -672,9 +1021,9 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if req.Partition >= s.idx.Partitions() {
+	if req.Partition >= idx.Partitions() {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("partition must be in [0,%d) or negative for policy mode", s.idx.Partitions()))
+			fmt.Sprintf("partition must be in [0,%d) or negative for policy mode", idx.Partitions()))
 		return
 	}
 	var results []pqfastscan.CompactionResult
@@ -682,7 +1031,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if req.Partition >= 0 {
 		s.swapMu.RLock()
 		var one pqfastscan.CompactionResult
-		one, err = s.idx.CompactPartition(req.Partition)
+		one, err = idx.CompactPartition(req.Partition)
 		s.swapMu.RUnlock()
 		if err == nil && one.Reclaimed > 0 {
 			results = append(results, one)
@@ -717,8 +1066,14 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // the sweep's whole duration. A swap landing mid-sweep is fine: later
 // iterations just re-evaluate dead ratios against the new index.
 func (s *Server) compactSweep(threshold float64) ([]pqfastscan.CompactionResult, error) {
+	idx := s.idx.Load()
+	if idx == nil {
+		// The background loop can tick before a deferred load completes;
+		// nothing to compact is not an error.
+		return nil, nil
+	}
 	var out []pqfastscan.CompactionResult
-	for _, st := range s.idx.PartitionStats() {
+	for _, st := range idx.PartitionStats() {
 		if st.Dead == 0 || st.DeadRatio < threshold {
 			continue
 		}
@@ -727,8 +1082,8 @@ func (s *Server) compactSweep(threshold float64) ([]pqfastscan.CompactionResult,
 			r   pqfastscan.CompactionResult
 			err error
 		)
-		if st.Partition < s.idx.Partitions() { // the index may have been swapped mid-sweep
-			r, err = s.idx.CompactPartition(st.Partition)
+		if st.Partition < idx.Partitions() { // the index may have been swapped mid-sweep
+			r, err = idx.CompactPartition(st.Partition)
 		}
 		s.swapMu.RUnlock()
 		if err != nil {

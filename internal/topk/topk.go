@@ -170,6 +170,33 @@ func (h *Heap) Results() []Result {
 	return h.AppendResults(nil)
 }
 
+// MergeResults merges per-source top-k lists into one global top-k — the
+// deterministic merge of scatter-gather cluster serving, where each list
+// is one shard's (or replica's) answer over its cells. Candidates are
+// deduplicated by id first: the same id can arrive twice when a hedged
+// replica answers from a different snapshot epoch during failover, and
+// the smaller distance wins (ties are the same candidate). The retained
+// set of the bounded heap is the k smallest (distance, id) pairs of the
+// deduplicated union regardless of list order or arrival interleaving,
+// so a router merging shard answers returns exactly what a single node
+// scanning the union of their cells would. k larger than the total
+// number of distinct hits returns them all.
+func MergeResults(k int, lists ...[]Result) []Result {
+	best := make(map[int64]float32)
+	for _, list := range lists {
+		for _, r := range list {
+			if d, ok := best[r.ID]; !ok || r.Distance < d {
+				best[r.ID] = r.Distance
+			}
+		}
+	}
+	h := New(k)
+	for id, d := range best {
+		h.Push(id, d)
+	}
+	return h.Results()
+}
+
 // AppendResults appends the sorted results to dst (which may be a reused
 // buffer, typically dst[:0]) and returns the extended slice. The heap is
 // unchanged. Like Results but allocation-free once dst has capacity.

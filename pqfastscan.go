@@ -264,6 +264,10 @@ func (ix *Index) Dim() int { return ix.load().Dim }
 // WithNProbe — without materializing the per-cell sizes.
 func (ix *Index) Partitions() int { return ix.load().Partitions() }
 
+// PQM returns the number of product quantizer segments (PQ m), part of
+// the geometry a cluster router cross-checks across shards via /meta.
+func (ix *Index) PQM() int { return ix.load().PQ.M }
+
 // Save writes the trained index to path atomically, so the expensive
 // construction pipeline runs once. Load it back with LoadIndex. Saving
 // serializes the immutable epoch snapshot current at the call, so it is
@@ -292,10 +296,62 @@ func (ix *Index) Swap(next *Index) (*Index, error) {
 	return newIndex(ix.inner.Swap(in)), nil
 }
 
+// CompatibleWith reports whether next could replace this index via Swap:
+// same dimensionality, partition count and PQ configuration. The serving
+// layer uses it to validate a staged snapshot at /swap/prepare time, so
+// an incompatible file is rejected before a fleet-wide commit.
+func (ix *Index) CompatibleWith(next *Index) error {
+	if next == nil {
+		return fmt.Errorf("pqfastscan: CompatibleWith nil index")
+	}
+	return ix.load().CompatibleWith(next.load())
+}
+
+// CoarseCentroids returns a copy of the coarse quantizer's centroids,
+// row per IVF cell. A cluster router fetches them from a shard's /meta
+// endpoint and reproduces the engine's cell ranking bit-for-bit
+// (index.RankCells), which is what makes scatter-gather results
+// identical to a single node's (DESIGN.md §13).
+func (ix *Index) CoarseCentroids() [][]float32 {
+	coarse := ix.load().Coarse
+	out := make([][]float32, coarse.Rows())
+	for i := range out {
+		out[i] = append([]float32(nil), coarse.Row(i)...)
+	}
+	return out
+}
+
 // LoadIndex reads an index previously written with Save. The loaded
 // index answers queries identically to the original.
 func LoadIndex(path string) (*Index, error) {
 	inner, err := persist.LoadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(inner), nil
+}
+
+// LoadIndexCells reads an index previously written with Save, keeping
+// only the listed IVF cells; every other cell is left empty. Cell
+// numbering, centroids, quantizers and the id allocator match a full
+// load, so the subset answers queries over its cells bit-identically
+// to the full index — the shard load path of cluster serving
+// (cmd/pqserve -cells, DESIGN.md §13). A nil cells loads everything.
+func LoadIndexCells(path string, cells []int) (*Index, error) {
+	inner, err := persist.LoadIndexCells(path, cells)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(inner), nil
+}
+
+// RestrictCells returns a new Index serving only the listed IVF cells
+// of the receiver's current snapshot (sharing their sealed data);
+// every other cell is empty. The in-process counterpart of
+// LoadIndexCells, used to stand up shard processes over synthetic
+// builds without a save/load round trip.
+func (ix *Index) RestrictCells(cells ...int) (*Index, error) {
+	inner, err := ix.load().RestrictCells(cells)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,7 @@ type searchConfig struct {
 	engineSet bool
 	backend   Backend
 	nprobe    int
+	cells     []int
 	parallel  bool
 	stats     bool
 }
@@ -71,6 +72,20 @@ func WithBackend(b Backend) SearchOption {
 // search call.
 func WithNProbe(nprobe int) SearchOption {
 	return func(c *searchConfig) { c.nprobe = nprobe }
+}
+
+// WithCells scans exactly the listed IVF cells, in order, instead of
+// routing the query through the coarse quantizer. It is the shard-side
+// half of scatter-gather cluster serving (internal/cluster, cmd/pqrouter):
+// the router ranks cells against the coarse centroids once and tells
+// each shard which of its cells to scan — and it is equally useful for
+// tests and tools pinning a scan to known cells. Results are identical
+// to a multi-probe search visiting the same set. Cells must be in
+// range and free of duplicates, and combining WithCells with
+// WithNProbe(>1) is rejected: the options answer the same question two
+// different ways.
+func WithCells(cells ...int) SearchOption {
+	return func(c *searchConfig) { c.cells = cells }
 }
 
 // WithParallel scans the probed partitions of a single query
@@ -124,7 +139,8 @@ func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...Sea
 	}
 	resp, err := ix.load().Query(ctx, index.Request{
 		Query: query, K: k, Kernel: cfg.kernel, Engine: cfg.engine,
-		Backend: cfg.backend, NProbe: cfg.nprobe, Parallel: cfg.parallel,
+		Backend: cfg.backend, NProbe: cfg.nprobe, Cells: cfg.cells,
+		Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -142,7 +158,8 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 	}
 	resps, err := ix.load().QueryBatch(ctx, queries, index.Request{
 		K: k, Kernel: cfg.kernel, Engine: cfg.engine,
-		Backend: cfg.backend, NProbe: cfg.nprobe, Parallel: cfg.parallel,
+		Backend: cfg.backend, NProbe: cfg.nprobe, Cells: cfg.cells,
+		Parallel: cfg.parallel,
 	})
 	if err != nil {
 		return nil, err
