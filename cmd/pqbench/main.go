@@ -93,6 +93,11 @@ func main() {
 		mixedRatio   = flag.Float64("mixed-write-ratio", 0.05, "target write fraction of total operations during the mutating phase")
 		mixedDur     = flag.Duration("mixed-duration", 3*time.Second, "per-phase measurement window for -mixed")
 
+		durOut     = flag.Bool("durability", false, "run the durability benchmark (acked-write latency per WAL sync discipline, read-path tax, recovery replay rate); with -json, emit one combined report")
+		durN       = flag.Int("durability-n", 20000, "database size for the -durability benchmark")
+		durOps     = flag.Int("durability-ops", 2000, "acked mutations per sync discipline for -durability")
+		durWriters = flag.Int("durability-writers", 4, "concurrent writer goroutines for -durability")
+
 		shardsFlag = flag.String("shards", "", "comma-separated shard counts for the cluster scaling benchmark, e.g. \"1,2,4\"; with -json/-serve/-mixed, emit one combined report")
 		shardN     = flag.Int("shard-n", 100000, "database size for the -shards benchmark")
 		shardParts = flag.Int("shard-partitions", 8, "IVF cells for the -shards benchmark")
@@ -107,8 +112,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *jsonOut || *serveOut || *mixedOut || len(shardCounts) > 0 {
-		runMachineReadable(*jsonOut, *serveOut, *mixedOut, shardCounts, *seed, *jsonSize, *jsonK,
+	if *jsonOut || *serveOut || *mixedOut || *durOut || len(shardCounts) > 0 {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, shardCounts, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -125,6 +130,12 @@ func main() {
 				Readers:    *mixedReaders,
 				WriteRatio: *mixedRatio,
 				Duration:   *mixedDur,
+			},
+			bench.DurabilityConfig{
+				BaseN:   *durN,
+				Seed:    *seed,
+				Ops:     *durOps,
+				Writers: *durWriters,
 			},
 			bench.ClusterConfig{
 				BaseN:       *shardN,
@@ -219,11 +230,12 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// runMachineReadable dispatches the -json / -serve / -mixed / -shards
-// modes: a single report alone, or the combined pqfastscan-bench/v5
-// document when several are requested (the BENCH_pr6.json baseline
-// format: kernels per backend + serving + the cluster scaling curve).
-func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, clusterCfg bench.ClusterConfig) {
+// runMachineReadable dispatches the -json / -serve / -mixed /
+// -durability / -shards modes: a single report alone, or the combined
+// pqfastscan-bench/v6 document when several are requested (the
+// BENCH_pr7.json baseline format: kernels per backend + serving +
+// durability + the cluster scaling curve).
+func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -236,7 +248,7 @@ func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint
 	}
 	shards := len(shardCounts) > 0
 	single := 0
-	for _, on := range []bool{kernels, serve, mixed, shards} {
+	for _, on := range []bool{kernels, serve, mixed, durability, shards} {
 		if on {
 			single++
 		}
@@ -248,6 +260,8 @@ func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint
 			err = bench.RunServe(os.Stdout, serveCfg)
 		case mixed:
 			err = bench.RunMixed(os.Stdout, mixedCfg)
+		case durability:
+			err = bench.RunDurability(os.Stdout, durCfg)
 		case shards:
 			err = bench.RunCluster(os.Stdout, clusterCfg)
 		default:
@@ -259,11 +273,11 @@ func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint
 		return
 	}
 
-	// v5: adds the cluster scaling section; v4's kernels section carries
-	// the block-kernel backend record (active/available backends, CPU
-	// features, per-backend native Fast Scan rows) and the mixed section
-	// names its backend.
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v5"}
+	// v6: adds the durability section; v5 added the cluster scaling
+	// section; v4's kernels section carries the block-kernel backend
+	// record (active/available backends, CPU features, per-backend
+	// native Fast Scan rows) and the mixed section names its backend.
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v6"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
@@ -287,6 +301,14 @@ func runMachineReadable(kernels, serve, mixed bool, shardCounts []int, seed uint
 			log.Fatal(err)
 		}
 		combined.Mixed = mr
+	}
+	if durability {
+		fmt.Fprintln(os.Stderr, "running durability benchmark...")
+		dr, err := bench.MeasureDurability(durCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.Durability = dr
 	}
 	if shards {
 		fmt.Fprintln(os.Stderr, "running cluster scaling benchmark...")

@@ -19,8 +19,13 @@
 //	GET  /readyz   readiness (503 while draining)
 //	GET  /stats    fanout latency, per-shard failovers and hedges
 //
-// A shard sub-request that fails is retried on the shard's replicas; a
-// primary that is merely slow is hedged after -hedge-delay. /swap
+// A shard sub-request that fails is retried on the shard's replicas
+// under a bounded budget (-max-attempts, exponential backoff with full
+// jitter between repeat rounds); a primary that is merely slow is
+// hedged after -hedge-delay. With -allow-partial (or per-request
+// ?partial=1) a query outliving every retry degrades instead of
+// failing: the surviving shards' results are merged and the response
+// carries a coverage field. /swap
 // prepares the snapshot on every endpoint before committing it
 // anywhere, so a fleet swap under traffic serves zero failed requests
 // and the fleet never mixes epochs for longer than one commit round.
@@ -63,8 +68,10 @@ func main() {
 	var shards shardFlags
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "budget for one shard sub-request including failover")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "budget for one shard sub-request including failover and retries")
 		hedgeDelay   = flag.Duration("hedge-delay", 50*time.Millisecond, "wait before hedging a slow primary to a replica (negative disables)")
+		maxAttempts  = flag.Int("max-attempts", 0, "attempt cap per shard per query, cycling its endpoints with jittered backoff (0 = endpoints+2)")
+		allowPartial = flag.Bool("allow-partial", false, "degrade instead of failing when shards are down: merge surviving shards and report coverage (per-request opt-in stays available via ?partial=1)")
 		maxK         = flag.Int("max-k", 1000, "largest accepted k")
 	)
 	flag.Var(&shards, "shard", "cell range and endpoints, \"LO-HI=URL[,URL...]\" (primary first; repeatable)")
@@ -77,6 +84,8 @@ func main() {
 		Shards:       shards,
 		ShardTimeout: *shardTimeout,
 		HedgeDelay:   *hedgeDelay,
+		MaxAttempts:  *maxAttempts,
+		AllowPartial: *allowPartial,
 		MaxK:         *maxK,
 		Logf:         log.Printf,
 	})

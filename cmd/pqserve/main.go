@@ -14,6 +14,14 @@
 //
 //	pqserve -addr 127.0.0.1:8080 -synthetic 100000
 //
+// Serve crash-safely: every acknowledged /add and /delete is write-ahead
+// logged into -wal-dir before the 200, and a restart (even after kill -9)
+// recovers exactly the acknowledged state — no -index needed once the
+// directory exists:
+//
+//	pqserve -addr :8080 -synthetic 100000 -wal-dir /data/wal
+//	pqserve -addr :8080 -wal-dir /data/wal   # restart: recovers from the log
+//
 // Endpoints (JSON over HTTP, see DESIGN.md §10 and §13):
 //
 //	POST /search        {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
@@ -83,6 +91,9 @@ func main() {
 		saveEvery    = flag.Duration("save-interval", 0, "periodic background save interval (0 disables)")
 		compactEvery = flag.Duration("compact-interval", time.Minute, "background compaction policy interval (0 disables); keeping it on bounds per-delete tombstone-set copy cost")
 		compactAt    = flag.Float64("compact-threshold", 0.25, "dead ratio at which the policy compacts a partition")
+		walDir       = flag.String("wal-dir", "", "crash-safe durability directory: mutations are write-ahead logged here before the 200, and startup recovers from it (existing durable state wins over -index/-synthetic)")
+		walSyncEvery = flag.Int("wal-sync-every", 0, "fsync the log every N records instead of on every ack (0 = sync-on-ack, the durable default)")
+		walSyncInt   = flag.Duration("wal-sync-interval", 0, "background log fsync interval for batched mode (bounds data loss in time; 0 disables)")
 	)
 	flag.Parse()
 
@@ -106,14 +117,24 @@ func main() {
 		SaveInterval:     *saveEvery,
 		CompactInterval:  *compactEvery,
 		CompactThreshold: *compactAt,
+		WALDir:           *walDir,
+		WALSyncEvery:     *walSyncEvery,
+		WALSyncInterval:  *walSyncInt,
 		Logf:             log.Printf,
 	}
 	load := func() (*pqfastscan.Index, error) {
 		return openIndex(*indexPath, *synthetic, *partitions, *seed, cells)
 	}
-	if *warm {
+	switch {
+	case *walDir != "" && pqfastscan.HasDurable(*walDir):
+		// The directory already holds acknowledged state; it wins over
+		// -index/-synthetic, so don't load (or require) either.
+		log.Printf("recovering durable state from %s", *walDir)
+	case *warm || *walDir != "":
+		// A durable first boot defers the load too: the server answers
+		// probes while the index is built and the WAL initialized.
 		cfg.Load = load
-	} else {
+	default:
 		idx, err := load()
 		if err != nil {
 			log.Fatal(err)

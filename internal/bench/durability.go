@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pqfastscan"
+)
+
+// Durability benchmarking: the cost of crash-safety (DESIGN.md §14).
+// Every acknowledged mutation is write-ahead logged before the ack, so
+// the interesting numbers are (a) acked-write latency and throughput in
+// each sync discipline — no WAL at all, sync-on-ack (the durable
+// default), and batched group commit — (b) whether an attached log
+// taxes the read path (it must not: searches never touch the WAL), and
+// (c) how fast recovery replays the log back into an index.
+
+// DurabilityConfig parameterizes one durability benchmark run.
+type DurabilityConfig struct {
+	BaseN      int    // database size (default 20000)
+	LearnN     int    // training size (default BaseN/10, min 1000)
+	Partitions int    // IVF cells (default 8)
+	Seed       uint64 // build and workload seed (default 42)
+
+	Ops     int // acked mutations per mode (default 2000)
+	Writers int // concurrent writer goroutines (default 4)
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.BaseN <= 0 {
+		c.BaseN = 20000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	return c
+}
+
+// DurabilityMode is one sync discipline's write-path measurement.
+type DurabilityMode struct {
+	// Mode is "none" (no WAL), "sync-on-ack", or "batched-N" (group
+	// commit, fsync every N records).
+	Mode      string  `json:"mode"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+
+	// WAL internals for the durable modes (from WALStats).
+	Fsyncs     int64   `json:"fsyncs,omitempty"`
+	FsyncP50Ms float64 `json:"fsync_p50_ms,omitempty"`
+	FsyncP99Ms float64 `json:"fsync_p99_ms,omitempty"`
+}
+
+// DurabilityRecovery measures startup replay over the log the
+// sync-on-ack mode just wrote.
+type DurabilityRecovery struct {
+	Records       int64   `json:"records"`
+	Ms            float64 `json:"ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// DurabilityReport is the JSON document of one durability run.
+type DurabilityReport struct {
+	Schema     string `json:"schema"`
+	BaseN      int    `json:"base_n"`
+	Partitions int    `json:"partitions"`
+	Ops        int    `json:"ops"`
+	Writers    int    `json:"writers"`
+
+	Modes []DurabilityMode `json:"modes"`
+
+	// Read-path tax: search p50 over the same index with no WAL and
+	// with an attached (idle) WAL. These should be within noise of each
+	// other — the read path never touches the log.
+	ReadP50NoWALMs float64 `json:"read_p50_no_wal_ms"`
+	ReadP50WALMs   float64 `json:"read_p50_wal_ms"`
+
+	Recovery DurabilityRecovery `json:"recovery"`
+}
+
+// durabilityBuild builds the benchmark index fresh (each mode mutates
+// its own copy, so every mode starts from the identical deterministic
+// build).
+func durabilityBuild(cfg DurabilityConfig) (*pqfastscan.Index, error) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = cfg.Partitions
+	opt.Seed = cfg.Seed
+	return pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+}
+
+// durabilityWrites drives cfg.Ops single-vector acked adds through
+// cfg.Writers goroutines and reports the latency distribution.
+func durabilityWrites(cfg DurabilityConfig, idx *pqfastscan.Index, mode string) (DurabilityMode, error) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 1})
+	vecs := gen.Generate(cfg.Ops)
+
+	lats := make([]time.Duration, cfg.Ops)
+	var next int64
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(cfg.Ops) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Writers)
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				t0 := time.Now()
+				row := pqfastscan.Matrix{Data: vecs.Row(i), Dim: vecs.Dim}
+				if _, err := idx.AddBatch(row); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[i] = time.Since(t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return DurabilityMode{}, fmt.Errorf("bench: %s writes: %w", mode, err)
+		}
+	}
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	m := DurabilityMode{
+		Mode:      mode,
+		Ops:       cfg.Ops,
+		OpsPerSec: float64(cfg.Ops) / elapsed.Seconds(),
+		P50Ms:     quantileMs(lats, 0.50),
+		P99Ms:     quantileMs(lats, 0.99),
+		MaxMs:     quantileMs(lats, 1.0),
+	}
+	if ws, ok := idx.WALStats(); ok {
+		m.Fsyncs = ws.Fsyncs
+		m.FsyncP50Ms = ws.FsyncP50Ms
+		m.FsyncP99Ms = ws.FsyncP99Ms
+	}
+	return m, nil
+}
+
+// durabilityReadP50 measures search p50 on an idle index.
+func durabilityReadP50(cfg DurabilityConfig, idx *pqfastscan.Index) (float64, error) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 2})
+	queries := gen.Generate(64)
+	const rounds = 20
+	lats := make([]time.Duration, 0, rounds*queries.Rows())
+	ctx := context.Background()
+	for r := 0; r < rounds; r++ {
+		for qi := 0; qi < queries.Rows(); qi++ {
+			t0 := time.Now()
+			if _, err := idx.Search(ctx, queries.Row(qi), 10, pqfastscan.WithNProbe(2)); err != nil {
+				return 0, err
+			}
+			lats = append(lats, time.Since(t0))
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return quantileMs(lats, 0.50), nil
+}
+
+// MeasureDurability runs the full durability suite and returns its
+// report.
+func MeasureDurability(cfg DurabilityConfig) (*DurabilityReport, error) {
+	cfg = cfg.withDefaults()
+	report := &DurabilityReport{
+		Schema:     "pqfastscan-durability/v1",
+		BaseN:      cfg.BaseN,
+		Partitions: cfg.Partitions,
+		Ops:        cfg.Ops,
+		Writers:    cfg.Writers,
+	}
+
+	// Mode "none": the in-memory mutation path, the ceiling.
+	idx, err := durabilityBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := durabilityWrites(cfg, idx, "none")
+	if err != nil {
+		return nil, err
+	}
+	report.Modes = append(report.Modes, m)
+	if report.ReadP50NoWALMs, err = durabilityReadP50(cfg, idx); err != nil {
+		return nil, err
+	}
+
+	// Mode "sync-on-ack": the durable default — every ack is fsynced.
+	syncDir, err := os.MkdirTemp("", "pqbench-wal-sync-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(syncDir)
+	idx, err = durabilityBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := idx.WithWAL(syncDir, pqfastscan.DurabilityOptions{}); err != nil {
+		return nil, err
+	}
+	if report.ReadP50WALMs, err = durabilityReadP50(cfg, idx); err != nil {
+		return nil, err
+	}
+	if m, err = durabilityWrites(cfg, idx, "sync-on-ack"); err != nil {
+		return nil, err
+	}
+	report.Modes = append(report.Modes, m)
+	ws, _ := idx.WALStats()
+	if err := idx.CloseWAL(); err != nil {
+		return nil, err
+	}
+
+	// Recovery: replay the log sync-on-ack just wrote.
+	t0 := time.Now()
+	recovered, err := pqfastscan.Recover(syncDir, pqfastscan.DurabilityOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: recovery replay: %w", err)
+	}
+	replay := time.Since(t0)
+	if live := recovered.Live(); live != cfg.BaseN+cfg.Ops {
+		return nil, fmt.Errorf("bench: recovery lost writes: live %d, want %d", live, cfg.BaseN+cfg.Ops)
+	}
+	_ = recovered.CloseWAL()
+	report.Recovery = DurabilityRecovery{
+		Records:       ws.Records,
+		Ms:            float64(replay.Nanoseconds()) / 1e6,
+		RecordsPerSec: float64(ws.Records) / replay.Seconds(),
+	}
+
+	// Mode "batched-64": group commit, fsync every 64 records with a
+	// 5ms background bound — the throughput discipline.
+	batchDir, err := os.MkdirTemp("", "pqbench-wal-batch-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(batchDir)
+	idx, err = durabilityBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := pqfastscan.DurabilityOptions{SyncEvery: 64, SyncInterval: 5 * time.Millisecond}
+	if err := idx.WithWAL(batchDir, opts); err != nil {
+		return nil, err
+	}
+	if m, err = durabilityWrites(cfg, idx, "batched-64"); err != nil {
+		return nil, err
+	}
+	report.Modes = append(report.Modes, m)
+	if err := idx.CloseWAL(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// RunDurability measures the durability suite and writes the report as
+// JSON.
+func RunDurability(w io.Writer, cfg DurabilityConfig) error {
+	report, err := MeasureDurability(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

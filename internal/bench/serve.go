@@ -194,16 +194,18 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 }
 
 // CombinedReport pairs the kernel wall-clock trajectory with the served
-// throughput, the mixed read-write isolation numbers, and/or the
-// cluster scaling curve of the same build — the document the
-// BENCH_pr*.json baselines record (cmd/pqbench -json, -serve, -mixed,
-// -shards, in any combination). Schema is pqfastscan-bench/v5 (v4
-// predates the cluster section; v2/v3 predate the backend record in
-// the kernels and mixed sections).
+// throughput, the mixed read-write isolation numbers, the durability
+// costs, and/or the cluster scaling curve of the same build — the
+// document the BENCH_pr*.json baselines record (cmd/pqbench -json,
+// -serve, -mixed, -durability, -shards, in any combination). Schema is
+// pqfastscan-bench/v6 (v5 predates the durability section; v4 the
+// cluster section; v2/v3 the backend record in the kernels and mixed
+// sections).
 type CombinedReport struct {
-	Schema  string           `json:"schema"`
-	Kernels *WallClockReport `json:"kernels,omitempty"`
-	Serve   *ServeReport     `json:"serve,omitempty"`
-	Mixed   *MixedReport     `json:"mixed,omitempty"`
-	Cluster *ClusterReport   `json:"cluster,omitempty"`
+	Schema     string            `json:"schema"`
+	Kernels    *WallClockReport  `json:"kernels,omitempty"`
+	Serve      *ServeReport      `json:"serve,omitempty"`
+	Mixed      *MixedReport      `json:"mixed,omitempty"`
+	Durability *DurabilityReport `json:"durability,omitempty"`
+	Cluster    *ClusterReport    `json:"cluster,omitempty"`
 }

@@ -22,11 +22,20 @@
 // primary. A sub-request that errors fails over to the next replica,
 // and a primary that is merely slow is hedged: after HedgeDelay the
 // router also asks a replica and takes whichever answers first.
-// Duplicate ids from a hedge race are collapsed by the merge.
+// Duplicate ids from a hedge race are collapsed by the merge. Once the
+// endpoint list is exhausted the router keeps trying under a bounded
+// retry budget — exponential backoff with full jitter, capped by
+// MaxAttempts and the per-query ShardTimeout, never after the caller's
+// context is done. When even that fails, a query that opted in
+// (?partial=1, or a router running -allow-partial) degrades instead of
+// erroring: the surviving shards' results are merged and the response
+// carries a coverage field naming how many probe cells answered.
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -108,13 +117,32 @@ type Config struct {
 	// verifies against the fleet's /meta.
 	Shards []ShardSpec
 
-	// ShardTimeout bounds one whole shard sub-request including
-	// failover attempts (default 10s).
+	// ShardTimeout bounds one whole shard sub-request including every
+	// failover and retry attempt (default 10s).
 	ShardTimeout time.Duration
 	// HedgeDelay is how long the router waits on a shard's primary
 	// before also asking a replica (default 50ms; negative disables
 	// hedging, leaving failover on error only).
 	HedgeDelay time.Duration
+	// MaxAttempts caps sub-request attempts per shard per query. The
+	// first pass cycles the endpoint list with immediate failover; any
+	// budget beyond that re-tries endpoints under exponential backoff
+	// with full jitter. Default: the shard's endpoint count plus two
+	// retries, so a transient blip on every replica does not fail the
+	// query outright.
+	MaxAttempts int
+	// RetryBaseDelay seeds the backoff for repeat rounds: round r waits
+	// a uniform duration in [0, min(RetryBaseDelay<<(r-1),
+	// RetryMaxDelay)) — full jitter, so a fleet of routers does not
+	// retry in lockstep (default 5ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff wait (default 250ms).
+	RetryMaxDelay time.Duration
+	// AllowPartial makes every query tolerate shard failures by default,
+	// as if it carried ?partial=1: surviving shards' results are merged
+	// and the response reports coverage. Off, queries fail unless the
+	// request itself opts in.
+	AllowPartial bool
 	// MaxK rejects requests asking for more neighbors than this
 	// (default 1000).
 	MaxK int
@@ -128,6 +156,13 @@ type Config struct {
 	// Logf, when set, receives operational log lines. Defaults to
 	// discarding them.
 	Logf func(format string, args ...any)
+
+	// sleep and jitter are test seams: sleep waits d or until ctx is
+	// done (reporting which), jitter draws a uniform int in [0, n).
+	// Tests inject deterministic versions; production gets a timer and
+	// math/rand.
+	sleep  func(ctx context.Context, d time.Duration) bool
+	jitter func(n int64) int64
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +171,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HedgeDelay == 0 {
 		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 5 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if c.sleep == nil {
+		c.sleep = func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+	}
+	if c.jitter == nil {
+		c.jitter = rand.Int63n
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 1000
@@ -179,6 +235,7 @@ type shard struct {
 	requests  hist.Hist // sub-request latency, successful tries
 	failovers counter   // tries that moved on to the next endpoint
 	hedges    counter   // replica requests launched by the hedge timer
+	retries   counter   // backoff-delayed repeat attempts
 }
 
 // Router fans queries out over the shard map and merges their answers.

@@ -47,6 +47,10 @@ type SearchOptions struct {
 	NProbe int
 	Cells  []int // explicit probe set; mutually exclusive with NProbe
 	Kernel string
+	// AllowPartial degrades instead of failing when shards are down:
+	// the merge runs over whichever shards answered (at least one must)
+	// and the response's Coverage field reports the shortfall.
+	AllowPartial bool
 }
 
 // Search answers one query over the whole fleet: rank cells, fan the
@@ -117,10 +121,23 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 		}(i, si)
 	}
 	wg.Wait()
+	allowPartial := opt.AllowPartial || r.cfg.AllowPartial
+	answered := 0 // probe cells whose shard replied
+	okShards := 0
+	for i, si := range ids {
+		if errs[i] == nil {
+			answered += len(byShard[si])
+			okShards++
+		}
+	}
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !allowPartial || okShards == 0 {
 			return nil, err
 		}
+		r.cfg.Logf("cluster: partial result: %v", err)
 	}
 
 	merged := topk.MergeResults(opt.K, lists...)
@@ -128,32 +145,47 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 		Results:    make([]server.SearchNeighbor, len(merged)),
 		Partitions: probe,
 	}
+	if answered < len(probe) {
+		r.metrics.partials.Add(1)
+		resp.Coverage = &server.Coverage{CellsAnswered: answered, CellsTotal: len(probe)}
+	}
 	for i, m := range merged {
 		resp.Results[i] = server.SearchNeighbor{ID: m.ID, Distance: m.Distance}
 	}
 	return resp, nil
 }
 
-// shardSearch runs one shard sub-request with failover and hedging.
+// shardSearch runs one shard sub-request under a bounded retry budget.
 // The primary is asked first; an error moves on to the next replica
 // immediately (failover), and a primary that is merely slow gets a
 // replica launched beside it after HedgeDelay (hedge) — first success
-// wins, the loser's response is discarded. The whole attempt shares one
-// ShardTimeout budget.
+// wins, the loser's response is discarded. Once every endpoint has been
+// tried, remaining budget re-cycles the list with exponential backoff
+// and full jitter between rounds. Everything shares one ShardTimeout
+// deadline, and nothing is launched after the context is done.
 func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRequest) (*server.SearchResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
 	start := time.Now()
 
+	eps := sh.spec.Endpoints
+	maxAttempts := r.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = len(eps) + 2
+	}
+
 	type outcome struct {
 		resp *server.SearchResponse
 		err  error
 	}
-	results := make(chan outcome, len(sh.spec.Endpoints))
-	launched, failed := 0, 0
+	results := make(chan outcome, maxAttempts)
+	wake := make(chan struct{}, 1)
+	launched, inflight := 0, 0
+	retryPending := false
 	launch := func() {
-		ep := sh.spec.Endpoints[launched]
+		ep := eps[launched%len(eps)]
 		launched++
+		inflight++
 		go func() {
 			var out server.SearchResponse
 			err := r.postJSON(ctx, ep+"/search", req, &out)
@@ -163,7 +195,7 @@ func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRe
 	launch()
 
 	var hedge <-chan time.Time
-	if len(sh.spec.Endpoints) > 1 && r.cfg.HedgeDelay > 0 {
+	if len(eps) > 1 && r.cfg.HedgeDelay > 0 && maxAttempts > 1 {
 		t := time.NewTimer(r.cfg.HedgeDelay)
 		defer t.Stop()
 		hedge = t.C
@@ -173,24 +205,43 @@ func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRe
 	for {
 		select {
 		case o := <-results:
+			inflight--
 			if o.err == nil {
 				sh.requests.Observe(time.Since(start))
 				return o.resp, nil
 			}
-			failed++
 			if firstErr == nil {
 				firstErr = o.err
 			}
-			if launched < len(sh.spec.Endpoints) {
+			switch {
+			case retryPending || launched >= maxAttempts:
+				if inflight == 0 && !retryPending {
+					return nil, firstErr
+				}
+			case launched < len(eps):
+				// First pass: a fresh replica costs nothing to try now.
 				sh.failovers.Add(1)
 				r.metrics.failovers.Add(1)
 				launch()
-			} else if failed == launched {
-				return nil, firstErr
+			default:
+				// Repeat round: back off with full jitter so a fleet of
+				// routers hammering a struggling shard spreads out.
+				retryPending = true
+				d := r.retryDelay(launched / len(eps))
+				go func() {
+					if r.cfg.sleep(ctx, d) {
+						wake <- struct{}{}
+					}
+				}()
 			}
+		case <-wake:
+			retryPending = false
+			sh.retries.Add(1)
+			r.metrics.retries.Add(1)
+			launch()
 		case <-hedge:
 			hedge = nil
-			if launched < len(sh.spec.Endpoints) {
+			if launched < len(eps) && launched < maxAttempts {
 				sh.hedges.Add(1)
 				r.metrics.hedges.Add(1)
 				launch()
@@ -202,6 +253,27 @@ func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRe
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// retryDelay computes the backoff before repeat round n (n >= 1): a
+// uniform draw from [0, min(RetryBaseDelay<<(n-1), RetryMaxDelay)] —
+// "full jitter", which spreads synchronized retriers across the whole
+// window instead of clustering them at its edge.
+func (r *Router) retryDelay(round int) time.Duration {
+	if round < 1 {
+		round = 1
+	}
+	d := r.cfg.RetryBaseDelay
+	for i := 1; i < round && d < r.cfg.RetryMaxDelay; i++ {
+		d <<= 1
+	}
+	if d > r.cfg.RetryMaxDelay {
+		d = r.cfg.RetryMaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(r.cfg.jitter(int64(d) + 1))
 }
 
 // httpStatusError lets callers distinguish a shard that answered with

@@ -25,6 +25,8 @@ type routerMetrics struct {
 	lat       hist.Hist
 	failovers atomic.Int64
 	hedges    atomic.Int64
+	retries   atomic.Int64
+	partials  atomic.Int64
 	swaps     atomic.Int64
 }
 
@@ -39,6 +41,7 @@ type ShardStats struct {
 	P99Ms     float64  `json:"p99_ms"`
 	Failovers int64    `json:"failovers"`
 	Hedges    int64    `json:"hedges"`
+	Retries   int64    `json:"retries"`
 }
 
 // RouterStats is the /stats document of a router.
@@ -52,6 +55,8 @@ type RouterStats struct {
 	P99Ms      float64      `json:"p99_ms"`
 	Failovers  int64        `json:"failovers"`
 	Hedges     int64        `json:"hedges"`
+	Retries    int64        `json:"retries"`
+	Partials   int64        `json:"partials"`
 	FleetSwaps int64        `json:"fleet_swaps"`
 	Shards     []ShardStats `json:"shards"`
 }
@@ -68,6 +73,8 @@ func (r *Router) Stats() RouterStats {
 		P99Ms:      r.metrics.lat.QuantileMs(0.99),
 		Failovers:  r.metrics.failovers.Load(),
 		Hedges:     r.metrics.hedges.Load(),
+		Retries:    r.metrics.retries.Load(),
+		Partials:   r.metrics.partials.Load(),
 		FleetSwaps: r.metrics.swaps.Load(),
 	}
 	for _, sh := range r.shards {
@@ -79,6 +86,7 @@ func (r *Router) Stats() RouterStats {
 			P99Ms:     sh.requests.QuantileMs(0.99),
 			Failovers: sh.failovers.Load(),
 			Hedges:    sh.hedges.Load(),
+			Retries:   sh.retries.Load(),
 		})
 	}
 	return st
@@ -107,8 +115,12 @@ func (r *Router) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
+		// ?partial=1 opts this query into degraded mode: shard failures
+		// shrink coverage instead of failing the query.
+		partial := req.URL.Query().Get("partial")
 		resp, err := r.Search(req.Context(), sr.Query, SearchOptions{
 			K: sr.K, NProbe: sr.NProbe, Cells: sr.Cells, Kernel: sr.Kernel,
+			AllowPartial: partial == "1" || partial == "true",
 		})
 		if err != nil {
 			// Validation failures are the client's; anything that made it

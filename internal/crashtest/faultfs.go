@@ -1,0 +1,193 @@
+// Package crashtest is the durability harness: a fault-injecting
+// filesystem for exercising the error paths of internal/persist and
+// internal/wal in-process, and a kill-9 soak (soak_test.go) that
+// crashes a real pqserve mid-mutation-storm and proves every
+// acknowledged write survives recovery.
+package crashtest
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"pqfastscan/internal/fsio"
+)
+
+// ErrInjected marks every failure this package injects, so tests can
+// assert the surfaced error is the injected one and not something the
+// durability layer invented (or worse, swallowed).
+var ErrInjected = errors.New("crashtest: injected fault")
+
+// FaultFS wraps an fsio.FS and fails operations on command. Faults are
+// counted across every file the FS has opened, in operation order, so a
+// test can aim at "the 3rd write overall" or "the 2nd fsync" without
+// knowing which file the layer under test touches when.
+type FaultFS struct {
+	inner fsio.FS
+
+	mu     sync.Mutex
+	writes int64 // writes observed so far
+	syncs  int64 // fsyncs observed so far
+
+	// failWriteAt, when > 0, fails the Nth write (1-based) and every
+	// write after it.
+	failWriteAt int64
+	// shortWriteAt, when > 0, truncates the Nth write to half its bytes
+	// (reporting the short count with an error, as the os would).
+	shortWriteAt int64
+	// failSyncAt, when > 0, fails the Nth fsync (1-based) and every
+	// fsync after it.
+	failSyncAt int64
+}
+
+// NewFaultFS wraps inner (usually fsio.OS) with no faults armed.
+func NewFaultFS(inner fsio.FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailWriteAt arms: the nth write (1-based, counted FS-wide) and all
+// later ones fail with ErrInjected.
+func (f *FaultFS) FailWriteAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt = n
+}
+
+// ShortWriteAt arms: the nth write persists only half its bytes and
+// returns ErrInjected with the short count.
+func (f *FaultFS) ShortWriteAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWriteAt = n
+}
+
+// FailSyncAt arms: the nth fsync (1-based, counted FS-wide) and all
+// later ones fail with ErrInjected.
+func (f *FaultFS) FailSyncAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// Reset disarms every fault and zeroes the counters.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes, f.syncs = 0, 0
+	f.failWriteAt, f.shortWriteAt, f.failSyncAt = 0, 0, 0
+}
+
+// Writes returns the number of writes observed.
+func (f *FaultFS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Syncs returns the number of fsyncs observed.
+func (f *FaultFS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// checkWrite advances the write counter and reports how many of n bytes
+// to pass through (-1 = all) plus the error to return.
+func (f *FaultFS) checkWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.failWriteAt > 0 && f.writes >= f.failWriteAt {
+		return 0, ErrInjected
+	}
+	if f.shortWriteAt > 0 && f.writes == f.shortWriteAt {
+		return n / 2, ErrInjected
+	}
+	return -1, nil
+}
+
+func (f *FaultFS) checkSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncAt > 0 && f.syncs >= f.failSyncAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) wrap(file fsio.File) fsio.File { return &faultFile{fs: f, inner: file} }
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+func (f *FaultFS) Create(name string) (fsio.File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (fsio.File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(file), nil
+}
+
+func (f *FaultFS) Open(name string) (fs.File, error)         { return f.inner.Open(name) }
+func (f *FaultFS) Rename(oldpath, newpath string) error      { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error                  { return f.inner.Remove(name) }
+func (f *FaultFS) SyncDir(dir string) error                  { return f.checkSyncDir(dir) }
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error)     { return f.inner.Stat(name) }
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(dir, perm)
+}
+func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+// checkSyncDir counts a directory fsync against the same budget as file
+// fsyncs: both are points where metadata durability can fail.
+func (f *FaultFS) checkSyncDir(dir string) error {
+	if err := f.checkSync(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes the write/sync fault points on one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner fsio.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	keep, err := f.fs.checkWrite(len(p))
+	if err != nil {
+		if keep > 0 {
+			n, werr := f.inner.Write(p[:keep])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.checkSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error              { return f.inner.Close() }
+func (f *faultFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *faultFile) Name() string              { return f.inner.Name() }

@@ -1,0 +1,107 @@
+// Package fsio is the filesystem seam under the durability layer.
+//
+// persist and wal perform every write-path filesystem operation through
+// the FS interface instead of calling the os package directly, so the
+// crash/fault-injection harness (internal/crashtest) can interpose a
+// failing filesystem — short writes, an error on the Nth write, fsync
+// failures — and prove that torn or failed I/O is detected and surfaced
+// rather than silently acknowledged. Production code uses OS, a direct
+// passthrough to the os package with zero indirection cost beyond an
+// interface call per syscall-bound operation.
+package fsio
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the durability layer needs. Sync
+// must not return until the data is on stable storage (fsync).
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS is the directory-level surface: creating, renaming and removing
+// files, fsyncing directories, and enumerating log segments.
+type FS interface {
+	// CreateTemp creates a new temp file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Create creates or truncates the named file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if
+	// absent.
+	OpenAppend(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (fs.File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making renames and removals
+	// within it durable.
+	SyncDir(dir string) error
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	MkdirAll(dir string, perm fs.FileMode) error
+	// Truncate truncates the named (closed) file to size.
+	Truncate(name string, size int64) error
+}
+
+// OS is the production FS: a passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (fs.File, error) { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

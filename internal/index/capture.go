@@ -1,0 +1,50 @@
+package index
+
+import (
+	"pqfastscan/internal/quantizer"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/vec"
+)
+
+// Capture is a consistent, immutable view of everything an index
+// persists: the trained quantizers, the sealed per-cell partitions of
+// one snapshot, and the id-allocator position. Partitions are shared
+// (sealed, never mutated in place), so taking a Capture costs one
+// atomic load plus a slice of pointers — cheap enough to run inside the
+// durability layer's checkpoint critical section.
+type Capture struct {
+	Dim    int
+	Coarse vec.Matrix
+	PQ     *quantizer.ProductQuantizer
+	Opt    Options
+	Parts  []*scan.Partition
+	NextID int64
+}
+
+// Capture takes a point-in-time capture of the index. The allocator is
+// read after the snapshot load, so NextID is at or past every id that
+// appears in Parts — a reloaded index can never re-issue one of them.
+// When the caller excludes concurrent mutations (as the checkpoint path
+// does), the capture is exact: it holds precisely the acknowledged
+// state at the point of the call.
+func (ix *Index) Capture() Capture {
+	s := ix.snap.Load()
+	parts := make([]*scan.Partition, len(s.Parts))
+	for i, pe := range s.Parts {
+		parts[i] = pe.Part
+	}
+	return Capture{
+		Dim:    ix.Dim,
+		Coarse: ix.Coarse,
+		PQ:     ix.PQ,
+		Opt:    ix.opt,
+		Parts:  parts,
+		NextID: ix.nextID.Load(),
+	}
+}
+
+// RestoreCapture reassembles an Index from a Capture — the recovery-path
+// counterpart of Capture, used by persist when loading a snapshot.
+func RestoreCapture(cap Capture) *Index {
+	return Restore(cap.Dim, cap.Coarse, cap.PQ, cap.Parts, cap.Opt, cap.NextID)
+}

@@ -33,28 +33,44 @@ var ErrNotFound = errors.New("index: id not found")
 // atomically, so an Add contends only with other mutations touching the
 // same partitions — in-flight queries keep scanning the previous epochs
 // and later queries see the whole batch.
+//
+// Add is the composition of EncodeRoute, AllocIDs and ApplyAdd — split
+// so the durability layer can log the encoded mutation (cells, ids,
+// codes) between allocation and application: exactly what the WAL
+// replays after a crash, byte-for-byte what the original Add indexed.
 func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
+	cells, codes, err := ix.EncodeRoute(vecs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(cells)
+	base := ix.AllocIDs(n)
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = base + int64(i)
+	}
+	if err := ix.ApplyAdd(cells, ids, codes); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// EncodeRoute routes each row of vecs to its coarse cell and encodes its
+// residual, returning the parallel cell slice and the flat n×M code
+// block. It is read-only with respect to index state: pure computation
+// against the trained quantizers, safe to run outside any mutation lock.
+func (ix *Index) EncodeRoute(vecs vec.Matrix) (cells []int, codes []uint8, err error) {
 	if vecs.Dim != ix.Dim {
-		return nil, fmt.Errorf("index: vector dim %d != index dim %d", vecs.Dim, ix.Dim)
+		return nil, nil, fmt.Errorf("index: vector dim %d != index dim %d", vecs.Dim, ix.Dim)
 	}
 	if ix.PQ.Bits > 8 {
-		return nil, fmt.Errorf("index: online Add requires at most 8 bits per component, index uses %v", ix.PQ.Config)
+		return nil, nil, fmt.Errorf("index: online Add requires at most 8 bits per component, index uses %v", ix.PQ.Config)
 	}
-
-	// Encode and route first, bucketing per partition, so each partition
-	// (and its Fast Scan layout) sees one copy-on-write rebuild per
-	// batch: large batches amortize to a single regroup pass.
 	n := vecs.Rows()
-	ids := make([]int64, n)
-	cells := make([]int, n)
-	type chunk struct {
-		codes []uint8
-		ids   []int64
-	}
-	chunks := make([]chunk, ix.Partitions())
+	m := ix.PQ.M
+	cells = make([]int, n)
+	codes = make([]uint8, n*m)
 	residual := make([]float32, ix.Dim)
-	code := make([]uint8, ix.PQ.M)
-	base := ix.nextID.Add(int64(n)) - int64(n) // reserve a contiguous id block
 	for i := 0; i < n; i++ {
 		row := vecs.Row(i)
 		c, _ := vec.ArgminL2(row, ix.Coarse.Data, ix.Dim)
@@ -62,11 +78,55 @@ func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
 		for d, v := range row {
 			residual[d] = v - cRow[d]
 		}
-		ix.PQ.Encode(residual, code)
-
-		ids[i] = base + int64(i)
+		ix.PQ.Encode(residual, codes[i*m:(i+1)*m])
 		cells[i] = c
-		chunks[c].codes = append(chunks[c].codes, code...)
+	}
+	return cells, codes, nil
+}
+
+// AllocIDs reserves a contiguous block of n ids and returns the first.
+func (ix *Index) AllocIDs(n int) int64 {
+	return ix.nextID.Add(int64(n)) - int64(n)
+}
+
+// ApplyAdd indexes pre-encoded rows: cells[i] receives the vector with
+// ids[i] and codes [i*M, (i+1)*M). Normal Adds arrive here with ids from
+// AllocIDs; WAL replay arrives with the ids recorded at the original
+// acknowledgement, so ApplyAdd also advances the allocator past any
+// applied id — a reloaded index never re-issues an id the log already
+// assigned.
+func (ix *Index) ApplyAdd(cells []int, ids []int64, codes []uint8) error {
+	n := len(cells)
+	m := ix.PQ.M
+	if len(ids) != n || len(codes) != n*m {
+		return fmt.Errorf("index: apply shape mismatch: %d cells, %d ids, %d codes for M=%d",
+			n, len(ids), len(codes), m)
+	}
+	var maxID int64 = -1
+	for i, c := range cells {
+		if c < 0 || c >= ix.Partitions() {
+			return fmt.Errorf("index: cell %d out of range [0,%d)", c, ix.Partitions())
+		}
+		if ids[i] > maxID {
+			maxID = ids[i]
+		}
+	}
+	for next := ix.nextID.Load(); next <= maxID; next = ix.nextID.Load() {
+		if ix.nextID.CompareAndSwap(next, maxID+1) {
+			break
+		}
+	}
+
+	// Bucket per partition so each partition (and its Fast Scan layout)
+	// sees one copy-on-write rebuild per batch: large batches amortize to
+	// a single regroup pass.
+	type chunk struct {
+		codes []uint8
+		ids   []int64
+	}
+	chunks := make([]chunk, ix.Partitions())
+	for i, c := range cells {
+		chunks[c].codes = append(chunks[c].codes, codes[i*m:(i+1)*m]...)
 		chunks[c].ids = append(chunks[c].ids, ids[i])
 	}
 
@@ -110,7 +170,7 @@ func (ix *Index) Add(vecs vec.Matrix) ([]int64, error) {
 		}
 	}
 	ix.locateMu.Unlock()
-	return ids, nil
+	return nil
 }
 
 // Delete tombstones the vector with the given id by publishing a new

@@ -27,8 +27,21 @@
 //	per partition: u32 n, n x m bytes codes, n x i64 ids,
 //	               u32 nDead, nDead x i64 tombstoned ids
 //
-// Integrity is protected by a trailing CRC-32 (IEEE) over everything
-// after the magic.
+// Version 3 (written by default) extends version 2 for crash-safe
+// durability (DESIGN.md §14):
+//
+//	"PQFSIDX\x03"
+//	... identical through nextID ...
+//	u64 walEpoch (the WAL segment epoch this snapshot pairs with:
+//	              recovery replays segments with epoch >= walEpoch)
+//	... partitions as in version 2 ...
+//	u32 crc32c | "PQFSEND1"
+//
+// In versions 1 and 2 integrity is protected by a trailing CRC-32
+// (IEEE) over everything after the magic; version 3 switches to CRC-32C
+// (Castagnoli, hardware-accelerated, matching the WAL) and adds an end
+// magic so a truncated file is detected even if the truncation point
+// happens to leave a self-consistent prefix.
 package persist
 
 import (
@@ -41,18 +54,32 @@ import (
 	"math"
 	"os"
 
+	"pqfastscan/internal/fsio"
 	"pqfastscan/internal/index"
 	"pqfastscan/internal/quantizer"
 	"pqfastscan/internal/scan"
 	"pqfastscan/internal/vec"
 )
 
-var magicPrefix = []byte("PQFSIDX")
+var (
+	magicPrefix = []byte("PQFSIDX")
+	endMagic    = []byte("PQFSEND1")
+	castagnoli  = crc32.MakeTable(crc32.Castagnoli)
+)
 
 const (
 	version1 = 1 // seed format: immutable index
 	version2 = 2 // adds the id allocator and per-partition tombstones
+	version3 = 3 // adds the WAL epoch, CRC-32C and an end magic
 )
+
+// crcFor returns the checksum implementation of a format version.
+func crcFor(version uint8) hash.Hash32 {
+	if version >= version3 {
+		return crc32.New(castagnoli)
+	}
+	return crc32.NewIEEE()
+}
 
 // maxReasonable bounds untrusted size fields while decoding.
 const maxReasonable = 1 << 31
@@ -68,9 +95,10 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteIndex serializes ix to w in the current format (version 2).
+// WriteIndex serializes ix to w in the current format (version 3, WAL
+// epoch 0 — a plain export not paired with any log).
 func WriteIndex(w io.Writer, ix *index.Index) error {
-	return writeIndex(w, ix, version2)
+	return writeCapture(w, ix.Capture(), version3, 0)
 }
 
 // WriteIndexV1 serializes ix in the seed's version-1 format, for
@@ -78,21 +106,23 @@ func WriteIndex(w io.Writer, ix *index.Index) error {
 // carrying tombstones, which version 1 cannot represent (appended
 // vectors are fine: they are ordinary codes in their partition block).
 func WriteIndexV1(w io.Writer, ix *index.Index) error {
-	return writeIndex(w, ix, version1)
+	return writeCapture(w, ix.Capture(), version1, 0)
 }
 
-func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
-	// Serialize a coherent image without blocking writers: load the
-	// immutable serving snapshot once and write entirely from it. Ids
-	// are allocated before their partition is published, so reading the
-	// allocator after the snapshot guarantees nextID covers every id the
-	// captured partitions hold.
-	snap := ix.Snapshot()
-	parts := make([]*scan.Partition, len(snap.Parts))
-	for i, pe := range snap.Parts {
-		parts[i] = pe.Part
-	}
-	nextID := ix.NextID()
+// WriteCapture serializes a point-in-time capture in the current format,
+// stamped with the WAL segment epoch it pairs with. This is the
+// checkpoint write path: the durability layer captures under its
+// mutation lock and serializes here without blocking writers.
+func WriteCapture(w io.Writer, cap index.Capture, walEpoch uint64) error {
+	return writeCapture(w, cap, version3, walEpoch)
+}
+
+func writeCapture(w io.Writer, cap index.Capture, version uint8, walEpoch uint64) error {
+	// The capture is a coherent image: sealed partitions from one
+	// snapshot plus an allocator position read after it, so nextID covers
+	// every id the captured partitions hold.
+	parts := cap.Parts
+	nextID := cap.NextID
 
 	if version < version2 {
 		for pi, p := range parts {
@@ -106,7 +136,7 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 	if _, err := bw.Write(append(append([]byte(nil), magicPrefix...), version)); err != nil {
 		return fmt.Errorf("persist: writing magic: %w", err)
 	}
-	cw := &countingWriter{w: bw, crc: crc32.NewIEEE()}
+	cw := &countingWriter{w: bw, crc: crcFor(version)}
 	le := binary.LittleEndian
 
 	writeU32 := func(v uint32) error {
@@ -124,9 +154,9 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 		return err
 	}
 
-	pq := ix.PQ
+	pq := cap.PQ
 	header := []uint32{
-		uint32(ix.Dim), uint32(len(parts)),
+		uint32(cap.Dim), uint32(len(parts)),
 		uint32(pq.M), uint32(pq.Bits), uint32(pq.SubDim),
 	}
 	for _, v := range header {
@@ -139,11 +169,11 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 			return fmt.Errorf("persist: writing codebook %d: %w", j, err)
 		}
 	}
-	if err := writeF32s(ix.Coarse.Data); err != nil {
+	if err := writeF32s(cap.Coarse.Data); err != nil {
 		return fmt.Errorf("persist: writing coarse centroids: %w", err)
 	}
 
-	opt := ix.Options()
+	opt := cap.Opt
 	var optBuf [14]byte
 	le.PutUint64(optBuf[0:], math.Float64bits(opt.FastScan.Keep))
 	le.PutUint32(optBuf[8:], uint32(int32(opt.FastScan.GroupComponents)))
@@ -162,6 +192,13 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 		le.PutUint64(idBuf[:], uint64(nextID))
 		if _, err := cw.Write(idBuf[:]); err != nil {
 			return fmt.Errorf("persist: writing next id: %w", err)
+		}
+	}
+	if version >= version3 {
+		var epochBuf [8]byte
+		le.PutUint64(epochBuf[:], walEpoch)
+		if _, err := cw.Write(epochBuf[:]); err != nil {
+			return fmt.Errorf("persist: writing wal epoch: %w", err)
 		}
 	}
 
@@ -202,6 +239,11 @@ func writeIndex(w io.Writer, ix *index.Index, version uint8) error {
 	if _, err := bw.Write(crcBuf[:]); err != nil {
 		return fmt.Errorf("persist: writing checksum: %w", err)
 	}
+	if version >= version3 {
+		if _, err := bw.Write(endMagic); err != nil {
+			return fmt.Errorf("persist: writing end magic: %w", err)
+		}
+	}
 	return bw.Flush()
 }
 
@@ -222,6 +264,14 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 	return ReadIndexCells(r, nil)
 }
 
+// ReadIndexEpoch is ReadIndex returning also the WAL segment epoch the
+// snapshot was stamped with (0 for formats before v3 and for plain
+// exports) — the recovery path reads it to know which log segments to
+// replay.
+func ReadIndexEpoch(r io.Reader) (*index.Index, uint64, error) {
+	return readIndexCells(r, nil)
+}
+
 // ReadIndexCells is ReadIndex restricted to a subset of coarse cells —
 // the shard-side load path of scatter-gather cluster serving. A nil
 // keep loads everything; otherwise partitions whose cell id is not in
@@ -232,21 +282,26 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 // tables and distances for those cells as a full single-node load.
 // The trailing CRC still covers the whole file, skipped cells included.
 func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
+	ix, _, err := readIndexCells(r, keep)
+	return ix, err
+}
+
+func readIndexCells(r io.Reader, keep []int) (*index.Index, uint64, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magicPrefix)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("persist: reading magic: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading magic: %w", err)
 	}
 	for i := range magicPrefix {
 		if head[i] != magicPrefix[i] {
-			return nil, fmt.Errorf("persist: bad magic %q (not a pqfastscan index)", head)
+			return nil, 0, fmt.Errorf("persist: bad magic %q (not a pqfastscan index)", head)
 		}
 	}
 	version := head[len(magicPrefix)]
-	if version < version1 || version > version2 {
-		return nil, fmt.Errorf("persist: unsupported format version %d (this build reads versions %d-%d)", version, version1, version2)
+	if version < version1 || version > version3 {
+		return nil, 0, fmt.Errorf("persist: unsupported format version %d (this build reads versions %d-%d)", version, version1, version3)
 	}
-	cr := &countingReader{r: br, crc: crc32.NewIEEE()}
+	cr := &countingReader{r: br, crc: crcFor(version)}
 	le := binary.LittleEndian
 
 	readU32 := func() (int, error) {
@@ -274,26 +329,26 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 
 	dim, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading dim: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading dim: %w", err)
 	}
 	partitions, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading partition count: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading partition count: %w", err)
 	}
 	m, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading m: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading m: %w", err)
 	}
 	bits, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading bits: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading bits: %w", err)
 	}
 	subdim, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading subdim: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading subdim: %w", err)
 	}
 	if m <= 0 || bits <= 0 || bits > 16 || subdim <= 0 || m*subdim != dim || partitions <= 0 {
-		return nil, fmt.Errorf("persist: inconsistent header (dim=%d partitions=%d m=%d bits=%d subdim=%d)",
+		return nil, 0, fmt.Errorf("persist: inconsistent header (dim=%d partitions=%d m=%d bits=%d subdim=%d)",
 			dim, partitions, m, bits, subdim)
 	}
 	var keepSet map[int]bool
@@ -301,7 +356,7 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 		keepSet = make(map[int]bool, len(keep))
 		for _, c := range keep {
 			if c < 0 || c >= partitions {
-				return nil, fmt.Errorf("persist: kept cell %d out of range [0,%d)", c, partitions)
+				return nil, 0, fmt.Errorf("persist: kept cell %d out of range [0,%d)", c, partitions)
 			}
 			keepSet[c] = true
 		}
@@ -316,19 +371,19 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 	for j := 0; j < m; j++ {
 		data, err := readF32s(cfg.KStar() * subdim)
 		if err != nil {
-			return nil, fmt.Errorf("persist: reading codebook %d: %w", j, err)
+			return nil, 0, fmt.Errorf("persist: reading codebook %d: %w", j, err)
 		}
 		pq.Codebooks[j] = vec.Matrix{Data: data, Dim: subdim}
 	}
 	coarseData, err := readF32s(partitions * dim)
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading coarse centroids: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading coarse centroids: %w", err)
 	}
 	coarse := vec.Matrix{Data: coarseData, Dim: dim}
 
 	var optBuf [14]byte
 	if _, err := io.ReadFull(cr, optBuf[:]); err != nil {
-		return nil, fmt.Errorf("persist: reading options: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading options: %w", err)
 	}
 	opt := index.Options{
 		Partitions:         partitions,
@@ -346,27 +401,35 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 	if version >= version2 {
 		var idBuf [8]byte
 		if _, err := io.ReadFull(cr, idBuf[:]); err != nil {
-			return nil, fmt.Errorf("persist: reading next id: %w", err)
+			return nil, 0, fmt.Errorf("persist: reading next id: %w", err)
 		}
 		nextID = int64(le.Uint64(idBuf[:]))
 		if nextID < 0 {
-			return nil, fmt.Errorf("persist: implausible next id %d", nextID)
+			return nil, 0, fmt.Errorf("persist: implausible next id %d", nextID)
 		}
+	}
+	var walEpoch uint64
+	if version >= version3 {
+		var epochBuf [8]byte
+		if _, err := io.ReadFull(cr, epochBuf[:]); err != nil {
+			return nil, 0, fmt.Errorf("persist: reading wal epoch: %w", err)
+		}
+		walEpoch = le.Uint64(epochBuf[:])
 	}
 
 	parts := make([]*scan.Partition, partitions)
 	for pi := 0; pi < partitions; pi++ {
 		n, err := readU32()
 		if err != nil {
-			return nil, fmt.Errorf("persist: reading partition %d size: %w", pi, err)
+			return nil, 0, fmt.Errorf("persist: reading partition %d size: %w", pi, err)
 		}
 		codes := make([]uint8, n*m)
 		if _, err := io.ReadFull(cr, codes); err != nil {
-			return nil, fmt.Errorf("persist: reading partition %d codes: %w", pi, err)
+			return nil, 0, fmt.Errorf("persist: reading partition %d codes: %w", pi, err)
 		}
 		idBuf := make([]byte, 8*n)
 		if _, err := io.ReadFull(cr, idBuf); err != nil {
-			return nil, fmt.Errorf("persist: reading partition %d ids: %w", pi, err)
+			return nil, 0, fmt.Errorf("persist: reading partition %d ids: %w", pi, err)
 		}
 		if version < version2 {
 			// No stored allocator: recompute it here, over every cell's
@@ -393,14 +456,14 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 		if version >= version2 {
 			nDead, err := readU32()
 			if err != nil {
-				return nil, fmt.Errorf("persist: reading partition %d tombstone count: %w", pi, err)
+				return nil, 0, fmt.Errorf("persist: reading partition %d tombstone count: %w", pi, err)
 			}
 			if nDead > n {
-				return nil, fmt.Errorf("persist: partition %d has %d tombstones for %d vectors", pi, nDead, n)
+				return nil, 0, fmt.Errorf("persist: partition %d has %d tombstones for %d vectors", pi, nDead, n)
 			}
 			deadBuf := make([]byte, 8*nDead)
 			if _, err := io.ReadFull(cr, deadBuf); err != nil {
-				return nil, fmt.Errorf("persist: reading partition %d tombstones: %w", pi, err)
+				return nil, 0, fmt.Errorf("persist: reading partition %d tombstones: %w", pi, err)
 			}
 			if kept {
 				dead := make([]int64, nDead)
@@ -415,31 +478,63 @@ func ReadIndexCells(r io.Reader, keep []int) (*index.Index, error) {
 	sum := cr.crc.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-		return nil, fmt.Errorf("persist: reading checksum: %w", err)
+		return nil, 0, fmt.Errorf("persist: reading checksum: %w", err)
 	}
 	if got := le.Uint32(crcBuf[:]); got != sum {
-		return nil, fmt.Errorf("persist: checksum mismatch (file %#x, computed %#x)", got, sum)
+		return nil, 0, fmt.Errorf("persist: checksum mismatch (file %#x, computed %#x)", got, sum)
 	}
-	return index.Restore(dim, coarse, pq, parts, opt, nextID), nil
+	if version >= version3 {
+		end := make([]byte, len(endMagic))
+		if _, err := io.ReadFull(br, end); err != nil {
+			return nil, 0, fmt.Errorf("persist: reading end magic (file truncated?): %w", err)
+		}
+		for i := range endMagic {
+			if end[i] != endMagic[i] {
+				return nil, 0, fmt.Errorf("persist: bad end magic %q (file truncated or corrupt)", end)
+			}
+		}
+	}
+	return index.Restore(dim, coarse, pq, parts, opt, nextID), walEpoch, nil
 }
 
-// SaveIndex writes ix to path atomically (write to a temp file in the
-// same directory, then rename).
+// SaveIndex writes ix to path atomically and durably: write to a temp
+// file in the same directory, fsync it, rename it into place, and fsync
+// the parent directory so the rename itself survives power loss. Without
+// the two fsyncs a crash shortly after SaveIndex could leave either an
+// empty rename target or the old file — the classic torn-rename bug.
 func SaveIndex(path string, ix *index.Index) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".pqfsidx-*")
+	return saveCapture(fsio.OS, path, ix.Capture(), version3, 0)
+}
+
+// SaveCapture atomically and durably writes a checkpoint capture
+// stamped with its WAL epoch, through the given filesystem (the crash
+// harness injects failing ones; production passes fsio.OS).
+func SaveCapture(fsys fsio.FS, path string, cap index.Capture, walEpoch uint64) error {
+	return saveCapture(fsys, path, cap, version3, walEpoch)
+}
+
+func saveCapture(fsys fsio.FS, path string, cap index.Capture, version uint8, walEpoch uint64) error {
+	tmp, err := fsys.CreateTemp(dirOf(path), ".pqfsidx-*")
 	if err != nil {
 		return fmt.Errorf("persist: creating temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name())
-	if err := WriteIndex(tmp, ix); err != nil {
+	defer fsys.Remove(tmp.Name())
+	if err := writeCapture(tmp, cap, version, walEpoch); err != nil {
 		tmp.Close()
 		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing temp file: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: closing temp file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: renaming into place: %w", err)
+	}
+	if err := fsys.SyncDir(dirOf(path)); err != nil {
+		return fmt.Errorf("persist: syncing directory: %w", err)
 	}
 	return nil
 }
@@ -447,6 +542,17 @@ func SaveIndex(path string, ix *index.Index) error {
 // LoadIndex reads an index from path.
 func LoadIndex(path string) (*index.Index, error) {
 	return LoadIndexCells(path, nil)
+}
+
+// LoadIndexEpoch reads an index and its stamped WAL epoch from path,
+// through the given filesystem — the recovery path.
+func LoadIndexEpoch(fsys fsio.FS, path string) (*index.Index, uint64, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: opening index: %w", err)
+	}
+	defer f.Close()
+	return readIndexCells(f, nil)
 }
 
 // LoadIndexCells reads an index from path keeping only the listed

@@ -157,6 +157,9 @@ type Stats struct {
 	Admission      AdmissionStats             `json:"admission"`
 	Snapshot       SnapshotStats              `json:"snapshot"`
 	Compaction     CompactionStats            `json:"compaction"`
+	// WAL is present only when the server runs durably (-wal-dir): log
+	// size, record count and fsync latency quantiles.
+	WAL *pqfastscan.WALStats `json:"wal,omitempty"`
 }
 
 // CompactionStats is the /stats projection of online compaction.

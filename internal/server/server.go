@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -89,8 +90,26 @@ type Config struct {
 	// SnapshotPath, when set, is where /save and the periodic saver
 	// persist the serving index.
 	SnapshotPath string
-	// SaveInterval enables periodic background Save when positive.
+	// SaveInterval enables periodic background Save when positive. With
+	// WALDir set, the periodic save is a checkpoint: it persists the
+	// durable snapshot and truncates the write-ahead log.
 	SaveInterval time.Duration
+
+	// WALDir, when set, makes the serving index crash-safe: every
+	// acknowledged /add and /delete is write-ahead logged into this
+	// directory before the 200 is sent, and startup recovers the exact
+	// acknowledged state from the snapshot + log found there (the server
+	// reports "recovering" on /readyz until replay completes). When the
+	// directory holds durable state, it takes precedence over Index/Load
+	// as the boot source — the recovered state is, by construction, the
+	// newest acknowledged one.
+	WALDir string
+	// WALSyncEvery, when positive, switches the log to batched group
+	// commit (fsync every N records) instead of sync-on-ack.
+	WALSyncEvery int
+	// WALSyncInterval, when positive, adds a background fsync every
+	// interval (bounds batched-mode data loss in time).
+	WALSyncInterval time.Duration
 
 	// CompactInterval enables the background compaction policy when
 	// positive: every interval, partitions whose dead ratio reaches
@@ -163,6 +182,10 @@ type Server struct {
 	// carries a failed deferred load's message for /readyz.
 	warming atomic.Bool
 	loadErr atomic.Pointer[string]
+	// recovering is true while startup WAL replay runs — a sub-state of
+	// warming that /readyz names explicitly, since recovery time scales
+	// with log length rather than index size.
+	recovering atomic.Bool
 	// draining is set by Close (and BeginDrain) so readiness probes and
 	// routers steer new traffic away while in-flight work finishes.
 	draining atomic.Bool
@@ -197,8 +220,15 @@ type Server struct {
 // around a deferred index load that completes in the background while
 // the server is already answering liveness probes.
 func New(cfg Config) (*Server, error) {
-	if (cfg.Index == nil) == (cfg.Load == nil) {
-		return nil, errors.New("server: exactly one of Config.Index and Config.Load is required")
+	if cfg.Index != nil && cfg.Load != nil {
+		return nil, errors.New("server: at most one of Config.Index and Config.Load may be set")
+	}
+	if cfg.Index == nil && cfg.Load == nil {
+		// No in-process index and no loader: the only remaining boot
+		// source is durable state already present in WALDir.
+		if cfg.WALDir == "" || !pqfastscan.HasDurable(cfg.WALDir) {
+			return nil, errors.New("server: one of Config.Index, Config.Load or a WALDir holding durable state is required")
+		}
 	}
 	cfg = cfg.withDefaults()
 	m := newMetrics(endpointNames)
@@ -225,9 +255,27 @@ func New(cfg Config) (*Server, error) {
 	s.handle("/save", http.MethodPost, s.handleSave)
 	s.handle("/compact", http.MethodPost, s.handleCompact)
 
-	if cfg.Index != nil {
+	switch {
+	case cfg.WALDir != "":
+		// A durable boot always runs deferred, even with an in-process
+		// Index: recovery replay time scales with the log, and the server
+		// should answer probes (reporting "recovering") meanwhile.
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			idx, err := s.openDurable()
+			if err != nil {
+				msg := err.Error()
+				s.loadErr.Store(&msg)
+				s.cfg.Logf("server: durable index open failed: %v", err)
+				return
+			}
+			s.install(idx)
+			s.cfg.Logf("server: durable index ready, serving %d live vectors (wal %s)", idx.Live(), cfg.WALDir)
+		}()
+	case cfg.Index != nil:
 		s.install(cfg.Index)
-	} else {
+	default:
 		s.bg.Add(1)
 		go func() {
 			defer s.bg.Done()
@@ -243,7 +291,7 @@ func New(cfg Config) (*Server, error) {
 		}()
 	}
 
-	if cfg.SaveInterval > 0 && cfg.SnapshotPath != "" {
+	if cfg.SaveInterval > 0 && (cfg.SnapshotPath != "" || cfg.WALDir != "") {
 		s.bg.Add(1)
 		go s.saveLoop()
 	}
@@ -252,6 +300,39 @@ func New(cfg Config) (*Server, error) {
 		go s.compactLoop()
 	}
 	return s, nil
+}
+
+// openDurable opens the crash-safe serving index: recovery from WALDir
+// when it holds durable state (snapshot + log replay), otherwise a
+// fresh durable boot from the configured Index or Load with the WAL
+// switched on. Existing durable state wins over Index/Load — it is, by
+// construction, the newest acknowledged state.
+func (s *Server) openDurable() (*pqfastscan.Index, error) {
+	opts := pqfastscan.DurabilityOptions{
+		SyncEvery:    s.cfg.WALSyncEvery,
+		SyncInterval: s.cfg.WALSyncInterval,
+	}
+	if pqfastscan.HasDurable(s.cfg.WALDir) {
+		s.recovering.Store(true)
+		defer s.recovering.Store(false)
+		idx, err := pqfastscan.Recover(s.cfg.WALDir, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.cfg.Logf("server: recovered durable state from %s", s.cfg.WALDir)
+		return idx, nil
+	}
+	idx := s.cfg.Index
+	if idx == nil {
+		var err error
+		if idx, err = s.cfg.Load(); err != nil {
+			return nil, err
+		}
+	}
+	if err := idx.WithWAL(s.cfg.WALDir, opts); err != nil {
+		return nil, err
+	}
+	return idx, nil
 }
 
 // install publishes the loaded index and its batcher and flips the
@@ -312,6 +393,11 @@ func (s *Server) Close() error {
 		s.bg.Wait()
 		if b := s.batch.Load(); b != nil {
 			b.close()
+		}
+		if idx := s.idx.Load(); idx != nil {
+			if err := idx.CloseWAL(); err != nil {
+				s.cfg.Logf("server: closing wal: %v", err)
+			}
 		}
 	})
 	return nil
@@ -432,6 +518,16 @@ type SearchNeighbor struct {
 type SearchResponse struct {
 	Results    []SearchNeighbor `json:"results"`
 	Partitions []int            `json:"partitions"`
+	// Coverage is set only on a router's degraded (partial) answer:
+	// how many of the ranked probe cells were actually scanned. A
+	// single node always answers in full and omits it.
+	Coverage *Coverage `json:"coverage,omitempty"`
+}
+
+// Coverage quantifies a partial scatter-gather answer.
+type Coverage struct {
+	CellsAnswered int `json:"cells_answered"`
+	CellsTotal    int `json:"cells_total"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -654,6 +750,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		httpError(w, http.StatusServiceUnavailable, "draining: shutdown in progress")
+	case s.recovering.Load():
+		httpError(w, http.StatusServiceUnavailable, "recovering: wal replay in progress")
 	case s.warming.Load():
 		msg := "warming up: index load in progress"
 		if e := s.loadErr.Load(); e != nil {
@@ -715,8 +813,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // matter what mutations land while it is built.
 func (s *Server) StatsSnapshot() Stats {
 	var pstats []pqfastscan.PartitionStat
+	var walStats *pqfastscan.WALStats
 	if idx := s.idx.Load(); idx != nil {
 		pstats = idx.PartitionStats()
+		if ws, ok := idx.WALStats(); ok {
+			walStats = &ws
+		}
 	}
 	live := 0
 	sizes := make([]int, len(pstats))
@@ -753,6 +855,7 @@ func (s *Server) StatsSnapshot() Stats {
 			LastSaveUnix: s.metrics.lastSave.Load(),
 			Path:         s.cfg.SnapshotPath,
 		},
+		WAL: walStats,
 	}
 	for name, em := range s.metrics.endpoints {
 		st.Endpoints[name] = em.stats()
@@ -801,6 +904,10 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	defer s.swapMu.Unlock()
 	if _, err := idx.Swap(next); err != nil {
 		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err := s.checkpointAfterSwapLocked(idx); err != nil {
+		httpError(w, http.StatusInternalServerError, "swapped, but checkpoint failed: "+err.Error())
 		return
 	}
 	s.metrics.swaps.Add(1)
@@ -897,6 +1004,14 @@ func (s *Server) handleSwapCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.swapMu.Lock()
 	_, err := idx.Swap(next)
+	if err == nil {
+		err = s.checkpointAfterSwapLocked(idx)
+		if err != nil {
+			s.swapMu.Unlock()
+			httpError(w, http.StatusInternalServerError, "committed, but checkpoint failed: "+err.Error())
+			return
+		}
+	}
 	s.swapMu.Unlock()
 	if err != nil {
 		// Unreachable when prepare validated against the same serving
@@ -948,6 +1063,18 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	path := req.Path
+	if path == "" && s.cfg.WALDir != "" {
+		// Parameterless save on a durable server is a checkpoint: it
+		// persists the durable snapshot and truncates the log. An
+		// explicit path is still a plain export (below), leaving the
+		// durable state untouched.
+		if err := s.checkpoint(); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, SaveResponse{Saved: true, Path: filepath.Join(s.cfg.WALDir, pqfastscan.SnapshotFileName)})
+		return
+	}
 	if path == "" {
 		path = s.cfg.SnapshotPath
 	}
@@ -960,6 +1087,48 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SaveResponse{Saved: true, Path: path})
+}
+
+// checkpointAfterSwapLocked makes a just-committed swap durable. The
+// caller holds swapMu exclusively, so no mutation can be acknowledged
+// between the snapshot swap and the checkpoint — the window in which a
+// crash would recover pre-swap state under a log claiming post-swap
+// mutations. Until the checkpoint returns, the swap is not durable;
+// after it, recovery starts from the swapped-in snapshot.
+func (s *Server) checkpointAfterSwapLocked(idx *pqfastscan.Index) error {
+	if s.cfg.WALDir == "" {
+		return nil
+	}
+	if err := idx.Checkpoint(); err != nil {
+		s.metrics.saveErrors.Add(1)
+		return err
+	}
+	s.metrics.saves.Add(1)
+	s.metrics.lastSave.Store(time.Now().Unix())
+	return nil
+}
+
+// checkpoint persists the durable snapshot and truncates the log — the
+// WAL-mode counterpart of save, run by the periodic saver and by
+// parameterless /save.
+func (s *Server) checkpoint() error {
+	idx := s.idx.Load()
+	if idx == nil {
+		return errors.New("server: no index loaded yet")
+	}
+	// Shared side of swapMu: the checkpoint's own durability lock orders
+	// it against mutations; here it only must not interleave with a
+	// /swap (whose handler runs its own checkpoint under the write
+	// side).
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
+	if err := idx.Checkpoint(); err != nil {
+		s.metrics.saveErrors.Add(1)
+		return err
+	}
+	s.metrics.saves.Add(1)
+	s.metrics.lastSave.Store(time.Now().Unix())
+	return nil
 }
 
 func (s *Server) save(path string) error {
@@ -1144,6 +1313,14 @@ func (s *Server) saveLoop() {
 	for {
 		select {
 		case <-t.C:
+			if s.cfg.WALDir != "" {
+				if err := s.checkpoint(); err != nil {
+					s.cfg.Logf("server: periodic checkpoint: %v", err)
+				} else {
+					s.cfg.Logf("server: checkpointed durable snapshot in %s", s.cfg.WALDir)
+				}
+				continue
+			}
 			if err := s.save(s.cfg.SnapshotPath); err != nil {
 				s.cfg.Logf("server: periodic save: %v", err)
 			} else {

@@ -1,0 +1,399 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pqfastscan/internal/fsio"
+)
+
+// collect replays a segment into a flat record slice.
+func collect(t *testing.T, path string) ([]*Record, ReplayResult) {
+	t.Helper()
+	var recs []*Record
+	res, err := Replay(fsio.OS, path, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, res
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []int{2, 0, 2}
+	ids := []int64{100, 101, 102}
+	codes := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if err := l.AppendAdd(cells, ids, codes, 4); err != nil {
+		t.Fatalf("AppendAdd: %v", err)
+	}
+	if err := l.AppendDelete(101); err != nil {
+		t.Fatalf("AppendDelete: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, res := collect(t, SegmentPath(dir, 7))
+	if res.Epoch != 7 || res.Truncated || res.Records != 2 {
+		t.Fatalf("replay result %+v, want epoch 7, 2 records, no truncation", res)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	add := recs[0]
+	if add.Type != RecordAdd || add.M != 4 {
+		t.Fatalf("record 0: %+v", add)
+	}
+	for i := range cells {
+		if add.Cells[i] != cells[i] || add.IDs[i] != ids[i] {
+			t.Fatalf("add row %d: cell %d id %d, want %d %d", i, add.Cells[i], add.IDs[i], cells[i], ids[i])
+		}
+	}
+	for i := range codes {
+		if add.Codes[i] != codes[i] {
+			t.Fatalf("add code byte %d: %d != %d", i, add.Codes[i], codes[i])
+		}
+	}
+	if recs[1].Type != RecordDelete || recs[1].ID != 101 {
+		t.Fatalf("record 1: %+v", recs[1])
+	}
+}
+
+func TestTornTailTruncatedAtLastGoodFrame(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 5; id++ {
+		if err := l.AppendDelete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := SegmentPath(dir, 1)
+	good, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: a frame header promising more payload than
+	// the crash left behind.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [11]byte
+	binary.LittleEndian.PutUint32(torn[0:], 9) // claims 9 payload bytes, delivers 3
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, res := collect(t, path)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records past a torn tail, want 5", len(recs))
+	}
+	if !res.Truncated || res.GoodBytes != good.Size() || res.TornBytes != int64(len(torn)) {
+		t.Fatalf("replay result %+v, want truncation at %d cutting %d bytes", res, good.Size(), len(torn))
+	}
+	if st, _ := os.Stat(path); st.Size() != good.Size() {
+		t.Fatalf("file not truncated: %d bytes, want %d", st.Size(), good.Size())
+	}
+
+	// A second replay of the truncated file sees the identical record
+	// stream with nothing left to cut.
+	recs2, res2 := collect(t, path)
+	if len(recs2) != 5 || res2.Truncated {
+		t.Fatalf("re-replay: %d records, truncated=%v", len(recs2), res2.Truncated)
+	}
+}
+
+func TestTornCRCTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := SegmentPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, res := collect(t, path)
+	if len(recs) != 1 || !res.Truncated {
+		t.Fatalf("got %d records, truncated=%v; want the corrupt record cut", len(recs), res.Truncated)
+	}
+	if recs[0].ID != 1 {
+		t.Fatalf("surviving record id %d, want 1", recs[0].ID)
+	}
+}
+
+func TestShortHeaderReplaysEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0000000000000003.log")
+	if err := os.WriteFile(path, []byte("PQFS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, path)
+	if len(recs) != 0 || !res.Truncated {
+		t.Fatalf("short-header segment: %d records, truncated=%v", len(recs), res.Truncated)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0000000000000001.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL0epoch..."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(fsio.OS, path, func(*Record) error { return nil }); err == nil {
+		t.Fatal("replay of a non-WAL file succeeded")
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := l.AppendDelete(int64(w*each + i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != writers*each {
+		t.Fatalf("recorded %d records, want %d", st.Records, writers*each)
+	}
+	// Group commit's whole point: concurrent sync-on-ack appenders share
+	// fsyncs. With 8 writers racing, leaders must have covered followers
+	// at least sometimes.
+	if st.Fsyncs >= st.Records {
+		t.Fatalf("%d fsyncs for %d records: group commit never batched", st.Fsyncs, st.Records)
+	}
+	recs, _ := collect(t, SegmentPath(dir, 1))
+	if len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+}
+
+func TestBatchedModeSyncEvery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{SyncEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := l.AppendDelete(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.SyncOnAck {
+		t.Fatal("SyncEvery>0 must report batched mode")
+	}
+	// 25 appends at SyncEvery=10 trigger exactly 2 threshold fsyncs
+	// (records 10 and 20); the header fsync in Create is not counted in
+	// Stats (it happens before the first record).
+	if st.Fsyncs != 2 {
+		t.Fatalf("%d fsyncs after 25 appends with SyncEvery=10, want 2", st.Fsyncs)
+	}
+	if err := l.Close(); err != nil { // close syncs the remaining 5
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, SegmentPath(dir, 1))
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records, want 25", len(recs))
+	}
+}
+
+func TestRotateStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(2); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if got := l.Epoch(); got != 2 {
+		t.Fatalf("epoch after rotate: %d", got)
+	}
+	if err := l.AppendDelete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := Segments(fsio.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].Epoch != 1 || segs[1].Epoch != 2 {
+		t.Fatalf("segments: %+v", segs)
+	}
+	for i, want := range []int64{1, 2} {
+		recs, res := collect(t, segs[i].Path)
+		if res.Epoch != segs[i].Epoch || len(recs) != 1 || recs[0].ID != want {
+			t.Fatalf("segment %d: epoch %d, %d records", i, res.Epoch, len(recs))
+		}
+	}
+}
+
+// failSyncFile makes the Nth fsync fail.
+type failSyncFile struct {
+	fsio.File
+	fs *failSyncFS
+}
+
+func (f *failSyncFile) Sync() error {
+	f.fs.syncs++
+	if f.fs.syncs == f.fs.failAt {
+		return errors.New("injected fsync failure")
+	}
+	return f.File.Sync()
+}
+
+type failSyncFS struct {
+	fsio.FS
+	syncs  int
+	failAt int
+}
+
+func (fs *failSyncFS) Create(name string) (fsio.File, error) {
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failSyncFile{File: f, fs: fs}, nil
+}
+
+func TestFsyncErrorSurfacedAndSticky(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &failSyncFS{FS: fsio.OS, failAt: 2} // fsync 1 is the header
+	l, err := Create(dir, 1, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(1); err == nil {
+		t.Fatal("append acknowledged through a failed fsync")
+	}
+	// The log is poisoned: no later append may be acknowledged either,
+	// because its record would sit after an unsynced horizon.
+	if err := l.AppendDelete(2); err == nil {
+		t.Fatal("append after a failed fsync succeeded")
+	}
+	l.Close()
+}
+
+func TestAppendShapeValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendAdd([]int{1}, []int64{1, 2}, []byte{0}, 1); err == nil {
+		t.Fatal("mismatched cells/ids accepted")
+	}
+	if err := l.AppendAdd([]int{1}, []int64{1}, []byte{0}, 2); err == nil {
+		t.Fatal("mismatched code width accepted")
+	}
+}
+
+func TestSegmentsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"snapshot.idx", "wal-zz.log", "wal-1.txt", "notes"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := Create(dir, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	segs, err := Segments(fsio.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Epoch != 42 {
+		t.Fatalf("segments: %+v", segs)
+	}
+}
+
+func TestReplayAbortsOnApplyError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.AppendDelete(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	wantErr := fmt.Errorf("apply failed")
+	n := 0
+	_, err = Replay(fsio.OS, SegmentPath(dir, 1), func(*Record) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("replay error %v, want the apply error", err)
+	}
+}

@@ -208,6 +208,10 @@ func DefaultBuildOptions() BuildOptions {
 // without pausing queries.
 type Index struct {
 	inner atomic.Pointer[index.Index]
+	// dur, when set, is the durability state (durability.go): mutations
+	// through this handle are write-ahead logged before acknowledgement.
+	// It belongs to the handle, so it survives Swap.
+	dur atomic.Pointer[durState]
 }
 
 // newIndex wraps an internal index in a façade handle.

@@ -236,7 +236,7 @@ var _ Searcher = (*optionedSearcher)(nil)
 // to an index rebuilt from scratch over the same vectors.
 func (ix *Index) Add(vector []float32) (int64, error) {
 	m := Matrix{Data: vector, Dim: len(vector)}
-	ids, err := ix.load().Add(m)
+	ids, err := ix.addDurable(m)
 	if err != nil {
 		return 0, err
 	}
@@ -246,7 +246,7 @@ func (ix *Index) Add(vector []float32) (int64, error) {
 // AddBatch indexes every row of vectors online and returns the assigned
 // ids in row order.
 func (ix *Index) AddBatch(vectors Matrix) ([]int64, error) {
-	return ix.load().Add(vectors)
+	return ix.addDurable(vectors)
 }
 
 // ErrNotFound is returned by Delete when the id is not live in the
@@ -262,7 +262,7 @@ var ErrNotFound = index.ErrNotFound
 // background policy). It returns ErrNotFound when the id was never
 // assigned or is no longer live.
 func (ix *Index) Delete(id int64) error {
-	return ix.load().Delete(id)
+	return ix.deleteDurable(id)
 }
 
 // PartitionStat describes one IVF cell's occupancy: live and tombstoned
