@@ -52,6 +52,20 @@
 //
 //	pqbench -serve -shards 1,2,4
 //	pqbench -json -serve -shards 1,2,4 > BENCH_prN.json
+//
+// -coldstart runs the beyond-RAM serving benchmark (DESIGN.md §15): a
+// synthetic index is sealed into disk extents, then for each pool
+// capacity in -coldstart-pools (fractions of the on-disk footprint) a
+// cold query pass — every partition faulting in from disk through the
+// buffer pool — is measured against a warm pass over the same queries.
+// The report records cold/warm QPS and latency quantiles, the pool's
+// hit/miss/eviction counters, and whether the residency invariant
+// (resident <= capacity + pinned) held throughout. Combine with -json
+// for the pqfastscan-bench/v7 document (the BENCH_pr8.json baseline):
+//
+//	pqbench -coldstart
+//	pqbench -coldstart -coldstart-pools 1.0,0.25,0.05
+//	pqbench -json -coldstart > BENCH_prN.json
 package main
 
 import (
@@ -98,6 +112,12 @@ func main() {
 		durOps     = flag.Int("durability-ops", 2000, "acked mutations per sync discipline for -durability")
 		durWriters = flag.Int("durability-writers", 4, "concurrent writer goroutines for -durability")
 
+		coldOut     = flag.Bool("coldstart", false, "run the beyond-RAM cold-start benchmark (disk extents behind the buffer pool: cold vs warm QPS/p99 over a pool-capacity sweep); with -json, emit one combined report")
+		coldN       = flag.Int("coldstart-n", 20000, "database size for the -coldstart benchmark")
+		coldParts   = flag.Int("coldstart-partitions", 8, "IVF cells for the -coldstart benchmark")
+		coldQueries = flag.Int("coldstart-queries", 64, "queries per cold/warm pass for -coldstart")
+		coldPools   = flag.String("coldstart-pools", "1.0,0.5,0.1", "comma-separated pool capacities for -coldstart, as fractions of the extent footprint")
+
 		shardsFlag = flag.String("shards", "", "comma-separated shard counts for the cluster scaling benchmark, e.g. \"1,2,4\"; with -json/-serve/-mixed, emit one combined report")
 		shardN     = flag.Int("shard-n", 100000, "database size for the -shards benchmark")
 		shardParts = flag.Int("shard-partitions", 8, "IVF cells for the -shards benchmark")
@@ -111,9 +131,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	poolFracs, err := parsePoolFractions(*coldPools)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	if *jsonOut || *serveOut || *mixedOut || *durOut || len(shardCounts) > 0 {
-		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, shardCounts, *seed, *jsonSize, *jsonK,
+	if *jsonOut || *serveOut || *mixedOut || *durOut || *coldOut || len(shardCounts) > 0 {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, *coldOut, shardCounts, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -146,6 +170,14 @@ func main() {
 				Concurrency: *shardConc,
 				Duration:    *shardDur,
 				Shards:      shardCounts,
+			},
+			bench.ColdstartConfig{
+				BaseN:      *coldN,
+				Partitions: *coldParts,
+				Seed:       *seed,
+				K:          *jsonK,
+				Queries:    *coldQueries,
+				Fractions:  poolFracs,
 			})
 		return
 	}
@@ -212,6 +244,24 @@ func main() {
 	}
 }
 
+// parsePoolFractions parses the -coldstart-pools flag: a comma-separated
+// list of pool capacities as fractions of the extent footprint.
+func parsePoolFractions(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad -coldstart-pools entry %q (want fractions in (0,1], e.g. \"1.0,0.5,0.1\")", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // parseShardCounts parses the -shards flag: a comma-separated list of
 // shard counts to measure. Empty disables the cluster benchmark.
 func parseShardCounts(s string) ([]int, error) {
@@ -231,11 +281,11 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 // runMachineReadable dispatches the -json / -serve / -mixed /
-// -durability / -shards modes: a single report alone, or the combined
-// pqfastscan-bench/v6 document when several are requested (the
-// BENCH_pr7.json baseline format: kernels per backend + serving +
-// durability + the cluster scaling curve).
-func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig) {
+// -durability / -shards / -coldstart modes: a single report alone, or
+// the combined pqfastscan-bench/v7 document when several are requested
+// (the BENCH_pr8.json baseline format: kernels per backend + serving +
+// durability + cluster scaling + the beyond-RAM cold-start sweep).
+func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig, coldCfg bench.ColdstartConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -248,7 +298,7 @@ func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []in
 	}
 	shards := len(shardCounts) > 0
 	single := 0
-	for _, on := range []bool{kernels, serve, mixed, durability, shards} {
+	for _, on := range []bool{kernels, serve, mixed, durability, shards, coldstart} {
 		if on {
 			single++
 		}
@@ -264,6 +314,8 @@ func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []in
 			err = bench.RunDurability(os.Stdout, durCfg)
 		case shards:
 			err = bench.RunCluster(os.Stdout, clusterCfg)
+		case coldstart:
+			err = bench.RunColdstart(os.Stdout, coldCfg)
 		default:
 			err = bench.RunWallClock(os.Stdout, seed, sizes, k)
 		}
@@ -273,11 +325,12 @@ func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []in
 		return
 	}
 
-	// v6: adds the durability section; v5 added the cluster scaling
+	// v7: adds the coldstart section and the mem record in the kernels
+	// header; v6 added the durability section; v5 the cluster scaling
 	// section; v4's kernels section carries the block-kernel backend
 	// record (active/available backends, CPU features, per-backend
 	// native Fast Scan rows) and the mixed section names its backend.
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v6"}
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v7"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
@@ -317,6 +370,14 @@ func runMachineReadable(kernels, serve, mixed, durability bool, shardCounts []in
 			log.Fatal(err)
 		}
 		combined.Cluster = cr
+	}
+	if coldstart {
+		fmt.Fprintln(os.Stderr, "running beyond-RAM cold-start benchmark...")
+		cr, err := bench.MeasureColdstart(coldCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.Coldstart = cr
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

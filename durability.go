@@ -106,8 +106,14 @@ func (ix *Index) WithWAL(dir string, opts DurabilityOptions) error {
 	}
 	const epoch = 1
 	d := &durState{dir: dir, opts: opts}
-	if err := persist.SaveCapture(fsio.OS, d.snapshotPath(), ix.load().Capture(), epoch); err != nil {
-		return err
+	cap, err := ix.load().Capture()
+	if err != nil {
+		return fmt.Errorf("pqfastscan: capturing for initial snapshot: %w", err)
+	}
+	serr := persist.SaveCapture(fsio.OS, d.snapshotPath(), cap, epoch)
+	cap.Release()
+	if serr != nil {
+		return serr
 	}
 	log, err := wal.Create(dir, epoch, opts.wal())
 	if err != nil {
@@ -146,12 +152,19 @@ func Recover(dir string, opts DurabilityOptions) (*Index, error) {
 
 	// Every id the snapshot holds, tombstoned rows included: replayed
 	// adds of these ids were already captured and must not re-apply.
+	// The freshly loaded index is RAM-resident, so Capture cannot fail
+	// and Release is a no-op, but keep the discipline uniform.
+	icap, err := in.Capture()
+	if err != nil {
+		return nil, fmt.Errorf("pqfastscan: recovering: %w", err)
+	}
 	seen := make(map[int64]struct{})
-	for _, p := range in.Capture().Parts {
+	for _, p := range icap.Parts {
 		for i := 0; i < p.N; i++ {
 			seen[p.ID(i)] = struct{}{}
 		}
 	}
+	icap.Release()
 
 	maxEpoch := snapEpoch
 	for _, seg := range segs {
@@ -181,11 +194,25 @@ func Recover(dir string, opts DurabilityOptions) (*Index, error) {
 		return nil, err
 	}
 	d := &durState{dir: dir, opts: opts, log: log}
-	if err := persist.SaveCapture(fsio.OS, path, in.Capture(), next); err != nil {
+	rcap, err := in.Capture()
+	if err != nil {
 		log.Close()
 		return nil, err
 	}
+	serr := persist.SaveCapture(fsio.OS, path, rcap, next)
+	rcap.Release()
+	if serr != nil {
+		log.Close()
+		return nil, serr
+	}
 	if err := removeSegmentsBefore(dir, next); err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Attach after the recovery checkpoint: the snapshot write above ran
+	// over RAM-resident partitions, and from here on the index serves
+	// (and checkpoints) through the paging stack like any other.
+	if err := autoAttach(in); err != nil {
 		log.Close()
 		return nil, err
 	}
@@ -264,17 +291,26 @@ func (ix *Index) Checkpoint() error {
 	defer d.ckptMu.Unlock()
 
 	d.mu.Lock()
-	cap := ix.load().Capture()
+	cap, cerr := ix.load().Capture()
+	if cerr != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("pqfastscan: capturing for checkpoint: %w", cerr)
+	}
 	next := d.log.Epoch() + 1
 	err := d.log.Rotate(next)
 	d.mu.Unlock()
 	if err != nil {
+		cap.Release()
 		return err
 	}
 	// From here every crash is safe: the old segment plus the new one
-	// replay to exactly the captured state plus later mutations.
-	if err := persist.SaveCapture(fsio.OS, d.snapshotPath(), cap, next); err != nil {
-		return err
+	// replay to exactly the captured state plus later mutations. On a
+	// paged index the capture holds every extent pinned until the save
+	// finishes — the snapshot write needs a stable view of the bytes.
+	serr := persist.SaveCapture(fsio.OS, d.snapshotPath(), cap, next)
+	cap.Release()
+	if serr != nil {
+		return serr
 	}
 	return removeSegmentsBefore(d.dir, next)
 }

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pqfastscan"
+)
+
+// Cold-start benchmarking for beyond-RAM serving (cmd/pqbench
+// -coldstart): seal a synthetic index into disk extents, then for each
+// pool capacity in a sweep (fractions of the extent footprint) measure
+// a cold pass — every partition faults in from disk — against a warm
+// pass over the same queries. The gap is the paging tax; the pool
+// counters recorded next to it show where it went (misses, evictions)
+// and prove the residency invariant held while it was paid.
+
+// ColdstartConfig parameterizes a cold-start run.
+type ColdstartConfig struct {
+	BaseN      int       // database size (default 20000)
+	LearnN     int       // training size (default BaseN/10, min 1000)
+	Partitions int       // IVF cells (default 8)
+	Seed       uint64    // dataset seed (default 42)
+	K          int       // neighbors per query (default 100)
+	NProbe     int       // cells probed per query (default: all partitions)
+	Queries    int       // distinct queries per pass (default 64)
+	Fractions  []float64 // pool capacities as fractions of the extent footprint (default 1.0, 0.5, 0.1)
+}
+
+func (c ColdstartConfig) withDefaults() ColdstartConfig {
+	if c.BaseN <= 0 {
+		c.BaseN = 20000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = c.Partitions
+	}
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if len(c.Fractions) == 0 {
+		c.Fractions = []float64{1.0, 0.5, 0.1}
+	}
+	return c
+}
+
+// ColdstartSweep is one pool capacity point: a cold pass (pool emptied
+// first) and a warm pass over the same query set, with the pool-counter
+// deltas that explain the gap.
+type ColdstartSweep struct {
+	PoolFraction float64 `json:"pool_fraction"`
+	PoolBytes    int64   `json:"pool_bytes"`
+
+	ColdQPS   float64 `json:"cold_qps"`
+	ColdP50Ms float64 `json:"cold_p50_ms"`
+	ColdP99Ms float64 `json:"cold_p99_ms"`
+	WarmQPS   float64 `json:"warm_qps"`
+	WarmP50Ms float64 `json:"warm_p50_ms"`
+	WarmP99Ms float64 `json:"warm_p99_ms"`
+
+	Hits          int64 `json:"hits"`      // delta over both passes
+	Misses        int64 `json:"misses"`    // delta over both passes
+	Evictions     int64 `json:"evictions"` // delta over both passes
+	ResidentBytes int64 `json:"resident_bytes"`
+	PinnedBytes   int64 `json:"pinned_bytes"`
+
+	// InvariantOK records resident <= capacity + pinned, checked after
+	// every query of both passes.
+	InvariantOK bool `json:"invariant_ok"`
+}
+
+// ColdstartReport is the JSON document of one cold-start run
+// (pqfastscan-coldstart/v1).
+type ColdstartReport struct {
+	Schema      string   `json:"schema"`
+	Backend     string   `json:"backend"`
+	BaseN       int      `json:"base_n"`
+	Partitions  int      `json:"partitions"`
+	K           int      `json:"k"`
+	NProbe      int      `json:"nprobe"`
+	Queries     int      `json:"queries"`
+	ExtentBytes int64    `json:"extent_bytes"` // sealed footprint on disk
+	Mem         MemStats `json:"mem"`
+
+	Sweeps []ColdstartSweep `json:"sweeps"`
+}
+
+// MeasureColdstart builds a synthetic index, seals it into a disk
+// store, and measures the pool-capacity sweep.
+func MeasureColdstart(cfg ColdstartConfig) (*ColdstartReport, error) {
+	cfg = cfg.withDefaults()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = cfg.Partitions
+	opt.Seed = cfg.Seed
+	opt.OrderGroups = true
+	idx, err := pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build coldstart index: %w", err)
+	}
+	queries := gen.Generate(cfg.Queries)
+
+	dir, err := os.MkdirTemp("", "pqfs-coldstart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// Attach with an ample pool; each sweep point rebounds it.
+	if err := idx.WithDiskStore(dir, 1<<30); err != nil {
+		return nil, fmt.Errorf("bench: attach disk store: %w", err)
+	}
+	st, ok := idx.StoreStats()
+	if !ok || st.ExtentBytes <= 0 {
+		return nil, fmt.Errorf("bench: disk store attached but empty (stats %+v)", st)
+	}
+
+	report := &ColdstartReport{
+		Schema:      "pqfastscan-coldstart/v1",
+		Backend:     pqfastscan.ActiveBackend().String(),
+		BaseN:       cfg.BaseN,
+		Partitions:  cfg.Partitions,
+		K:           cfg.K,
+		NProbe:      cfg.NProbe,
+		Queries:     cfg.Queries,
+		ExtentBytes: st.ExtentBytes,
+	}
+
+	ctx := context.Background()
+	invariantOK := true
+	pass := func() (qps, p50, p99 float64, err error) {
+		lats := make([]time.Duration, 0, cfg.Queries)
+		start := time.Now()
+		for qi := 0; qi < cfg.Queries; qi++ {
+			t0 := time.Now()
+			if _, err := idx.Search(ctx, queries.Row(qi), cfg.K, pqfastscan.WithNProbe(cfg.NProbe)); err != nil {
+				return 0, 0, 0, err
+			}
+			lats = append(lats, time.Since(t0))
+			if s, _ := idx.StoreStats(); s.Pool.ResidentBytes > s.Pool.CapacityBytes+s.Pool.PinnedBytes {
+				invariantOK = false
+			}
+		}
+		total := time.Since(start)
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return float64(cfg.Queries) / total.Seconds(), quantileMs(lats, 0.50), quantileMs(lats, 0.99), nil
+	}
+
+	for _, frac := range cfg.Fractions {
+		capBytes := int64(frac * float64(st.ExtentBytes))
+		if capBytes < 1 {
+			capBytes = 1
+		}
+		// Drain the pool, then rebound it: the next pass starts cold.
+		idx.Internal().SetPoolCapacity(1)
+		idx.Internal().SetPoolCapacity(capBytes)
+		before, _ := idx.StoreStats()
+
+		invariantOK = true
+		sw := ColdstartSweep{PoolFraction: frac, PoolBytes: capBytes}
+		if sw.ColdQPS, sw.ColdP50Ms, sw.ColdP99Ms, err = pass(); err != nil {
+			return nil, err
+		}
+		if sw.WarmQPS, sw.WarmP50Ms, sw.WarmP99Ms, err = pass(); err != nil {
+			return nil, err
+		}
+		after, _ := idx.StoreStats()
+		sw.Hits = after.Pool.Hits - before.Pool.Hits
+		sw.Misses = after.Pool.Misses - before.Pool.Misses
+		sw.Evictions = after.Pool.Evictions - before.Pool.Evictions
+		sw.ResidentBytes = after.Pool.ResidentBytes
+		sw.PinnedBytes = after.Pool.PinnedBytes
+		sw.InvariantOK = invariantOK
+		report.Sweeps = append(report.Sweeps, sw)
+	}
+	report.Mem = readMemStats()
+	return report, nil
+}
+
+// RunColdstart measures the cold-start sweep and writes the report as
+// JSON.
+func RunColdstart(w io.Writer, cfg ColdstartConfig) error {
+	report, err := MeasureColdstart(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -195,12 +195,13 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 
 // CombinedReport pairs the kernel wall-clock trajectory with the served
 // throughput, the mixed read-write isolation numbers, the durability
-// costs, and/or the cluster scaling curve of the same build — the
-// document the BENCH_pr*.json baselines record (cmd/pqbench -json,
-// -serve, -mixed, -durability, -shards, in any combination). Schema is
-// pqfastscan-bench/v6 (v5 predates the durability section; v4 the
-// cluster section; v2/v3 the backend record in the kernels and mixed
-// sections).
+// costs, the cluster scaling curve, and/or the beyond-RAM cold-start
+// sweep of the same build — the document the BENCH_pr*.json baselines
+// record (cmd/pqbench -json, -serve, -mixed, -durability, -shards,
+// -coldstart, in any combination). Schema is pqfastscan-bench/v7 (v6
+// predates the coldstart section and the mem record; v5 the durability
+// section; v4 the cluster section; v2/v3 the backend record in the
+// kernels and mixed sections).
 type CombinedReport struct {
 	Schema     string            `json:"schema"`
 	Kernels    *WallClockReport  `json:"kernels,omitempty"`
@@ -208,4 +209,5 @@ type CombinedReport struct {
 	Mixed      *MixedReport      `json:"mixed,omitempty"`
 	Durability *DurabilityReport `json:"durability,omitempty"`
 	Cluster    *ClusterReport    `json:"cluster,omitempty"`
+	Coldstart  *ColdstartReport  `json:"coldstart,omitempty"`
 }

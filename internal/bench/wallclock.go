@@ -40,7 +40,7 @@ type WallClockResult struct {
 
 // WallClockReport is the JSON document pqbench -json emits
 // (pqfastscan-bench/v4: v3 plus the backend/CPU-feature record and
-// per-backend native rows).
+// per-backend native rows; the mem record is additive).
 type WallClockReport struct {
 	Schema            string            `json:"schema"`
 	Go                string            `json:"go"`
@@ -52,7 +52,29 @@ type WallClockReport struct {
 	CPUFeatures       []string          `json:"cpu_features,omitempty"`
 	Seed              uint64            `json:"seed"`
 	K                 int               `json:"k"`
+	Mem               MemStats          `json:"mem"` // read after the runs complete
 	Results           []WallClockResult `json:"results"`
+}
+
+// MemStats is the process-heap record stamped into benchmark reports —
+// the same shape the server exposes on /stats — so a BENCH_*.json shows
+// what the run cost in RAM next to what it measured in time.
+type MemStats struct {
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+func readMemStats() MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemStats{
+		HeapInuseBytes: m.HeapInuse,
+		HeapAllocBytes: m.HeapAlloc,
+		SysBytes:       m.Sys,
+		NumGC:          m.NumGC,
+	}
 }
 
 // wallClockFixture builds the pruning-friendly regime the paper
@@ -212,5 +234,6 @@ func MeasureWallClock(seed uint64, sizes []int, k int) (*WallClockReport, error)
 			})
 		}
 	}
+	report.Mem = readMemStats()
 	return &report, nil
 }

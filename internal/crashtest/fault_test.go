@@ -25,6 +25,17 @@ func buildSmall(t *testing.T) *index.Index {
 	return ix
 }
 
+// capture takes a Capture of a RAM-resident test index, failing the
+// test on the (impossible there) paged read error.
+func capture(t *testing.T, ix *index.Index) index.Capture {
+	t.Helper()
+	c, err := ix.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 // TestSnapshotWriteFailureLeavesOldSnapshotIntact: a failed SaveCapture
 // must surface the injected error and leave the previous snapshot
 // byte-for-byte loadable — the write-temp-then-rename discipline.
@@ -34,13 +45,13 @@ func TestSnapshotWriteFailureLeavesOldSnapshotIntact(t *testing.T) {
 	ix := buildSmall(t)
 	ffs := NewFaultFS(fsio.OS)
 
-	if err := persist.SaveCapture(ffs, path, ix.Capture(), 7); err != nil {
+	if err := persist.SaveCapture(ffs, path, capture(t, ix), 7); err != nil {
 		t.Fatal(err)
 	}
 	liveBefore := ix.Live()
 
 	ffs.FailWriteAt(1)
-	if err := persist.SaveCapture(ffs, path, ix.Capture(), 8); !errors.Is(err, ErrInjected) {
+	if err := persist.SaveCapture(ffs, path, capture(t, ix), 8); !errors.Is(err, ErrInjected) {
 		t.Fatalf("failed save surfaced %v, want the injected write fault", err)
 	}
 	ffs.Reset()
@@ -63,7 +74,7 @@ func TestSnapshotFsyncFailureSurfaced(t *testing.T) {
 	ix := buildSmall(t)
 	ffs := NewFaultFS(fsio.OS)
 
-	if err := persist.SaveCapture(ffs, path, ix.Capture(), 3); err != nil {
+	if err := persist.SaveCapture(ffs, path, capture(t, ix), 3); err != nil {
 		t.Fatal(err)
 	}
 	syncsPerSave := ffs.Syncs()
@@ -73,7 +84,7 @@ func TestSnapshotFsyncFailureSurfaced(t *testing.T) {
 	ffs.Reset()
 
 	ffs.FailSyncAt(1)
-	if err := persist.SaveCapture(ffs, path, ix.Capture(), 4); !errors.Is(err, ErrInjected) {
+	if err := persist.SaveCapture(ffs, path, capture(t, ix), 4); !errors.Is(err, ErrInjected) {
 		t.Fatalf("failed fsync surfaced %v, want the injected fault", err)
 	}
 	ffs.Reset()

@@ -14,6 +14,8 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // File is the writable-file surface the durability layer needs. Sync
@@ -105,3 +107,44 @@ func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
 func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
 
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SweepTemp removes orphaned files in dir whose base name starts with
+// any of the given prefixes — the leftovers of a crash between "write
+// temp file" and "rename into place" in the atomic-replace protocol
+// (persist snapshots, extent writes). It returns the paths removed.
+//
+// SweepTemp must only run at startup, before any writer is active in
+// dir: a live writer's in-flight temp file is indistinguishable from an
+// orphan. A missing dir is not an error (nothing to sweep).
+func SweepTemp(fsys FS, dir string, prefixes ...string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(name, p) {
+				path := filepath.Join(dir, name)
+				if err := fsys.Remove(path); err != nil {
+					return removed, err
+				}
+				removed = append(removed, path)
+				break
+			}
+		}
+	}
+	if len(removed) > 0 {
+		if err := fsys.SyncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,65 @@
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestSweepTemp covers the startup-hygiene sweep: orphaned temp files
+// matching a prefix are removed, everything else survives, and a
+// missing directory is a no-op rather than an error.
+func TestSweepTemp(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	orphan1 := mk(".pqfsidx-123456")
+	orphan2 := mk(".pqfsext-torn")
+	keepIdx := mk("snapshot.idx")
+	keepExt := mk("i1-p0-e3.extent")
+	if err := os.Mkdir(filepath.Join(dir, ".pqfsidx-dirlike"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepTemp(OS, dir, ".pqfsidx-", ".pqfsext-")
+	if err != nil {
+		t.Fatalf("SweepTemp: %v", err)
+	}
+	sort.Strings(removed)
+	want := []string{orphan1, orphan2}
+	sort.Strings(want)
+	if len(removed) != len(want) {
+		t.Fatalf("removed %v, want %v", removed, want)
+	}
+	for i := range want {
+		if removed[i] != want[i] {
+			t.Fatalf("removed %v, want %v", removed, want)
+		}
+	}
+	for _, path := range []string{keepIdx, keepExt} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("non-orphan %s was removed: %v", path, err)
+		}
+	}
+	for _, path := range want {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the sweep (err=%v)", path, err)
+		}
+	}
+	// Directories matching the prefix are never touched.
+	if _, err := os.Stat(filepath.Join(dir, ".pqfsidx-dirlike")); err != nil {
+		t.Errorf("directory swept: %v", err)
+	}
+
+	// Missing directory: nothing to sweep, no error.
+	removed, err = SweepTemp(OS, filepath.Join(dir, "nope"), ".pqfsidx-")
+	if err != nil || removed != nil {
+		t.Fatalf("missing dir: removed=%v err=%v, want nil/nil", removed, err)
+	}
+}

@@ -12,6 +12,14 @@ import (
 // (sealed, never mutated in place), so taking a Capture costs one
 // atomic load plus a slice of pointers — cheap enough to run inside the
 // durability layer's checkpoint critical section.
+//
+// On a paged index the capture pins every partition's extent and Parts
+// holds hydrated views over the pinned payloads: the caller must call
+// Release when done writing (persist does), after which the views are
+// invalid. Pinned frames may exceed the pool capacity for the duration
+// — the pool's invariant is resident ≤ capacity + pinned, and a
+// checkpoint legitimately needs the whole index in flight. On a RAM
+// index Release is a no-op and the capture lives forever.
 type Capture struct {
 	Dim    int
 	Coarse vec.Matrix
@@ -19,6 +27,17 @@ type Capture struct {
 	Opt    Options
 	Parts  []*scan.Partition
 	NextID int64
+
+	release func()
+}
+
+// Release drops the extent pins backing a paged capture's partition
+// views. Safe to call on any capture (no-op for RAM) and idempotent.
+func (c *Capture) Release() {
+	if c.release != nil {
+		c.release()
+		c.release = nil
+	}
 }
 
 // Capture takes a point-in-time capture of the index. The allocator is
@@ -26,14 +45,31 @@ type Capture struct {
 // appears in Parts — a reloaded index can never re-issue one of them.
 // When the caller excludes concurrent mutations (as the checkpoint path
 // does), the capture is exact: it holds precisely the acknowledged
-// state at the point of the call.
-func (ix *Index) Capture() Capture {
+// state at the point of the call. The error is always nil on a RAM
+// index; on a paged index it surfaces a failed extent read.
+func (ix *Index) Capture() (Capture, error) {
 	s := ix.snap.Load()
 	parts := make([]*scan.Partition, len(s.Parts))
+	var releases []func()
+	releaseAll := func() {
+		for _, r := range releases {
+			r()
+		}
+	}
 	for i, pe := range s.Parts {
+		if pe.paged != nil {
+			p, _, rel, err := pe.paged.view(pe, false)
+			if err != nil {
+				releaseAll()
+				return Capture{}, err
+			}
+			releases = append(releases, rel)
+			parts[i] = p
+			continue
+		}
 		parts[i] = pe.Part
 	}
-	return Capture{
+	cap := Capture{
 		Dim:    ix.Dim,
 		Coarse: ix.Coarse,
 		PQ:     ix.PQ,
@@ -41,6 +77,10 @@ func (ix *Index) Capture() Capture {
 		Parts:  parts,
 		NextID: ix.nextID.Load(),
 	}
+	if len(releases) > 0 {
+		cap.release = releaseAll
+	}
+	return cap, nil
 }
 
 // RestoreCapture reassembles an Index from a Capture — the recovery-path

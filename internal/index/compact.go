@@ -77,6 +77,13 @@ func (ix *Index) CompactPartition(c int) (CompactionResult, error) {
 	if dead == 0 {
 		return CompactionResult{Partition: c, Live: cur.Part.Live()}, nil
 	}
+	if ix.pg != nil {
+		pe, err := ix.compactPaged(c, cur)
+		if err != nil {
+			return CompactionResult{}, fmt.Errorf("index: compacting partition %d: %w", c, err)
+		}
+		return CompactionResult{Partition: c, Reclaimed: dead, Live: pe.Part.Live(), Epoch: pe.Epoch}, nil
+	}
 	next := cur.Part.Compact()
 	var fast *scan.FastScan
 	if cur.fast.Load() != nil {

@@ -197,6 +197,14 @@ type Index struct {
 	// mutation-path lock — queries never touch it).
 	locateMu sync.Mutex
 	locate   map[int64]int
+
+	// pg, when non-nil, is the attached disk store (paging.go): epochs
+	// are stubs over extents and probes pin payloads through pg's pool.
+	// Written once under all partition builder locks (AttachStore);
+	// pgInst distinguishes this index's extent names within a shared
+	// store directory.
+	pg     *Paging
+	pgInst uint64
 }
 
 // Build trains the coarse quantizer and product quantizer on learn and
@@ -360,21 +368,32 @@ func (ix *Index) RestrictCells(cells []int) (*Index, error) {
 		}
 		keep[c] = true
 	}
-	parts := make([]*scan.Partition, len(s.Parts))
-	for i, pe := range s.Parts {
-		if keep[i] {
-			parts[i] = pe.Part
-		} else {
-			parts[i] = scan.NewPartitionW(nil, nil, ix.PQ.M)
-		}
-	}
 	out := &Index{
 		Dim:    ix.Dim,
 		Coarse: ix.Coarse,
 		PQ:     ix.PQ,
 		opt:    ix.opt,
+		pg:     ix.pg,
+		pgInst: ix.pgInst,
 	}
-	out.install(parts)
+	// Kept cells share the receiver's sealed epochs wholesale — data,
+	// cached Fast Scan state and (for a paged index) the extent handle,
+	// so a restricted shard of a disk-resident index pages through the
+	// same pool without rewriting a byte.
+	pes := make([]*PartEpoch, len(s.Parts))
+	for i, pe := range s.Parts {
+		if keep[i] {
+			npe := &PartEpoch{Part: pe.Part, Epoch: out.epoch.Add(1), paged: pe.paged}
+			if fs := pe.fast.Load(); fs != nil {
+				npe.fast.Store(fs)
+			}
+			pes[i] = npe
+		} else {
+			pes[i] = &PartEpoch{Part: scan.NewPartitionW(nil, nil, ix.PQ.M), Epoch: out.epoch.Add(1)}
+		}
+	}
+	out.partMu = make([]sync.Mutex, len(pes))
+	out.snap.Store(&Snapshot{Parts: pes})
 	out.nextID.Store(ix.nextID.Load())
 	return out, nil
 }
@@ -418,7 +437,19 @@ func (ix *Index) FastScanner(part int) (*scan.FastScan, error) {
 	if part < 0 || part >= len(s.Parts) {
 		return nil, fmt.Errorf("index: partition %d out of range", part)
 	}
-	return s.Parts[part].FastScanner(ix.opt.FastScan)
+	pe := s.Parts[part]
+	if pe.paged != nil {
+		// Offline/tooling path on a paged index: materialize a RAM copy
+		// and build a scanner over it, so the returned layout has no pin
+		// lifetime. The serving scan path never comes through here — it
+		// uses transient hydrated views inside searchPartition.
+		p, err := ix.materializePart(pe)
+		if err != nil {
+			return nil, err
+		}
+		return scan.NewFastScan(p, ix.opt.FastScan)
+	}
+	return pe.FastScanner(ix.opt.FastScan)
 }
 
 // Result is re-exported for callers that only import index.
@@ -479,7 +510,32 @@ func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, 
 	}
 	t := ix.Tables(query, part)
 	pe := s.Parts[part]
+
+	// Acquire the epoch's scannable view. RAM epochs hand out their
+	// sealed slices directly; disk-resident epochs pin their extent in
+	// the buffer pool and hydrate transient views over the pinned
+	// payload, released when the scan returns — a probe pins only the
+	// partitions it actually visits, for exactly as long as it scans
+	// them. Result slices are copied out before release on every path,
+	// so nothing aliases the pool frame after the pin drops.
+	needFast := kernel == KernelFastScan || kernel == KernelFastScan256
 	p := pe.Part
+	var pagedFast *scan.FastScan
+	if pe.paged != nil {
+		hp, hfs, release, err := pe.paged.view(pe, needFast)
+		if err != nil {
+			return nil, scan.Stats{}, err
+		}
+		defer release()
+		p, pagedFast = hp, hfs
+	}
+	fastScanner := func() (*scan.FastScan, error) {
+		if pe.paged != nil {
+			return pagedFast, nil
+		}
+		return pe.FastScanner(ix.opt.FastScan)
+	}
+
 	if engine == EngineNative {
 		switch kernel {
 		case KernelNaive, KernelLibpq, KernelAVX, KernelGather:
@@ -489,7 +545,7 @@ func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, 
 			scratchPool.Put(sc)
 			return out, st, nil
 		case KernelFastScan, KernelFastScan256:
-			fs, err := pe.FastScanner(ix.opt.FastScan)
+			fs, err := fastScanner()
 			if err != nil {
 				return nil, scan.Stats{}, err
 			}
@@ -516,7 +572,7 @@ func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, 
 		r, st := scan.Gather(p, t, k)
 		return r, st, nil
 	case KernelFastScan:
-		fs, err := pe.FastScanner(ix.opt.FastScan)
+		fs, err := fastScanner()
 		if err != nil {
 			return nil, scan.Stats{}, err
 		}
@@ -526,7 +582,7 @@ func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, 
 		r, st := scan.QuantizationOnly(p, t, k, ix.opt.FastScan.Keep)
 		return r, st, nil
 	case KernelFastScan256:
-		fs, err := pe.FastScanner(ix.opt.FastScan)
+		fs, err := fastScanner()
 		if err != nil {
 			return nil, scan.Stats{}, err
 		}
@@ -578,6 +634,15 @@ func (ix *Index) SearchBatch(queries vec.Matrix, k int, kernel Kernel) ([][]Resu
 func (ix *Index) GroupedMemoryBytes() (packed, rowMajor int, err error) {
 	s := ix.snap.Load()
 	for _, pe := range s.Parts {
+		if pe.paged != nil {
+			p, r, err := ix.groupedFootprint(pe)
+			if err != nil {
+				return 0, 0, err
+			}
+			packed += p
+			rowMajor += r
+			continue
+		}
 		fs, err := pe.FastScanner(ix.opt.FastScan)
 		if err != nil {
 			return 0, 0, err

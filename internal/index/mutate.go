@@ -135,6 +135,16 @@ func (ix *Index) ApplyAdd(cells []int, ids []int64, codes []uint8) error {
 			continue
 		}
 		ix.partMu[c].Lock()
+		if ix.pg != nil {
+			// Disk-backed index: the rebuilt partition is written out as a
+			// fresh extent and published as a stub epoch (paging.go).
+			err := ix.applyAddPaged(c, chunks[c].codes, chunks[c].ids)
+			ix.partMu[c].Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		cur := ix.snap.Load().Parts[c]
 		next := cur.Part.CloneAppend(chunks[c].codes, chunks[c].ids)
 		var fast *scan.FastScan
@@ -193,11 +203,24 @@ func (ix *Index) Delete(id int64) error {
 		ix.locate = make(map[int64]int)
 		for c, pe := range ix.snap.Load().Parts {
 			p := pe.Part
+			release := func() {}
+			if pe.paged != nil {
+				// Stubs carry no id array — pin the extent for the duration
+				// of this partition's walk.
+				hp, _, rel, err := pe.paged.view(pe, false)
+				if err != nil {
+					ix.locate = nil // retry the build on the next Delete
+					ix.locateMu.Unlock()
+					return fmt.Errorf("index: building delete routing table: %w", err)
+				}
+				p, release = hp, rel
+			}
 			for i := 0; i < p.N; i++ {
 				if pid := p.ID(i); !p.IsDead(pid) {
 					ix.locate[pid] = c
 				}
 			}
+			release()
 		}
 	}
 	c, ok := ix.locate[id]
@@ -223,7 +246,14 @@ func (ix *Index) Delete(id int64) error {
 		// partition binding (whose tombstone set kernels consult) moves.
 		fast = fs.Rebind(next)
 	}
-	ix.publish(c, next, fast)
+	// A tombstone-only epoch shares its predecessor's extent (nil on a
+	// RAM index): the dead set is resident metadata on the stub, the
+	// bytes on disk are unchanged, so no extent write happens on Delete.
+	npe := &PartEpoch{Part: next, Epoch: ix.epoch.Add(1), paged: cur.paged}
+	if fast != nil {
+		npe.fast.Store(fast)
+	}
+	ix.publishAt(c, npe)
 	return nil
 }
 

@@ -1,0 +1,419 @@
+// Beyond-RAM serving: disk-resident partition extents behind an
+// epoch-aware buffer pool (DESIGN.md §15).
+//
+// AttachStore seals every partition epoch's bulk data — row-major
+// codes, materialized ids, and the Fast Scan grouped layout's packed
+// blocks, grouped codes and grouped ids — into one immutable extent
+// file per partition epoch, and replaces the snapshot's epochs with
+// stubs: RAM-resident metadata (row counts, tombstone sets, the group
+// directory) whose data slices are nil. A probe that visits a
+// partition pins its extent in the buffer pool, hydrates transient
+// shallow views over the pinned payload, scans them exactly as it
+// would RAM-resident slices — the payload buffer is 64-byte aligned
+// and sections are 64-byte aligned within it, so the asm kernels scan
+// paged-in blocks zero-copy — and unpins on the way out.
+//
+// Epochs make eviction safe: extents are write-once and named by
+// (attach instance, partition, epoch), so a mutation never rewrites an
+// extent — it writes a new one and publishes a new stub epoch. A query
+// holding a pin on epoch e keeps scanning e's (immutable) bytes while
+// e+1 is published; once the last reference to e's stub drops, a
+// finalizer forgets the pool frame and removes the file. Extents are a
+// node-local cache, not durable state: the v3 snapshot + WAL remain
+// the durability story, and attach rebuilds extents from the loaded
+// index, sweeping whatever a previous owner left in the directory.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pqfastscan/internal/bufpool"
+	"pqfastscan/internal/extent"
+	"pqfastscan/internal/fsio"
+	"pqfastscan/internal/layout"
+	"pqfastscan/internal/scan"
+)
+
+// StoreStats is the observable state of an attached disk store: the
+// directory, the live extent footprint, and the buffer pool counters.
+type StoreStats struct {
+	Dir         string        `json:"dir"`
+	ExtentBytes int64         `json:"extent_bytes"` // payload bytes across live extents
+	Pool        bufpool.Stats `json:"pool"`
+}
+
+// Paging is the shared per-directory paging state: the extent store
+// and its buffer pool. One Paging exists per store directory per
+// process (see openPaging), so an index and its staged swap
+// replacement share one capacity-bounded pool.
+type Paging struct {
+	store       *extent.Store
+	pool        *bufpool.Pool
+	extentBytes atomic.Int64
+}
+
+var (
+	pagingMu sync.Mutex
+	pagings  = map[string]*Paging{}
+	// pagingInst numbers AttachStore calls process-wide; extent names
+	// carry it so two indexes sharing a directory (a serving index and
+	// its staged swap replacement) never collide on (partition, epoch).
+	pagingInst atomic.Uint64
+)
+
+// openPaging returns the process-wide Paging for dir, creating it — and
+// sweeping every file a previous owner left behind (orphaned temp files
+// and stale extents are both rebuildable garbage) — on first use.
+// poolBytes bounds the buffer pool; it is fixed at creation, later
+// opens of the same dir join the existing pool. opts are applied only
+// at creation (test hooks).
+func openPaging(dir string, poolBytes int64, opts ...bufpool.Option) (*Paging, error) {
+	pagingMu.Lock()
+	defer pagingMu.Unlock()
+	if pg, ok := pagings[dir]; ok {
+		return pg, nil
+	}
+	if poolBytes <= 0 {
+		return nil, fmt.Errorf("index: non-positive pool capacity %d", poolBytes)
+	}
+	st, err := extent.Open(fsio.OS, dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.SweepOrphans(nil); err != nil {
+		return nil, fmt.Errorf("index: sweeping store dir %s: %w", dir, err)
+	}
+	pg := &Paging{store: st}
+	pg.pool = bufpool.New(poolBytes, func(id string) ([]byte, error) {
+		p, err := st.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		return p.Bytes(), nil
+	}, opts...)
+	pagings[dir] = pg
+	return pg, nil
+}
+
+// PoolStats returns the shared pool's counters.
+func (pg *Paging) PoolStats() bufpool.Stats { return pg.pool.Stats() }
+
+// SetPoolCapacity rebounds the shared pool (cold-start benchmarking).
+func (pg *Paging) SetPoolCapacity(capBytes int64) { pg.pool.SetCapacity(capBytes) }
+
+// pspan is a section's location within an extent payload.
+type pspan struct{ off, n int64 }
+
+// pagedExtent is the stable identity of one partition epoch's sealed
+// payload on disk, plus the section geometry needed to hydrate stubs
+// from a pinned payload without re-reading the header. It is shared
+// between tombstone-only successor epochs (a Delete changes no codes),
+// and across indexes that share epochs (RestrictCells). When the last
+// sharing epoch becomes unreachable, the finalizer drops the pool
+// frame and the file.
+type pagedExtent struct {
+	pg    *Paging
+	name  string
+	bytes int64
+
+	codes, ids           pspan
+	blocks, gcodes, gids pspan
+	hasIDs, hasFast      bool
+}
+
+// view pins the extent and returns hydrated shallow views over the
+// pinned payload: the partition always, the Fast Scan state when
+// needFast (an error if this epoch has none). The views alias the pool
+// frame and are valid only until release is called.
+func (x *pagedExtent) view(pe *PartEpoch, needFast bool) (*scan.Partition, *scan.FastScan, func(), error) {
+	if needFast && !x.hasFast {
+		return nil, nil, nil, fmt.Errorf("index: partition extent %s has no fast-scan layout", x.name)
+	}
+	buf, err := x.pg.pool.Pin(x.name)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("index: pinning extent %s: %w", x.name, err)
+	}
+	sec := func(sp pspan) []byte { return buf[sp.off : sp.off+sp.n : sp.off+sp.n] }
+	var ids []int64
+	if x.hasIDs {
+		ids = extent.BytesInt64(sec(x.ids))
+	}
+	p := pe.Part.Hydrate(sec(x.codes), ids)
+	var fs *scan.FastScan
+	if needFast {
+		stub := pe.fast.Load()
+		g := stub.Grouped().Hydrate(sec(x.blocks), sec(x.gcodes), extent.BytesInt64(sec(x.gids)))
+		fs = stub.Hydrate(p, g)
+	}
+	release := func() { x.pg.pool.Unpin(x.name) }
+	return p, fs, release, nil
+}
+
+// writeExtent seals part (and its Fast Scan state, when non-nil) into
+// a new extent and returns the paged handle plus the detached stubs to
+// publish in its place. The finalizer on the handle garbage-collects
+// the file once no epoch references it.
+func (pg *Paging) writeExtent(name string, part *scan.Partition, fast *scan.FastScan) (*pagedExtent, *scan.Partition, *scan.FastScan, error) {
+	x := &pagedExtent{pg: pg, name: name}
+	var b extent.Builder
+	add := func(secName string, data []byte) pspan {
+		sp := pspan{off: b.PayloadBytes(), n: int64(len(data))}
+		b.Add(secName, data)
+		return sp
+	}
+	x.codes = add("codes", part.Codes)
+	if part.IDs != nil {
+		x.hasIDs = true
+		x.ids = add("ids", extent.Int64Bytes(part.IDs))
+	}
+	if fast != nil {
+		x.hasFast = true
+		g := fast.Grouped()
+		x.blocks = add("blocks", g.Blocks)
+		x.gcodes = add("gcodes", g.Codes)
+		x.gids = add("gids", extent.Int64Bytes(g.IDs))
+	}
+	n, err := pg.store.Write(name, &b)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("index: writing extent %s: %w", name, err)
+	}
+	x.bytes = n
+	pg.extentBytes.Add(n)
+	runtime.SetFinalizer(x, (*pagedExtent).gc)
+
+	stubPart := part.Detach()
+	var stubFast *scan.FastScan
+	if fast != nil {
+		stubFast = fast.Detach(stubPart)
+	}
+	return x, stubPart, stubFast, nil
+}
+
+// gc reclaims an unreferenced extent: no epoch points here anymore, so
+// no future pin can occur — drop the (necessarily unpinned) pool frame
+// and the file. Runs on the finalizer goroutine; failures are ignored
+// because the attach-time sweep removes stragglers on the next boot.
+func (x *pagedExtent) gc() {
+	x.pg.pool.Forget(x.name)
+	x.pg.extentBytes.Add(-x.bytes)
+	_ = x.pg.store.Remove(x.name)
+}
+
+// extentName names partition c's epoch-e extent for this index's attach
+// instance.
+func (ix *Index) extentName(c int, epoch uint64) string {
+	return fmt.Sprintf("i%d-p%d-e%d", ix.pgInst, c, epoch)
+}
+
+// AttachStore migrates the index to disk-resident serving: every
+// partition epoch's bulk data moves into an extent under dir and the
+// snapshot holds stubs that page data in through a buffer pool bounded
+// at poolBytes. Search results are bit-identical to RAM-resident
+// serving; mutations keep working (they write new extents). One store
+// directory must be owned by one process at a time — attach sweeps
+// files left by previous owners. Attaching twice is idempotent for the
+// same dir and an error for a different one.
+func (ix *Index) AttachStore(dir string, poolBytes int64) error {
+	return ix.attachStore(dir, poolBytes)
+}
+
+func (ix *Index) attachStore(dir string, poolBytes int64, opts ...bufpool.Option) error {
+	pg, err := openPaging(dir, poolBytes, opts...)
+	if err != nil {
+		return err
+	}
+	// Freeze every partition builder: no mutation can publish while the
+	// snapshot is migrated. Queries are unaffected — they keep scanning
+	// the old (RAM-resident) snapshot until the swap below.
+	for c := range ix.partMu {
+		ix.partMu[c].Lock()
+	}
+	defer func() {
+		for c := range ix.partMu {
+			ix.partMu[c].Unlock()
+		}
+	}()
+	if ix.pg != nil {
+		if ix.pg == pg {
+			return nil
+		}
+		return fmt.Errorf("index: already attached to store %s", ix.pg.store.Dir())
+	}
+	inst := pagingInst.Add(1)
+
+	s := ix.snap.Load()
+	parts := make([]*PartEpoch, len(s.Parts))
+	for c, pe := range s.Parts {
+		if pe.paged != nil {
+			// Shared from an already-paged index (RestrictCells).
+			parts[c] = pe
+			continue
+		}
+		// Build the Fast Scan layout eagerly so the extent carries it;
+		// non-PQ8x8 widths have none (their kernels are rejected at
+		// validation anyway).
+		fast, ferr := pe.FastScanner(ix.opt.FastScan)
+		if ferr != nil {
+			fast = nil
+		}
+		name := fmt.Sprintf("i%d-p%d-e%d", inst, c, pe.Epoch)
+		x, stubP, stubF, werr := pg.writeExtent(name, pe.Part, fast)
+		if werr != nil {
+			return werr
+		}
+		npe := &PartEpoch{Part: stubP, Epoch: pe.Epoch, paged: x}
+		if stubF != nil {
+			npe.fast.Store(stubF)
+		}
+		parts[c] = npe
+	}
+	ix.pg = pg
+	ix.pgInst = inst
+	// Plain store: every builder lock is held, so no publisher races the
+	// swap; queries atomically move from the RAM epochs to the stubs.
+	ix.snap.Store(&Snapshot{Parts: parts})
+	return nil
+}
+
+// Paged reports whether the index serves from a disk store.
+func (ix *Index) Paged() bool { return ix.pg != nil }
+
+// SetPoolCapacity rebounds the attached store's shared buffer pool,
+// evicting down to the new cap (no-op on a RAM index). The cold-start
+// benchmark uses it to sweep working-set fractions without re-writing
+// extents.
+func (ix *Index) SetPoolCapacity(capBytes int64) {
+	if ix.pg != nil {
+		ix.pg.SetPoolCapacity(capBytes)
+	}
+}
+
+// StoreStats returns the attached store's observable state, or false
+// when the index is RAM-resident.
+func (ix *Index) StoreStats() (StoreStats, bool) {
+	if ix.pg == nil {
+		return StoreStats{}, false
+	}
+	return StoreStats{
+		Dir:         ix.pg.store.Dir(),
+		ExtentBytes: ix.pg.extentBytes.Load(),
+		Pool:        ix.pg.pool.Stats(),
+	}, true
+}
+
+// applyAddPaged is ApplyAdd's per-partition body on a disk-backed
+// index: hydrate the current epoch (pinned only for the clone), build
+// the appended partition and layout in RAM — CloneAppend copies into
+// fresh arrays, so nothing retains the pinned payload — then seal them
+// into a fresh extent and publish the stubs. The extent is named after
+// its epoch, so the number is allocated before the write; per-partition
+// ordering still holds because the caller's ix.partMu[c] serializes
+// publishes into this slot.
+func (ix *Index) applyAddPaged(c int, codes []uint8, ids []int64) error {
+	cur := ix.snap.Load().Parts[c]
+	p := cur.Part
+	var curFast *scan.FastScan
+	release := func() {}
+	if cur.paged != nil {
+		hp, hfs, rel, err := cur.paged.view(cur, cur.paged.hasFast)
+		if err != nil {
+			return err
+		}
+		p, curFast, release = hp, hfs, rel
+	} else {
+		// A RAM epoch inside a paged index: an empty cell installed by
+		// RestrictCells. Its successor is written to disk like any other.
+		curFast = cur.fast.Load()
+	}
+	next := p.CloneAppend(codes, ids)
+	var fast *scan.FastScan
+	if curFast != nil {
+		fast = curFast.CloneAppend(next, codes, ids)
+	} else if next.W == layout.M {
+		// Paged epochs build their layout eagerly — the extent must carry
+		// the grouped sections or later Fast Scan queries would have
+		// nothing to pin. Widths without a layout stay without one.
+		if fs, err := scan.NewFastScan(next, ix.opt.FastScan); err == nil {
+			fast = fs
+		}
+	}
+	release()
+	e := ix.epoch.Add(1)
+	x, stubP, stubF, err := ix.pg.writeExtent(ix.extentName(c, e), next, fast)
+	if err != nil {
+		return err
+	}
+	npe := &PartEpoch{Part: stubP, Epoch: e, paged: x}
+	if stubF != nil {
+		npe.fast.Store(stubF)
+	}
+	ix.publishAt(c, npe)
+	return nil
+}
+
+// compactPaged rebuilds partition c without its tombstoned rows on a
+// disk-backed index and publishes the compacted epoch's stub. The
+// caller holds ix.partMu[c] and has verified DeadCount > 0, which
+// guarantees Compact returns fresh arrays (nothing aliases the pin).
+func (ix *Index) compactPaged(c int, cur *PartEpoch) (*PartEpoch, error) {
+	p := cur.Part
+	release := func() {}
+	if cur.paged != nil {
+		hp, _, rel, err := cur.paged.view(cur, false)
+		if err != nil {
+			return nil, err
+		}
+		p, release = hp, rel
+	}
+	next := p.Compact()
+	release()
+	var fast *scan.FastScan
+	if next.W == layout.M {
+		if fs, err := scan.NewFastScan(next, ix.opt.FastScan); err == nil {
+			fast = fs
+		}
+	}
+	e := ix.epoch.Add(1)
+	x, stubP, stubF, err := ix.pg.writeExtent(ix.extentName(c, e), next, fast)
+	if err != nil {
+		return nil, err
+	}
+	npe := &PartEpoch{Part: stubP, Epoch: e, paged: x}
+	if stubF != nil {
+		npe.fast.Store(stubF)
+	}
+	return ix.publishAt(c, npe), nil
+}
+
+// materializePart returns a RAM-resident copy of a paged epoch's
+// partition (fresh code and id arrays, shared tombstone set) — the
+// bridge for offline tooling (Parts, FastScanner) that expects
+// partition data without pin lifetimes.
+func (ix *Index) materializePart(pe *PartEpoch) (*scan.Partition, error) {
+	p, _, release, err := pe.paged.view(pe, false)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	codes := append([]uint8(nil), p.Codes...)
+	var ids []int64
+	if p.IDs != nil {
+		ids = append([]int64(nil), p.IDs...)
+	}
+	return p.Hydrate(codes, ids), nil
+}
+
+// groupedFootprint computes one paged epoch's packed/row-major byte
+// counts under a transient pin.
+func (ix *Index) groupedFootprint(pe *PartEpoch) (packed, rowMajor int, err error) {
+	_, fs, release, err := pe.paged.view(pe, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer release()
+	g := fs.Grouped()
+	return g.PackedBytes() + fs.KeepN()*layout.M, g.RowMajorBytes() + fs.KeepN()*layout.M, nil
+}

@@ -261,6 +261,11 @@ func (ix *Index) QueryBatch(ctx context.Context, queries vec.Matrix, req Request
 	}
 	if req.Kernel == KernelFastScan || req.Kernel == KernelFastScan256 {
 		for _, pe := range s.Parts {
+			if pe.paged != nil {
+				// Paged epochs carry their layout in the extent; there is
+				// nothing to pre-build, and probes hydrate per pin.
+				continue
+			}
 			if _, err := pe.FastScanner(ix.opt.FastScan); err != nil {
 				return nil, err
 			}

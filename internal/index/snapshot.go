@@ -16,6 +16,7 @@
 package index
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,12 @@ type PartEpoch struct {
 	// one atomic load.
 	fast   atomic.Pointer[scan.FastScan]
 	fastMu sync.Mutex
+
+	// paged, when non-nil, marks a disk-resident epoch: Part (and any
+	// fast layout) are stubs whose bulk data lives in this extent and is
+	// pinned per probe (paging.go). Tombstone-only successor epochs
+	// share their predecessor's extent — a Delete changes no codes.
+	paged *pagedExtent
 }
 
 // FastScanner returns the epoch's Fast Scan layout, building it on first
@@ -52,6 +59,13 @@ type PartEpoch struct {
 // not on the index — a scanner can never outlive or predate the codes it
 // describes.
 func (pe *PartEpoch) FastScanner(opt scan.FastScanOptions) (*scan.FastScan, error) {
+	if pe.paged != nil {
+		// Paged epochs hold a stub layout that must be hydrated against a
+		// pinned extent payload; handing it out here would let a caller
+		// scan nil data. The scan path acquires hydrated views through
+		// pagedExtent.view instead (paging.go).
+		return nil, fmt.Errorf("index: partition epoch is disk-resident; FastScanner requires a RAM epoch")
+	}
 	if fs := pe.fast.Load(); fs != nil {
 		return fs, nil
 	}
@@ -97,11 +111,22 @@ func (ix *Index) Partitions() int { return len(ix.snap.Load().Parts) }
 // Parts returns the sealed partitions of the current snapshot, in cell
 // order — a convenience for tests, benchmarks and offline tooling that
 // want the partition data without tracking epochs. The slice is freshly
-// allocated; the partitions it points at are immutable.
+// allocated; the partitions it points at are immutable. On a paged
+// index each partition is materialized into RAM (fresh copies, no pin
+// lifetimes); a failing extent read panics — offline tooling has no
+// error channel and a torn cache file is unrecoverable here.
 func (ix *Index) Parts() []*scan.Partition {
 	s := ix.snap.Load()
 	out := make([]*scan.Partition, len(s.Parts))
 	for i, pe := range s.Parts {
+		if pe.paged != nil {
+			p, err := ix.materializePart(pe)
+			if err != nil {
+				panic(fmt.Sprintf("index: materializing paged partition %d: %v", i, err))
+			}
+			out[i] = p
+			continue
+		}
 		out[i] = pe.Part
 	}
 	return out
@@ -130,6 +155,14 @@ func (ix *Index) publish(c int, part *scan.Partition, fast *scan.FastScan) *Part
 	if fast != nil {
 		pe.fast.Store(fast)
 	}
+	return ix.publishAt(c, pe)
+}
+
+// publishAt installs a fully built epoch into slot c — the publish core
+// shared with the paged mutation paths, which must allocate the epoch
+// number (and write the extent named after it) before the epoch exists.
+// The caller must hold ix.partMu[c].
+func (ix *Index) publishAt(c int, pe *PartEpoch) *PartEpoch {
 	for {
 		old := ix.snap.Load()
 		parts := make([]*PartEpoch, len(old.Parts))

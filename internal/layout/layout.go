@@ -439,6 +439,49 @@ func (g *Grouped) Clone() *Grouped {
 	}
 }
 
+// Detach returns a shallow copy of the layout with the bulk data
+// slices (IDs, Codes, Blocks) dropped: a directory stub that keeps the
+// group structure, counts and block geometry resident while the bytes
+// live in a disk extent behind the buffer pool. A stub answers every
+// structural question (BlockSize, PackedBytes of zero, group lookup)
+// but must be Hydrated before any lane or code access.
+func (g *Grouped) Detach() *Grouped {
+	ng := *g
+	ng.IDs, ng.Codes, ng.Blocks = nil, nil, nil
+	return &ng
+}
+
+// Hydrate returns a shallow copy of the stub with the bulk data slices
+// attached — typically aliases into a pinned buffer-pool frame. The
+// copy is a transient view: it is valid exactly as long as the pin is
+// held, and the receiver stub is never mutated, so concurrent probes
+// can hydrate the same stub against the same frame. Hydrate panics on
+// length or alignment violations: the extent bytes must reproduce the
+// layout that Detach dropped bit-for-bit, or kernels would scan
+// garbage.
+func (g *Grouped) Hydrate(blocks, codes []uint8, ids []int64) *Grouped {
+	totalBlocks := 0
+	if n := len(g.Groups); n > 0 {
+		last := g.Groups[n-1]
+		totalBlocks = last.BlockStart + last.BlockCount
+	}
+	if len(blocks) != totalBlocks*g.blockBytes {
+		panic(fmt.Sprintf("layout: Hydrate blocks length %d, want %d", len(blocks), totalBlocks*g.blockBytes))
+	}
+	if len(codes) != g.N*M {
+		panic(fmt.Sprintf("layout: Hydrate codes length %d, want %d", len(codes), g.N*M))
+	}
+	if len(ids) != g.N {
+		panic(fmt.Sprintf("layout: Hydrate ids length %d, want %d", len(ids), g.N))
+	}
+	if !Aligned(blocks) {
+		panic("layout: Hydrate blocks not Alignment-aligned")
+	}
+	ng := *g
+	ng.Blocks, ng.Codes, ng.IDs = blocks, codes, ids
+	return &ng
+}
+
 // Block returns the i-th packed block, aliasing the backing store.
 func (g *Grouped) Block(i int) []uint8 {
 	return g.Blocks[i*g.blockBytes : (i+1)*g.blockBytes]

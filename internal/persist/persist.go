@@ -98,7 +98,12 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // WriteIndex serializes ix to w in the current format (version 3, WAL
 // epoch 0 — a plain export not paired with any log).
 func WriteIndex(w io.Writer, ix *index.Index) error {
-	return writeCapture(w, ix.Capture(), version3, 0)
+	cap, err := ix.Capture()
+	if err != nil {
+		return err
+	}
+	defer cap.Release()
+	return writeCapture(w, cap, version3, 0)
 }
 
 // WriteIndexV1 serializes ix in the seed's version-1 format, for
@@ -106,7 +111,12 @@ func WriteIndex(w io.Writer, ix *index.Index) error {
 // carrying tombstones, which version 1 cannot represent (appended
 // vectors are fine: they are ordinary codes in their partition block).
 func WriteIndexV1(w io.Writer, ix *index.Index) error {
-	return writeCapture(w, ix.Capture(), version1, 0)
+	cap, err := ix.Capture()
+	if err != nil {
+		return err
+	}
+	defer cap.Release()
+	return writeCapture(w, cap, version1, 0)
 }
 
 // WriteCapture serializes a point-in-time capture in the current format,
@@ -503,7 +513,12 @@ func readIndexCells(r io.Reader, keep []int) (*index.Index, uint64, error) {
 // the two fsyncs a crash shortly after SaveIndex could leave either an
 // empty rename target or the old file — the classic torn-rename bug.
 func SaveIndex(path string, ix *index.Index) error {
-	return saveCapture(fsio.OS, path, ix.Capture(), version3, 0)
+	cap, err := ix.Capture()
+	if err != nil {
+		return err
+	}
+	defer cap.Release()
+	return saveCapture(fsio.OS, path, cap, version3, 0)
 }
 
 // SaveCapture atomically and durably writes a checkpoint capture

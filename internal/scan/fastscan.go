@@ -127,6 +127,23 @@ func (fs *FastScan) Rebind(np *Partition) *FastScan {
 	return &FastScan{part: np, keepN: fs.keepN, c: fs.c, grouped: fs.grouped, orderGroups: fs.orderGroups}
 }
 
+// Detach returns a stub FastScan bound to the given partition stub: the
+// scan parameters (keep split, grouping depth, ordering mode) and the
+// grouped directory stay resident while the packed blocks, grouped
+// codes and grouped ids move to a disk extent (layout.Grouped.Detach).
+func (fs *FastScan) Detach(stub *Partition) *FastScan {
+	return &FastScan{part: stub, keepN: fs.keepN, c: fs.c, grouped: fs.grouped.Detach(), orderGroups: fs.orderGroups}
+}
+
+// Hydrate returns a scannable FastScan over a hydrated partition and
+// grouped layout — per-pin shallow views over a pinned extent payload,
+// valid only while the pin is held. p must be the hydration of the stub
+// this FastScan was detached with (same rows), and g the hydration of
+// its grouped directory.
+func (fs *FastScan) Hydrate(p *Partition, g *layout.Grouped) *FastScan {
+	return &FastScan{part: p, keepN: fs.keepN, c: fs.c, grouped: g, orderGroups: fs.orderGroups}
+}
+
 // CloneAppend returns a FastScan over np — p's rows plus the appended
 // ones — without touching this layout: the copy-on-write counterpart of
 // Append for layouts published in snapshots. It produces state

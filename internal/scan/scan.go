@@ -46,6 +46,11 @@ type Partition struct {
 	IDs   []int64 // optional original ids; nil means position == id
 
 	dead map[int64]struct{} // tombstoned ids; nil when none
+
+	// detached marks a stub whose Codes/IDs live in a disk extent
+	// (Detach); ID traps position-as-id answers on such stubs, which
+	// would otherwise silently misreport partitions with explicit ids.
+	detached bool
 }
 
 // NewPartition wraps row-major PQ 8×8 codes (and optional ids) as a
@@ -71,6 +76,9 @@ func NewPartitionW(codes []uint8, ids []int64, w int) *Partition {
 // ID maps a vector position to its external id.
 func (p *Partition) ID(i int) int64 {
 	if p.IDs == nil {
+		if p.detached {
+			panic("scan: ID on a detached partition stub")
+		}
 		return int64(i)
 	}
 	return p.IDs[i]
@@ -139,7 +147,40 @@ func (p *Partition) CloneTombstone(id int64) (*Partition, bool) {
 		nd[k] = struct{}{}
 	}
 	nd[id] = struct{}{}
-	return &Partition{N: p.N, W: p.W, Codes: p.Codes, IDs: p.IDs, dead: nd}, true
+	return &Partition{N: p.N, W: p.W, Codes: p.Codes, IDs: p.IDs, dead: nd, detached: p.detached}, true
+}
+
+// Detach returns a shallow copy of the partition with the bulk arrays
+// (Codes, IDs) dropped: a stub whose row and tombstone bookkeeping (N,
+// W, dead set) stays resident while the bytes live in a disk extent.
+// Stubs answer Live/IsDead/DeadCount and may be tombstoned copy-on-
+// write (the dead set is RAM metadata); any code or id access must go
+// through Hydrate first — ID panics on a stub rather than fabricate
+// position ids.
+func (p *Partition) Detach() *Partition {
+	q := *p
+	q.Codes, q.IDs = nil, nil
+	q.detached = true
+	return &q
+}
+
+// Hydrate returns a shallow copy of the stub with codes and ids
+// attached — aliases into a pinned buffer-pool frame, valid only while
+// the pin is held. The dead set is shared with the stub (immutable once
+// published). ids may be nil only when the sealed partition had
+// implicit position ids (hasIDs false at detach time; the caller tracks
+// this in the extent metadata).
+func (p *Partition) Hydrate(codes []uint8, ids []int64) *Partition {
+	if len(codes) != p.N*p.W {
+		panic("scan: Hydrate code length mismatch")
+	}
+	if ids != nil && len(ids) != p.N {
+		panic("scan: Hydrate id count mismatch")
+	}
+	q := *p
+	q.Codes, q.IDs = codes, ids
+	q.detached = false
+	return &q
 }
 
 // Compact returns a new partition holding only p's live rows, in their

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -160,6 +161,36 @@ type Stats struct {
 	// WAL is present only when the server runs durably (-wal-dir): log
 	// size, record count and fsync latency quantiles.
 	WAL *pqfastscan.WALStats `json:"wal,omitempty"`
+	// BufPool is present only when the server pages partition data from
+	// a disk store (-store-dir): the extent footprint on disk and the
+	// buffer pool's hit/miss/eviction counters with resident and pinned
+	// bytes — the numbers that show whether the working set fits.
+	BufPool *pqfastscan.StoreStats `json:"bufpool,omitempty"`
+	// Mem reports Go runtime memory, the cross-check for paged serving:
+	// heap in use should track pool capacity plus index metadata, not
+	// the full extent footprint.
+	Mem MemStats `json:"mem"`
+}
+
+// MemStats is the /stats projection of runtime.MemStats.
+type MemStats struct {
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+// readMemStats samples the Go runtime. ReadMemStats stops the world
+// briefly; /stats polling cadence (seconds) makes that negligible.
+func readMemStats() MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemStats{
+		HeapInuseBytes: ms.HeapInuse,
+		HeapAllocBytes: ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		NumGC:          ms.NumGC,
+	}
 }
 
 // CompactionStats is the /stats projection of online compaction.

@@ -111,6 +111,19 @@ type Config struct {
 	// interval (bounds batched-mode data loss in time).
 	WALSyncInterval time.Duration
 
+	// StoreDir, when set, serves the index beyond RAM: partition data is
+	// sealed into disk-resident extents under this directory and paged
+	// through a buffer pool bounded at PoolBytes, so the resident set is
+	// the pool plus index metadata instead of the full index. Applied to
+	// every index this server installs — the boot index and every /swap
+	// or /swap/prepare load (staged and serving indexes share the pool).
+	// The directory is owned by this process; extents are a rebuildable
+	// cache, not durable state.
+	StoreDir string
+	// PoolBytes bounds the buffer pool when StoreDir is set (default
+	// pqfastscan.DefaultPoolBytes).
+	PoolBytes int64
+
 	// CompactInterval enables the background compaction policy when
 	// positive: every interval, partitions whose dead ratio reaches
 	// CompactThreshold are rebuilt online without their tombstones.
@@ -264,6 +277,9 @@ func New(cfg Config) (*Server, error) {
 		go func() {
 			defer s.bg.Done()
 			idx, err := s.openDurable()
+			if err == nil {
+				err = s.attachStore(idx)
+			}
 			if err != nil {
 				msg := err.Error()
 				s.loadErr.Store(&msg)
@@ -274,12 +290,18 @@ func New(cfg Config) (*Server, error) {
 			s.cfg.Logf("server: durable index ready, serving %d live vectors (wal %s)", idx.Live(), cfg.WALDir)
 		}()
 	case cfg.Index != nil:
+		if err := s.attachStore(cfg.Index); err != nil {
+			return nil, err
+		}
 		s.install(cfg.Index)
 	default:
 		s.bg.Add(1)
 		go func() {
 			defer s.bg.Done()
 			idx, err := cfg.Load()
+			if err == nil {
+				err = s.attachStore(idx)
+			}
 			if err != nil {
 				msg := err.Error()
 				s.loadErr.Store(&msg)
@@ -333,6 +355,17 @@ func (s *Server) openDurable() (*pqfastscan.Index, error) {
 		return nil, err
 	}
 	return idx, nil
+}
+
+// attachStore applies the configured disk store to an index this server
+// is about to serve (no-op without StoreDir). Every index attaching to
+// the same StoreDir shares one buffer pool, so a staged swap
+// replacement competes for — rather than doubles — the memory budget.
+func (s *Server) attachStore(idx *pqfastscan.Index) error {
+	if s.cfg.StoreDir == "" {
+		return nil
+	}
+	return idx.WithDiskStore(s.cfg.StoreDir, s.cfg.PoolBytes)
 }
 
 // install publishes the loaded index and its batcher and flips the
@@ -814,10 +847,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) StatsSnapshot() Stats {
 	var pstats []pqfastscan.PartitionStat
 	var walStats *pqfastscan.WALStats
+	var storeStats *pqfastscan.StoreStats
 	if idx := s.idx.Load(); idx != nil {
 		pstats = idx.PartitionStats()
 		if ws, ok := idx.WALStats(); ok {
 			walStats = &ws
+		}
+		if ss, ok := idx.StoreStats(); ok {
+			storeStats = &ss
 		}
 	}
 	live := 0
@@ -855,7 +892,9 @@ func (s *Server) StatsSnapshot() Stats {
 			LastSaveUnix: s.metrics.lastSave.Load(),
 			Path:         s.cfg.SnapshotPath,
 		},
-		WAL: walStats,
+		WAL:     walStats,
+		BufPool: storeStats,
+		Mem:     readMemStats(),
 	}
 	for name, em := range s.metrics.endpoints {
 		st.Endpoints[name] = em.stats()
@@ -898,6 +937,10 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	next, err := pqfastscan.LoadIndexCells(req.Path, s.cfg.Cells)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "load: "+err.Error())
+		return
+	}
+	if err := s.attachStore(next); err != nil {
+		httpError(w, http.StatusInternalServerError, "attach store: "+err.Error())
 		return
 	}
 	s.swapMu.Lock()
@@ -958,6 +1001,12 @@ func (s *Server) handleSwapPrepare(w http.ResponseWriter, r *http.Request) {
 	// not-ready so routers deprioritize a shard busy churning page cache.
 	s.preparing.Add(1)
 	next, err := pqfastscan.LoadIndexCells(req.Path, s.cfg.Cells)
+	if err == nil {
+		// Staged and serving indexes attach to the same store directory,
+		// sharing one buffer pool: staging competes for the memory budget
+		// instead of doubling it.
+		err = s.attachStore(next)
+	}
 	s.preparing.Add(-1)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "load: "+err.Error())

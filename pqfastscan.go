@@ -252,6 +252,9 @@ func Build(learn, base Matrix, opt BuildOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := autoAttach(inner); err != nil {
+		return nil, err
+	}
 	return newIndex(inner), nil
 }
 
@@ -332,6 +335,9 @@ func LoadIndex(path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := autoAttach(inner); err != nil {
+		return nil, err
+	}
 	return newIndex(inner), nil
 }
 
@@ -344,6 +350,9 @@ func LoadIndex(path string) (*Index, error) {
 func LoadIndexCells(path string, cells []int) (*Index, error) {
 	inner, err := persist.LoadIndexCells(path, cells)
 	if err != nil {
+		return nil, err
+	}
+	if err := autoAttach(inner); err != nil {
 		return nil, err
 	}
 	return newIndex(inner), nil
