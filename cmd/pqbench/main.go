@@ -66,6 +66,21 @@
 //	pqbench -coldstart
 //	pqbench -coldstart -coldstart-pools 1.0,0.25,0.05
 //	pqbench -json -coldstart > BENCH_prN.json
+//
+// -planner runs the adaptive-planner sweep (DESIGN.md §16): a fixed
+// grid of query configurations — nprobe × kernel/backend — measured
+// against WithAuto and WithTargetRecall on the same index, first
+// RAM-resident and then paged through a small buffer pool
+// (-planner-pool of the extent footprint). Every planned query is
+// asserted bit-identical to the fixed-option query built from its
+// decision before anything is timed; the report records each point's
+// QPS/p50/p99, the auto-vs-best and worst-vs-auto p99 ratios, and the
+// planner's decision counters. Combine with -json for the
+// pqfastscan-bench/v8 document (the BENCH_pr9.json baseline):
+//
+//	pqbench -planner
+//	pqbench -planner -planner-pool 0.25
+//	pqbench -json -planner > BENCH_prN.json
 package main
 
 import (
@@ -118,6 +133,13 @@ func main() {
 		coldQueries = flag.Int("coldstart-queries", 64, "queries per cold/warm pass for -coldstart")
 		coldPools   = flag.String("coldstart-pools", "1.0,0.5,0.1", "comma-separated pool capacities for -coldstart, as fractions of the extent footprint")
 
+		planOut     = flag.Bool("planner", false, "run the adaptive-planner sweep (planner vs fixed nprobe×kernel grid, RAM and paged regimes, bit-identity asserted first); with -json, emit one combined report")
+		planN       = flag.Int("planner-n", 100000, "database size for the -planner benchmark")
+		planQueries = flag.Int("planner-queries", 32, "distinct queries for -planner")
+		planRounds  = flag.Int("planner-rounds", 10, "measurement passes over the query set per grid point for -planner")
+		planPool    = flag.Float64("planner-pool", 0.1, "paged-regime pool capacity for -planner, as a fraction of the extent footprint")
+		planRecall  = flag.Float64("planner-recall", 0.9, "recall target measured beside the min-latency auto point for -planner")
+
 		shardsFlag = flag.String("shards", "", "comma-separated shard counts for the cluster scaling benchmark, e.g. \"1,2,4\"; with -json/-serve/-mixed, emit one combined report")
 		shardN     = flag.Int("shard-n", 100000, "database size for the -shards benchmark")
 		shardParts = flag.Int("shard-partitions", 8, "IVF cells for the -shards benchmark")
@@ -136,8 +158,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *jsonOut || *serveOut || *mixedOut || *durOut || *coldOut || len(shardCounts) > 0 {
-		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, *coldOut, shardCounts, *seed, *jsonSize, *jsonK,
+	if *jsonOut || *serveOut || *mixedOut || *durOut || *coldOut || *planOut || len(shardCounts) > 0 {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, *coldOut, *planOut, shardCounts, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -178,6 +200,15 @@ func main() {
 				K:          *jsonK,
 				Queries:    *coldQueries,
 				Fractions:  poolFracs,
+			},
+			bench.PlannerConfig{
+				BaseN:        *planN,
+				Seed:         *seed,
+				K:            *jsonK,
+				Queries:      *planQueries,
+				Rounds:       *planRounds,
+				PoolFraction: *planPool,
+				Recall:       *planRecall,
 			})
 		return
 	}
@@ -281,11 +312,12 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 // runMachineReadable dispatches the -json / -serve / -mixed /
-// -durability / -shards / -coldstart modes: a single report alone, or
-// the combined pqfastscan-bench/v7 document when several are requested
-// (the BENCH_pr8.json baseline format: kernels per backend + serving +
-// durability + cluster scaling + the beyond-RAM cold-start sweep).
-func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig, coldCfg bench.ColdstartConfig) {
+// -durability / -shards / -coldstart / -planner modes: a single report
+// alone, or the combined pqfastscan-bench/v8 document when several are
+// requested (the BENCH_pr9.json baseline format: kernels per backend +
+// serving + durability + cluster scaling + the beyond-RAM cold-start
+// sweep + the adaptive-planner sweep).
+func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig, coldCfg bench.ColdstartConfig, planCfg bench.PlannerConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -298,7 +330,7 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shard
 	}
 	shards := len(shardCounts) > 0
 	single := 0
-	for _, on := range []bool{kernels, serve, mixed, durability, shards, coldstart} {
+	for _, on := range []bool{kernels, serve, mixed, durability, shards, coldstart, planner} {
 		if on {
 			single++
 		}
@@ -316,6 +348,8 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shard
 			err = bench.RunCluster(os.Stdout, clusterCfg)
 		case coldstart:
 			err = bench.RunColdstart(os.Stdout, coldCfg)
+		case planner:
+			err = bench.RunPlanner(os.Stdout, planCfg)
 		default:
 			err = bench.RunWallClock(os.Stdout, seed, sizes, k)
 		}
@@ -325,12 +359,13 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shard
 		return
 	}
 
-	// v7: adds the coldstart section and the mem record in the kernels
-	// header; v6 added the durability section; v5 the cluster scaling
-	// section; v4's kernels section carries the block-kernel backend
-	// record (active/available backends, CPU features, per-backend
-	// native Fast Scan rows) and the mixed section names its backend.
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v7"}
+	// v8: adds the adaptive-planner section; v7 the coldstart section
+	// and the mem record in the kernels header; v6 the durability
+	// section; v5 the cluster scaling section; v4's kernels section
+	// carries the block-kernel backend record (active/available
+	// backends, CPU features, per-backend native Fast Scan rows) and
+	// the mixed section names its backend.
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v8"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
@@ -378,6 +413,14 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart bool, shard
 			log.Fatal(err)
 		}
 		combined.Coldstart = cr
+	}
+	if planner {
+		fmt.Fprintln(os.Stderr, "running adaptive-planner sweep...")
+		pr, err := bench.MeasurePlanner(planCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.Planner = pr
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -26,6 +26,9 @@
 //
 //	POST /search        {"query":[...],"k":10,"nprobe":1,"kernel":"fastpq"}
 //	                    or {"query":[...],"k":10,"cells":[0,2]} (router sub-requests)
+//	                    ?auto=1 plans open dimensions adaptively, ?recall=0.95
+//	                    targets a recall fraction (DESIGN.md §16); with -auto
+//	                    every request is planned unless it opts out (?auto=0)
 //	POST /add           {"vectors":[[...],...]}
 //	POST /delete        {"id":123}               404 when the id is not live
 //	POST /swap          {"path":"/data/new.idx"} hot snapshot swap
@@ -81,6 +84,7 @@ func main() {
 		partitions   = flag.Int("partitions", 8, "IVF partitions for -synthetic builds")
 		seed         = flag.Uint64("seed", 42, "seed for -synthetic builds")
 		cellsFlag    = flag.String("cells", "", "IVF cells this shard serves, e.g. \"0-3\" or \"0,2,5-7\" (default: all)")
+		auto         = flag.Bool("auto", false, "plan every /search adaptively by default: open dimensions (nprobe, kernel, backend, parallelism) are chosen from live cost observations; requests opt out with ?auto=0")
 		warm         = flag.Bool("warm", false, "start serving probes immediately and load the index in the background")
 		batchWindow  = flag.Duration("batch-window", time.Millisecond, "micro-batching window for /search coalescing")
 		maxBatch     = flag.Int("max-batch", 64, "maximum queries per coalesced SearchBatch call")
@@ -110,6 +114,7 @@ func main() {
 
 	cfg := server.Config{
 		Cells:            cells,
+		Auto:             *auto,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
 		MaxInFlight:      *maxInFlight,

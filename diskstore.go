@@ -7,11 +7,6 @@
 package pqfastscan
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-	"strconv"
-
 	"pqfastscan/internal/index"
 )
 
@@ -24,7 +19,7 @@ type StoreStats = index.StoreStats
 // DefaultPoolBytes is the buffer pool capacity used when none is given
 // (WithDiskStore poolBytes <= 0, or PQ_STORE_DIR set without
 // PQ_POOL_BYTES).
-const DefaultPoolBytes int64 = 256 << 20
+const DefaultPoolBytes = index.DefaultPoolBytes
 
 // WithDiskStore migrates the index this handle serves to disk-resident
 // extents under dir, paged through a buffer pool bounded at poolBytes
@@ -48,21 +43,11 @@ func (ix *Index) StoreStats() (StoreStats, bool) { return ix.load().StoreStats()
 // autoAttach applies the PQ_STORE_DIR / PQ_POOL_BYTES environment to a
 // freshly built or loaded index: when PQ_STORE_DIR is set, every index
 // comes up disk-resident — the hook the CI paged-mode leg uses to run
-// the whole test suite over the paging stack. Each process attaches
-// under its own proc-<pid> subdirectory so parallel test binaries
-// sharing the variable never sweep each other's extents.
+// the whole test suite over the paging stack. The logic lives on
+// index.AttachStoreFromEnv so the bench harness (cmd/pqbench), whose
+// environments build through internal/index directly, honors the same
+// variables the same way.
 func autoAttach(in *index.Index) error {
-	dir := os.Getenv("PQ_STORE_DIR")
-	if dir == "" {
-		return nil
-	}
-	poolBytes := DefaultPoolBytes
-	if s := os.Getenv("PQ_POOL_BYTES"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil || v <= 0 {
-			return fmt.Errorf("pqfastscan: invalid PQ_POOL_BYTES %q", s)
-		}
-		poolBytes = v
-	}
-	return in.AttachStore(filepath.Join(dir, fmt.Sprintf("proc-%d", os.Getpid())), poolBytes)
+	_, err := in.AttachStoreFromEnv()
+	return err
 }

@@ -101,6 +101,15 @@ func NewEnv(s Scale) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: building index: %w", err)
 	}
+	// Honor PQ_STORE_DIR / PQ_POOL_BYTES exactly as the facade's build
+	// paths (and therefore pqserve) do: with the variables set the
+	// environment's index serves from disk extents behind the bounded
+	// buffer pool, so paged-regime benchmarks need no bespoke wiring.
+	// Kernel-level experiments keep working — Parts() materializes paged
+	// partitions — they just measure over the paging stack.
+	if _, err := ix.AttachStoreFromEnv(); err != nil {
+		return nil, fmt.Errorf("bench: attaching disk store: %w", err)
+	}
 	env.Index = ix
 	env.route = make([]int, s.QueryN)
 	env.tables = make([]quantizer.Tables, s.QueryN)

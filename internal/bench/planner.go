@@ -1,0 +1,381 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/plan"
+)
+
+// Planner benchmarking (cmd/pqbench -planner, DESIGN.md §16): sweep a
+// grid of fixed query configurations — nprobe × kernel/backend — and
+// measure the adaptive planner (WithAuto, WithTargetRecall) against it,
+// first on the RAM-resident index and then on the same index paged
+// through a small buffer pool (a fraction of its extent footprint).
+// Before anything is timed, every planned query is asserted
+// bit-identical to the fixed-option query built from its decision: the
+// planner's entire contract is that it only picks among configurations
+// that return the same answer.
+
+// PlannerConfig parameterizes a planner sweep.
+type PlannerConfig struct {
+	BaseN        int     // database size (default 100000)
+	LearnN       int     // training size (default BaseN/10, min 1000)
+	Partitions   int     // IVF cells (default 8)
+	Seed         uint64  // dataset seed (default 42)
+	K            int     // neighbors per query (default 100)
+	Queries      int     // distinct queries (default 32)
+	Rounds       int     // measurement passes over the query set per grid point (default 10)
+	PoolFraction float64 // paged-regime pool capacity as a fraction of the extent footprint (default 0.1)
+	Recall       float64 // recall target measured beside the min-latency auto point (default 0.9)
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.BaseN <= 0 {
+		// Large enough that the kernel classes separate clearly in
+		// observed ns/code (the paper's regime); small partitions push
+		// the classes within noise of each other.
+		c.BaseN = 100000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	if c.Queries <= 0 {
+		c.Queries = 32
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.PoolFraction <= 0 || c.PoolFraction > 1 {
+		c.PoolFraction = 0.1
+	}
+	if c.Recall <= 0 || c.Recall > 1 {
+		c.Recall = 0.9
+	}
+	return c
+}
+
+// PlannerPoint is one measured configuration: a fixed grid point, or
+// one of the planned points (auto / recall-target).
+type PlannerPoint struct {
+	Name    string  `json:"name"`
+	NProbe  int     `json:"nprobe,omitempty"` // 0 for planned points (chosen per query)
+	Kernel  string  `json:"kernel,omitempty"`
+	Backend string  `json:"backend,omitempty"`
+	QPS     float64 `json:"qps"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+// PlannerRegime is one serving regime's sweep: the fixed grid, the two
+// planned points, the p99 comparisons the acceptance bars read, and the
+// planner's decision counters over the planned passes.
+type PlannerRegime struct {
+	Regime      string `json:"regime"`                 // "ram" or "paged"
+	PoolBytes   int64  `json:"pool_bytes,omitempty"`   // paged only
+	ExtentBytes int64  `json:"extent_bytes,omitempty"` // paged only
+
+	// BitIdentityChecked counts the planned queries (auto and
+	// recall-target, every query) whose results were verified identical
+	// to the fixed-option query built from the planner's own probe set —
+	// all before any timing.
+	BitIdentityChecked int `json:"bit_identity_checked"`
+
+	Fixed  []PlannerPoint `json:"fixed"`
+	Auto   PlannerPoint   `json:"auto"`
+	Recall PlannerPoint   `json:"recall"`
+
+	RecallTarget float64 `json:"recall_target"`
+
+	BestFixedP99Ms  float64 `json:"best_fixed_p99_ms"`
+	WorstFixedP99Ms float64 `json:"worst_fixed_p99_ms"`
+	// AutoOverBestP99 is auto p99 / best fixed p99 (≤ 1.15 is the bar:
+	// planning costs at most 15% over the oracle grid point).
+	AutoOverBestP99 float64 `json:"auto_over_best_p99"`
+	// WorstOverAutoP99 is worst fixed p99 / auto p99 (≥ 2 on at least
+	// one regime is the bar: the planner dodges the bad grid points).
+	WorstOverAutoP99 float64 `json:"worst_over_auto_p99"`
+
+	Planner plan.Stats `json:"planner"`
+}
+
+// PlannerReport is the JSON document of one planner sweep
+// (pqfastscan-planner/v1).
+type PlannerReport struct {
+	Schema     string   `json:"schema"`
+	Backend    string   `json:"backend"`
+	BaseN      int      `json:"base_n"`
+	Partitions int      `json:"partitions"`
+	K          int      `json:"k"`
+	Queries    int      `json:"queries"`
+	Rounds     int      `json:"rounds"`
+	Mem        MemStats `json:"mem"`
+
+	Regimes []PlannerRegime `json:"regimes"`
+}
+
+// plannerGridKernels are the kernel/backend variants of the fixed grid.
+// Each is bit-identical to the others; they differ only in cost — which
+// is the whole space the planner chooses in.
+var plannerGridKernels = []struct {
+	name string
+	opts func() []pqfastscan.SearchOption
+}{
+	{"fastpq", func() []pqfastscan.SearchOption {
+		return []pqfastscan.SearchOption{pqfastscan.WithKernel(pqfastscan.KernelFastScan)}
+	}},
+	{"fastpq-swar", func() []pqfastscan.SearchOption {
+		return []pqfastscan.SearchOption{
+			pqfastscan.WithKernel(pqfastscan.KernelFastScan),
+			pqfastscan.WithBackend(pqfastscan.BackendSWAR),
+		}
+	}},
+	{"exact", func() []pqfastscan.SearchOption {
+		return []pqfastscan.SearchOption{pqfastscan.WithKernel(pqfastscan.KernelNaive)}
+	}},
+}
+
+// MeasurePlanner builds a synthetic index and runs the planner-vs-fixed
+// sweep on it twice: RAM-resident, then paged through a pool bounded at
+// PoolFraction of the extent footprint.
+func MeasurePlanner(cfg PlannerConfig) (*PlannerReport, error) {
+	cfg = cfg.withDefaults()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = cfg.Partitions
+	opt.Seed = cfg.Seed
+	opt.OrderGroups = true
+	idx, err := pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build planner index: %w", err)
+	}
+	queries := gen.Generate(cfg.Queries)
+
+	report := &PlannerReport{
+		Schema:     "pqfastscan-planner/v1",
+		Backend:    pqfastscan.ActiveBackend().String(),
+		BaseN:      cfg.BaseN,
+		Partitions: cfg.Partitions,
+		K:          cfg.K,
+		Queries:    cfg.Queries,
+		Rounds:     cfg.Rounds,
+	}
+
+	ram, err := measurePlannerRegime(idx, queries, cfg, "ram")
+	if err != nil {
+		return nil, err
+	}
+	report.Regimes = append(report.Regimes, *ram)
+
+	// Same index, paged: attach (ample pool), then bound the pool at the
+	// configured fraction of the sealed footprint so multi-probe passes
+	// fault continuously while single-probe working sets stay resident —
+	// the regime where probe-set choice dominates the latency.
+	if os.Getenv("PQ_STORE_DIR") == "" { // already paged when the env asked for it
+		dir, err := os.MkdirTemp("", "pqfs-planner-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := idx.WithDiskStore(dir, 1<<30); err != nil {
+			return nil, fmt.Errorf("bench: attach disk store: %w", err)
+		}
+	}
+	st, ok := idx.StoreStats()
+	if !ok || st.ExtentBytes <= 0 {
+		return nil, fmt.Errorf("bench: disk store attached but empty (stats %+v)", st)
+	}
+	capBytes := int64(cfg.PoolFraction * float64(st.ExtentBytes))
+	if capBytes < 1 {
+		capBytes = 1
+	}
+	idx.Internal().SetPoolCapacity(1) // drain: the paged regime starts cold
+	idx.Internal().SetPoolCapacity(capBytes)
+
+	paged, err := measurePlannerRegime(idx, queries, cfg, "paged")
+	if err != nil {
+		return nil, err
+	}
+	paged.PoolBytes = capBytes
+	paged.ExtentBytes = st.ExtentBytes
+	report.Regimes = append(report.Regimes, *paged)
+
+	report.Mem = readMemStats()
+	return report, nil
+}
+
+// measurePlannerRegime runs one regime's sweep: warm the cost EWMAs,
+// assert bit-identity of every planned query, then time the fixed grid
+// and the planned points.
+func measurePlannerRegime(idx *pqfastscan.Index, queries pqfastscan.Matrix, cfg PlannerConfig, regime string) (*PlannerRegime, error) {
+	ctx := context.Background()
+	reg := &PlannerRegime{Regime: regime, RecallTarget: cfg.Recall}
+
+	nprobes := plannerNProbes(cfg.Partitions)
+
+	// Warm-up: one pass of every kernel class at full probe width feeds
+	// the per-class ns/code EWMAs (resident and paged cells separately —
+	// this regime's scans land in this regime's cells), so the planner
+	// measured below decides from observations, not the cold prior.
+	for _, kv := range plannerGridKernels {
+		opts := append(kv.opts(), pqfastscan.WithNProbe(cfg.Partitions))
+		for qi := 0; qi < queries.Rows(); qi++ {
+			if _, err := idx.Search(ctx, queries.Row(qi), cfg.K, opts...); err != nil {
+				return nil, fmt.Errorf("bench: planner warmup (%s): %w", kv.name, err)
+			}
+		}
+	}
+
+	// Bit-identity, before any timing: a planned query must return
+	// exactly what the fixed-option query over its own probe set does.
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		for _, planned := range [][]pqfastscan.SearchOption{
+			{pqfastscan.WithAuto()},
+			{pqfastscan.WithTargetRecall(cfg.Recall)},
+		} {
+			got, err := idx.Search(ctx, q, cfg.K, planned...)
+			if err != nil {
+				return nil, err
+			}
+			want, err := idx.Search(ctx, q, cfg.K, pqfastscan.WithNProbe(len(got.Partitions)))
+			if err != nil {
+				return nil, err
+			}
+			if err := samePlannerAnswer(got, want); err != nil {
+				return nil, fmt.Errorf("bench: %s regime, query %d: planned result diverged from fixed: %w", regime, qi, err)
+			}
+			reg.BitIdentityChecked++
+		}
+	}
+
+	// The decision counters below describe only this regime's timed
+	// planned passes.
+	plan.Reset()
+
+	measure := func(name string, opts ...pqfastscan.SearchOption) (PlannerPoint, error) {
+		lats := make([]time.Duration, 0, cfg.Rounds*queries.Rows())
+		start := time.Now()
+		for r := 0; r < cfg.Rounds; r++ {
+			for qi := 0; qi < queries.Rows(); qi++ {
+				t0 := time.Now()
+				if _, err := idx.Search(ctx, queries.Row(qi), cfg.K, opts...); err != nil {
+					return PlannerPoint{}, fmt.Errorf("bench: planner point %s: %w", name, err)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+		}
+		total := time.Since(start)
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return PlannerPoint{
+			Name:  name,
+			QPS:   float64(len(lats)) / total.Seconds(),
+			P50Ms: quantileMs(lats, 0.50),
+			P99Ms: quantileMs(lats, 0.99),
+		}, nil
+	}
+
+	for _, np := range nprobes {
+		for _, kv := range plannerGridKernels {
+			name := fmt.Sprintf("nprobe=%d/%s", np, kv.name)
+			pt, err := measure(name, append(kv.opts(), pqfastscan.WithNProbe(np))...)
+			if err != nil {
+				return nil, err
+			}
+			pt.NProbe = np
+			pt.Kernel = kv.name
+			reg.Fixed = append(reg.Fixed, pt)
+		}
+	}
+
+	auto, err := measure("auto", pqfastscan.WithAuto())
+	if err != nil {
+		return nil, err
+	}
+	reg.Auto = auto
+	recall, err := measure(fmt.Sprintf("recall=%g", cfg.Recall), pqfastscan.WithTargetRecall(cfg.Recall))
+	if err != nil {
+		return nil, err
+	}
+	reg.Recall = recall
+	reg.Planner = plan.Snapshot()
+
+	reg.BestFixedP99Ms = reg.Fixed[0].P99Ms
+	reg.WorstFixedP99Ms = reg.Fixed[0].P99Ms
+	for _, pt := range reg.Fixed[1:] {
+		if pt.P99Ms < reg.BestFixedP99Ms {
+			reg.BestFixedP99Ms = pt.P99Ms
+		}
+		if pt.P99Ms > reg.WorstFixedP99Ms {
+			reg.WorstFixedP99Ms = pt.P99Ms
+		}
+	}
+	if reg.BestFixedP99Ms > 0 {
+		reg.AutoOverBestP99 = reg.Auto.P99Ms / reg.BestFixedP99Ms
+	}
+	if reg.Auto.P99Ms > 0 {
+		reg.WorstOverAutoP99 = reg.WorstFixedP99Ms / reg.Auto.P99Ms
+	}
+	return reg, nil
+}
+
+// plannerNProbes is the probe-width axis of the fixed grid: powers of
+// two up to every partition.
+func plannerNProbes(partitions int) []int {
+	var out []int
+	for np := 1; np < partitions; np *= 2 {
+		out = append(out, np)
+	}
+	return append(out, partitions)
+}
+
+// samePlannerAnswer compares two search results for exact equality of
+// probe set and neighbor list.
+func samePlannerAnswer(got, want *pqfastscan.SearchResult) error {
+	if len(got.Partitions) != len(want.Partitions) {
+		return fmt.Errorf("probed %v vs %v", got.Partitions, want.Partitions)
+	}
+	for i := range got.Partitions {
+		if got.Partitions[i] != want.Partitions[i] {
+			return fmt.Errorf("probed %v vs %v", got.Partitions, want.Partitions)
+		}
+	}
+	if len(got.Results) != len(want.Results) {
+		return fmt.Errorf("%d results vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			return fmt.Errorf("result %d: %+v vs %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+	return nil
+}
+
+// RunPlanner measures the planner sweep and writes the report as JSON.
+func RunPlanner(w io.Writer, cfg PlannerConfig) error {
+	report, err := MeasurePlanner(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

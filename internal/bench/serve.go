@@ -195,13 +195,14 @@ func RunServe(w io.Writer, cfg ServeConfig) error {
 
 // CombinedReport pairs the kernel wall-clock trajectory with the served
 // throughput, the mixed read-write isolation numbers, the durability
-// costs, the cluster scaling curve, and/or the beyond-RAM cold-start
-// sweep of the same build — the document the BENCH_pr*.json baselines
-// record (cmd/pqbench -json, -serve, -mixed, -durability, -shards,
-// -coldstart, in any combination). Schema is pqfastscan-bench/v7 (v6
-// predates the coldstart section and the mem record; v5 the durability
-// section; v4 the cluster section; v2/v3 the backend record in the
-// kernels and mixed sections).
+// costs, the cluster scaling curve, the beyond-RAM cold-start sweep,
+// and/or the adaptive-planner sweep of the same build — the document
+// the BENCH_pr*.json baselines record (cmd/pqbench -json, -serve,
+// -mixed, -durability, -shards, -coldstart, -planner, in any
+// combination). Schema is pqfastscan-bench/v8 (v7 predates the planner
+// section; v6 the coldstart section and the mem record; v5 the
+// durability section; v4 the cluster section; v2/v3 the backend record
+// in the kernels and mixed sections).
 type CombinedReport struct {
 	Schema     string            `json:"schema"`
 	Kernels    *WallClockReport  `json:"kernels,omitempty"`
@@ -210,4 +211,5 @@ type CombinedReport struct {
 	Durability *DurabilityReport `json:"durability,omitempty"`
 	Cluster    *ClusterReport    `json:"cluster,omitempty"`
 	Coldstart  *ColdstartReport  `json:"coldstart,omitempty"`
+	Planner    *PlannerReport    `json:"planner,omitempty"`
 }

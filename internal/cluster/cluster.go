@@ -143,6 +143,14 @@ type Config struct {
 	// and the response reports coverage. Off, queries fail unless the
 	// request itself opts in.
 	AllowPartial bool
+	// Auto plans every query adaptively by default, as if it carried
+	// ?auto=1: the router maps a ?recall= target to a probe-prefix
+	// length over the fleet's cell sizes (the same mass rule a single
+	// node's planner applies, DESIGN.md §16) and forwards ?auto=1 on the
+	// shard sub-requests, so each shard plans kernel and backend locally
+	// for its pinned cell share. Individual requests opt out with
+	// ?auto=0.
+	Auto bool
 	// MaxK rejects requests asking for more neighbors than this
 	// (default 1000).
 	MaxK int
@@ -225,6 +233,11 @@ type fleetMeta struct {
 	partitions int
 	pqm        int
 	coarse     vec.Matrix
+	// cellSizes is the live row count per cell, each taken from the
+	// shard that owns the cell — the mass signal behind ?recall=
+	// planning. All zeros when the fleet predates /meta cell sizes,
+	// which degrades recall targets to the single-probe default.
+	cellSizes []int
 }
 
 // shard is one entry of the shard map plus its runtime counters.
@@ -276,11 +289,13 @@ func New(cfg Config) (*Router, error) {
 // centroids even when it is swap-compatible).
 func (r *Router) refreshMeta() error {
 	var ref *server.MetaResponse
+	metas := make([]*server.MetaResponse, len(r.shards))
 	for si, sh := range r.shards {
 		meta, ep, err := r.fetchMeta(sh)
 		if err != nil {
 			return fmt.Errorf("cluster: shard %d (%s): %w", si, sh.spec.String(), err)
 		}
+		metas[si] = meta
 		if sh.spec.Hi >= meta.Partitions {
 			return fmt.Errorf("cluster: shard %d range %d-%d exceeds %d partitions",
 				si, sh.spec.Lo, sh.spec.Hi, meta.Partitions)
@@ -328,8 +343,16 @@ func (r *Router) refreshMeta() error {
 	for i, row := range ref.Centroids {
 		copy(coarse.Row(i), row)
 	}
+	// Each cell's size comes from the shard that owns it: a shard reports
+	// 0 for cells it does not hold, so only the owner's number is real.
+	cellSizes := make([]int, ref.Partitions)
+	for c, si := range byCell {
+		if m := metas[si]; len(m.CellSizes) == ref.Partitions {
+			cellSizes[c] = m.CellSizes[c]
+		}
+	}
 	r.byCell = byCell
-	r.meta.store(&fleetMeta{dim: ref.Dim, partitions: ref.Partitions, pqm: ref.PQM, coarse: coarse})
+	r.meta.store(&fleetMeta{dim: ref.Dim, partitions: ref.Partitions, pqm: ref.PQM, coarse: coarse, cellSizes: cellSizes})
 	return nil
 }
 
@@ -395,6 +418,34 @@ func (r *Router) probeSet(query []float32, nprobe int, cells []int) (probe []int
 		byShard[si] = append(byShard[si], c)
 	}
 	return probe, byShard
+}
+
+// recallNProbe maps a recall target to a probe-prefix length exactly
+// like a single node's planner does (DESIGN.md §16): walk the ranked
+// cells until the probed cells hold at least fraction recall of the
+// fleet's live mass. The ranking is the same RankCells order probeSet
+// uses, so the resulting query is indistinguishable from one carrying
+// that nprobe explicitly. Fleets that report no cell sizes degrade to
+// the single-probe default deterministically.
+func (r *Router) recallNProbe(query []float32, recall float64) int {
+	meta := r.meta.load()
+	total := 0
+	for _, n := range meta.cellSizes {
+		total += n
+	}
+	if total == 0 {
+		return 1
+	}
+	need := recall * float64(total)
+	mass, nprobe := 0.0, 0
+	for _, c := range index.RankCells(query, meta.coarse) {
+		nprobe++
+		mass += float64(meta.cellSizes[c])
+		if mass >= need {
+			break
+		}
+	}
+	return nprobe
 }
 
 // shardIDs returns the keys of a shard group in ascending order, so

@@ -47,6 +47,18 @@ type SearchOptions struct {
 	NProbe int
 	Cells  []int // explicit probe set; mutually exclusive with NProbe
 	Kernel string
+	// Auto plans the query adaptively: sub-requests carry ?auto=1, so
+	// each shard plans kernel/backend/parallelism locally for its pinned
+	// cell share — its own cost observations, its own hardware. The
+	// probe set itself is chosen here (explicitly, or via Recall), so
+	// the merge stays bit-identical to a single node's.
+	Auto bool
+	// Recall, in (0,1], maps to a probe-prefix length over the fleet's
+	// cell sizes — the same live-mass rule a single node's planner
+	// applies (DESIGN.md §16). Implies Auto. An explicit NProbe or
+	// Cells wins, exactly as WithNProbe beats WithTargetRecall on a
+	// single node.
+	Recall float64
 	// AllowPartial degrades instead of failing when shards are down:
 	// the merge runs over whichever shards answered (at least one must)
 	// and the response's Coverage field reports the shortfall.
@@ -66,6 +78,16 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 	}
 	if opt.K < 0 || opt.K > r.cfg.MaxK {
 		return nil, validationErrorf("cluster: k must be in [1,%d]", r.cfg.MaxK)
+	}
+	if opt.Recall != 0 {
+		if !(opt.Recall > 0 && opt.Recall <= 1) {
+			return nil, validationErrorf("cluster: recall must be in (0,1], got %g", opt.Recall)
+		}
+		// The recall target picks nprobe only when routing is open —
+		// explicit nprobe or cells win, matching single-node semantics.
+		if opt.NProbe == 0 && len(opt.Cells) == 0 {
+			opt.NProbe = r.recallNProbe(query, opt.Recall)
+		}
 	}
 	if len(opt.Cells) > 0 {
 		if opt.NProbe != 0 {
@@ -96,6 +118,14 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 	// Fan out. Every shard sub-request asks for the full k: the global
 	// top k can come entirely from one shard's cells, so nothing less is
 	// sound.
+	// Planned queries forward ?auto=1: the shard plans kernel and
+	// backend for its cell share from its own cost observations. The
+	// cells are pinned by the sub-request, so shard-local planning
+	// cannot change the probe set — only how fast it is scanned.
+	subQuery := ""
+	if opt.Auto || opt.Recall > 0 {
+		subQuery = "?auto=1"
+	}
 	lists := make([][]topk.Result, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -103,7 +133,7 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			resp, err := r.shardSearch(ctx, r.shards[si], server.SearchRequest{
+			resp, err := r.shardSearch(ctx, r.shards[si], subQuery, server.SearchRequest{
 				Query:  query,
 				K:      opt.K,
 				Cells:  byShard[si],
@@ -163,7 +193,7 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 // tried, remaining budget re-cycles the list with exponential backoff
 // and full jitter between rounds. Everything shares one ShardTimeout
 // deadline, and nothing is launched after the context is done.
-func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRequest) (*server.SearchResponse, error) {
+func (r *Router) shardSearch(ctx context.Context, sh *shard, subQuery string, req server.SearchRequest) (*server.SearchResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
 	start := time.Now()
@@ -188,7 +218,7 @@ func (r *Router) shardSearch(ctx context.Context, sh *shard, req server.SearchRe
 		inflight++
 		go func() {
 			var out server.SearchResponse
-			err := r.postJSON(ctx, ep+"/search", req, &out)
+			err := r.postJSON(ctx, ep+"/search"+subQuery, req, &out)
 			results <- outcome{&out, err}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -116,10 +117,30 @@ func (r *Router) Handler() http.Handler {
 			return
 		}
 		// ?partial=1 opts this query into degraded mode: shard failures
-		// shrink coverage instead of failing the query.
-		partial := req.URL.Query().Get("partial")
+		// shrink coverage instead of failing the query. ?auto=1 and
+		// ?recall= invoke the planner exactly as on a single pqserve
+		// (Config.Auto plans by default, ?auto=0 opts out).
+		q := req.URL.Query()
+		partial := q.Get("partial")
+		auto := r.cfg.Auto
+		if v := q.Get("auto"); v != "" {
+			auto = v == "1" || v == "true"
+		}
+		recall := 0.0
+		if v := q.Get("recall"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			// The affirmative range check also rejects NaN.
+			if err != nil || !(f > 0 && f <= 1) {
+				r.metrics.rejected.Add(1)
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("recall must be a number in (0,1], got %q", v))
+				return
+			}
+			recall = f
+			auto = true
+		}
 		resp, err := r.Search(req.Context(), sr.Query, SearchOptions{
 			K: sr.K, NProbe: sr.NProbe, Cells: sr.Cells, Kernel: sr.Kernel,
+			Auto: auto, Recall: recall,
 			AllowPartial: partial == "1" || partial == "true",
 		})
 		if err != nil {

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pqfastscan"
+	"pqfastscan/internal/server"
+)
+
+// --- adaptive planning through the router ------------------------------
+
+// routerSearchURL is routerSearch with a raw target (query params).
+func routerSearchURL(t *testing.T, handler http.Handler, target string, req server.SearchRequest) (int, server.SearchResponse, string) {
+	t.Helper()
+	raw, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, target, bytes.NewReader(raw)))
+	var resp server.SearchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode response: %v (%s)", err, rec.Body.String())
+		}
+	}
+	return rec.Code, resp, rec.Body.String()
+}
+
+// TestRouterRecallBitIdentity: a ?recall= query through the router must
+// return exactly what a single node holding all cells returns for the
+// same target — the router's mass-prefix nprobe plus the scatter-gather
+// merge reproduce the single-node planner's answer bit for bit.
+func TestRouterRecallBitIdentity(t *testing.T) {
+	full, queries := fullIndex(t)
+	shardA := shardServer(t, full, []int{0, 1, 2, 3})
+	shardB := shardServer(t, full, []int{4, 5, 6, 7})
+	r := newRouter(t, 8, [][]string{{shardA.URL}, {shardB.URL}}, nil)
+	h := r.Handler()
+	ctx := context.Background()
+
+	for qi := 0; qi < 6; qi++ {
+		q := queries.Row(qi)
+		for _, recall := range []string{"0.5", "0.9", "1.0"} {
+			code, got, body := routerSearchURL(t, h, "/search?recall="+recall,
+				server.SearchRequest{Query: q, K: 10})
+			if code != http.StatusOK {
+				t.Fatalf("recall=%s: %d %s", recall, code, body)
+			}
+			// The single-node reference: the facade's recall target over
+			// the full index.
+			var f float64
+			fmt.Sscanf(recall, "%g", &f)
+			want, err := full.Search(ctx, q, 10, pqfastscan.WithTargetRecall(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got.Partitions) != fmt.Sprint(want.Partitions) {
+				t.Fatalf("recall=%s q%d: router probed %v, single node %v",
+					recall, qi, got.Partitions, want.Partitions)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("recall=%s q%d: %d results vs %d", recall, qi, len(got.Results), len(want.Results))
+			}
+			for i, n := range want.Results {
+				if got.Results[i].ID != n.ID || got.Results[i].Distance != n.Distance {
+					t.Fatalf("recall=%s q%d result %d: router %+v, single node {%d %g}",
+						recall, qi, i, got.Results[i], n.ID, n.Distance)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterAutoForwarding: ?auto=1 keeps results bit-identical to the
+// unplanned query (shards plan only bit-identical dimensions) and bad
+// recall values are rejected before any fanout.
+func TestRouterAutoForwarding(t *testing.T) {
+	full, queries := fullIndex(t)
+	shardA := shardServer(t, full, []int{0, 1, 2, 3})
+	shardB := shardServer(t, full, []int{4, 5, 6, 7})
+	r := newRouter(t, 8, [][]string{{shardA.URL}, {shardB.URL}}, nil)
+	h := r.Handler()
+	q := queries.Row(7)
+
+	code, auto, body := routerSearchURL(t, h, "/search?auto=1", server.SearchRequest{Query: q, K: 10, NProbe: 4})
+	if code != http.StatusOK {
+		t.Fatalf("auto: %d %s", code, body)
+	}
+	code, plain, body := routerSearchURL(t, h, "/search", server.SearchRequest{Query: q, K: 10, NProbe: 4})
+	if code != http.StatusOK {
+		t.Fatalf("plain: %d %s", code, body)
+	}
+	if fmt.Sprint(auto.Partitions) != fmt.Sprint(plain.Partitions) || len(auto.Results) != len(plain.Results) {
+		t.Fatalf("auto diverged: %+v vs %+v", auto, plain)
+	}
+	for i := range plain.Results {
+		if auto.Results[i] != plain.Results[i] {
+			t.Fatalf("auto result %d: %+v vs %+v", i, auto.Results[i], plain.Results[i])
+		}
+	}
+
+	// Explicit nprobe beats a recall target, matching the single node.
+	code, pinned, body := routerSearchURL(t, h, "/search?recall=1.0", server.SearchRequest{Query: q, K: 10, NProbe: 2})
+	if code != http.StatusOK {
+		t.Fatalf("pinned: %d %s", code, body)
+	}
+	if len(pinned.Partitions) != 2 {
+		t.Fatalf("pinned nprobe=2 overridden by recall: probed %v", pinned.Partitions)
+	}
+
+	for _, bad := range []string{"0", "-0.1", "1.5", "nan"} {
+		if code, _, body := routerSearchURL(t, h, "/search?recall="+bad, server.SearchRequest{Query: q, K: 10}); code != http.StatusBadRequest {
+			t.Errorf("recall=%s accepted: %d %s", bad, code, body)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pqfastscan/internal/kmeans"
 	"pqfastscan/internal/layout"
@@ -510,6 +511,24 @@ func (ix *Index) searchPartition(s *Snapshot, req Request, part int) ([]Result, 
 	}
 	t := ix.Tables(query, part)
 	pe := s.Parts[part]
+
+	// Feed the scan's wall-clock cost back into the planner's EWMA
+	// (internal/scan), classed by execution path and residency. The
+	// clock starts before the paged view below so a disk-backed probe's
+	// observation includes the pin/fault/hydrate tax — that tax is the
+	// planner's whole reason to track paged scans separately.
+	paged := pe.paged != nil
+	var costClass scan.CostClass
+	switch {
+	case engine == EngineNative && (kernel == KernelFastScan || kernel == KernelFastScan256):
+		costClass = scan.FastClassFor(req.Backend)
+	case engine == EngineNative && kernel != KernelQuantOnly:
+		costClass = scan.CostExact
+	default:
+		costClass = scan.CostModel
+	}
+	start := time.Now()
+	defer func() { scan.ObserveScan(costClass, paged, pe.Part.N, time.Since(start)) }()
 
 	// Acquire the epoch's scannable view. RAM epochs hand out their
 	// sealed slices directly; disk-resident epochs pin their extent in

@@ -26,7 +26,10 @@ package index
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -276,6 +279,36 @@ func (ix *Index) attachStore(dir string, poolBytes int64, opts ...bufpool.Option
 	// swap; queries atomically move from the RAM epochs to the stubs.
 	ix.snap.Store(&Snapshot{Parts: parts})
 	return nil
+}
+
+// DefaultPoolBytes is the buffer pool capacity applied when none is
+// chosen explicitly: PQ_STORE_DIR set without PQ_POOL_BYTES, or the
+// facade's WithDiskStore called with poolBytes <= 0.
+const DefaultPoolBytes int64 = 256 << 20
+
+// AttachStoreFromEnv applies the PQ_STORE_DIR / PQ_POOL_BYTES
+// environment: when PQ_STORE_DIR is set the index moves to
+// disk-resident serving under its own proc-<pid> subdirectory (so
+// parallel processes sharing the variable never sweep each other's
+// extents), with the pool bounded at PQ_POOL_BYTES (DefaultPoolBytes
+// when unset). It reports whether a store was attached. Every builder
+// of an index that should serve the way pqserve does — the facade's
+// Build/Load paths, the bench harness — funnels through here, so the
+// environment means the same thing everywhere.
+func (ix *Index) AttachStoreFromEnv() (bool, error) {
+	dir := os.Getenv("PQ_STORE_DIR")
+	if dir == "" {
+		return false, nil
+	}
+	poolBytes := DefaultPoolBytes
+	if s := os.Getenv("PQ_POOL_BYTES"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v <= 0 {
+			return false, fmt.Errorf("index: invalid PQ_POOL_BYTES %q", s)
+		}
+		poolBytes = v
+	}
+	return true, ix.AttachStore(filepath.Join(dir, fmt.Sprintf("proc-%d", os.Getpid())), poolBytes)
 }
 
 // Paged reports whether the index serves from a disk store.

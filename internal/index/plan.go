@@ -1,0 +1,104 @@
+package index
+
+import (
+	"pqfastscan/internal/vec"
+)
+
+// Allocation-free snapshot accessors for the adaptive query planner
+// (internal/plan). The planner runs on every WithAuto search, so its
+// inputs must cost one atomic snapshot load and some arithmetic — no
+// slices born per query. Callers pass in reusable buffers (the planner
+// pools them); both functions grow a too-small buffer, which in steady
+// state happens never (partition counts change only on swap).
+
+// PlanStat is one partition's planning signals: its sealed row count
+// (codes a scan touches, dead included — tombstones are skipped inside
+// the kernel but their codes are still scanned), the tombstoned share,
+// and whether the epoch is disk-resident (a probe pays the buffer
+// pool's pin/fault path).
+type PlanStat struct {
+	N     int
+	Dead  int
+	Paged bool
+}
+
+// PlanStatsInto fills buf with every partition's PlanStat from one
+// snapshot load and returns the filled prefix. It never allocates when
+// cap(buf) >= Partitions().
+func (ix *Index) PlanStatsInto(buf []PlanStat) []PlanStat {
+	s := ix.snap.Load()
+	if cap(buf) < len(s.Parts) {
+		buf = make([]PlanStat, len(s.Parts))
+	}
+	buf = buf[:len(s.Parts)]
+	for i, pe := range s.Parts {
+		buf[i] = PlanStat{N: pe.Part.N, Dead: pe.Part.DeadCount(), Paged: pe.paged != nil}
+	}
+	return buf
+}
+
+// RankCellsInto is RankCells writing into caller-provided storage: ids
+// receives every cell id ordered by ascending coarse distance (ties by
+// cell id), dists is scratch for the distances. The order is identical
+// to RankCells' — a planner-chosen nprobe therefore probes exactly the
+// prefix a WithNProbe query would, which is what makes planned and
+// fixed-option results bit-identical. Neither slice escapes; no
+// allocation when both have capacity Partitions().
+func (ix *Index) RankCellsInto(query []float32, ids []int, dists []float32) []int {
+	n := ix.Coarse.Rows()
+	if cap(ids) < n {
+		ids = make([]int, n)
+	}
+	if cap(dists) < n {
+		dists = make([]float32, n)
+	}
+	ids, dists = ids[:n], dists[:n]
+	for i := 0; i < n; i++ {
+		ids[i] = i
+		dists[i] = vec.L2Squared(query, ix.Coarse.Row(i))
+	}
+	heapsortCells(ids, dists)
+	return ids
+}
+
+// heapsortCells sorts the parallel (id, dist) arrays by (dist, id)
+// ascending in place — heapsort rather than sort.Slice because the
+// latter's interface conversion allocates, and this runs per planned
+// query. Deterministic total order: distances never compare equal
+// without the id tiebreak deciding.
+func heapsortCells(ids []int, dists []float32) {
+	n := len(ids)
+	less := func(a, b int) bool {
+		if dists[a] != dists[b] {
+			return dists[a] < dists[b]
+		}
+		return ids[a] < ids[b]
+	}
+	swap := func(a, b int) {
+		ids[a], ids[b] = ids[b], ids[a]
+		dists[a], dists[b] = dists[b], dists[a]
+	}
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && less(child, child+1) {
+				child++
+			}
+			if !less(root, child) {
+				return
+			}
+			swap(root, child)
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		swap(0, end)
+		siftDown(0, end)
+	}
+}

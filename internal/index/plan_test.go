@@ -1,0 +1,70 @@
+package index
+
+import (
+	"testing"
+)
+
+func TestRankCellsIntoMatchesRankCells(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	n := ix.Partitions()
+	ids := make([]int, n)
+	dists := make([]float32, n)
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		want := RankCells(q, ix.Coarse)
+		got := ix.RankCellsInto(q, ids, dists)
+		if len(got) != len(want) {
+			t.Fatalf("q%d: length %d, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q%d: order diverges at %d: got %v want %v", qi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRankCellsIntoGrowsSmallBuffers(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	got := ix.RankCellsInto(queries.Row(0), nil, nil)
+	want := RankCells(queries.Row(0), ix.Coarse)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grown-buffer order diverges: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPlanStatsIntoMatchesPartitionStats(t *testing.T) {
+	ix, _, _ := sharedIndex(t)
+	buf := make([]PlanStat, 0, ix.Partitions())
+	stats := ix.PlanStatsInto(buf)
+	ref := ix.PartitionStats()
+	if len(stats) != len(ref) {
+		t.Fatalf("length %d, want %d", len(stats), len(ref))
+	}
+	for i, st := range stats {
+		if st.N != ref[i].Live+ref[i].Dead || st.Dead != ref[i].Dead {
+			t.Errorf("partition %d: PlanStat %+v vs PartitionStat %+v", i, st, ref[i])
+		}
+		if st.Paged != ix.Paged() {
+			t.Errorf("partition %d: paged %v, index paged %v", i, st.Paged, ix.Paged())
+		}
+	}
+}
+
+func TestPlanAccessorsDoNotAllocate(t *testing.T) {
+	ix, _, queries := sharedIndex(t)
+	q := queries.Row(0)
+	n := ix.Partitions()
+	ids := make([]int, n)
+	dists := make([]float32, n)
+	stats := make([]PlanStat, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		ix.RankCellsInto(q, ids, dists)
+		ix.PlanStatsInto(stats)
+	})
+	if allocs != 0 {
+		t.Errorf("plan accessors allocate %.1f per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,224 @@
+package plan
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pqfastscan/internal/dataset"
+	"pqfastscan/internal/index"
+	"pqfastscan/internal/scan"
+	"pqfastscan/internal/simd/dispatch"
+)
+
+func buildIndex(t *testing.T, partitions int) (*index.Index, func(i int) []float32) {
+	t.Helper()
+	gen := dataset.NewGenerator(dataset.Config{Seed: 7})
+	learn := gen.Generate(3000)
+	base := gen.Generate(20000)
+	queries := gen.Generate(16)
+	opt := index.DefaultOptions()
+	opt.Partitions = partitions
+	opt.Seed = 7
+	ix, err := index.Build(learn, base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, queries.Row
+}
+
+func allOpen(q []float32, recall float64) Request {
+	return Request{
+		Query: q, Recall: recall,
+		PlanNProbe: true, PlanKernel: true, PlanBackend: true, PlanParallel: true,
+	}
+}
+
+func TestColdStartKeepsDocumentedDefaults(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+	Reset()
+
+	d := Decide(ix, allOpen(row(0), 0))
+	if !d.Cold {
+		t.Errorf("cold planner did not report cold fallback: %+v", d)
+	}
+	if d.NProbe != 1 || d.Kernel != index.KernelFastScan || d.Backend != index.BackendAuto || d.Parallel {
+		t.Errorf("cold min-latency decision %+v, want {1 fastpq auto sequential}", d)
+	}
+	// Deterministic: same inputs, same answer.
+	for i := 0; i < 5; i++ {
+		if d2 := Decide(ix, allOpen(row(0), 0)); d2 != d {
+			t.Fatalf("cold decision not deterministic: %+v vs %+v", d2, d)
+		}
+	}
+	s := Snapshot()
+	if s.Planned == 0 || s.ColdFallbacks == 0 {
+		t.Errorf("counters not recorded: %+v", s)
+	}
+}
+
+func TestRecallTargetExtendsPrefix(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+
+	q := row(1)
+	stats := ix.PlanStatsInto(nil)
+	total := 0
+	for _, st := range stats {
+		total += st.N - st.Dead
+	}
+	ranked := index.RankCells(q, ix.Coarse)
+
+	last := 0
+	for _, recall := range []float64{0.1, 0.5, 0.9, 1.0} {
+		d := Decide(ix, allOpen(q, recall))
+		if d.NProbe < last {
+			t.Errorf("recall %.1f: nprobe %d shrank below %d", recall, d.NProbe, last)
+		}
+		last = d.NProbe
+		// The chosen prefix must cover >= recall of the live mass, and
+		// the prefix one shorter must not (greedy minimality).
+		mass := func(n int) float64 {
+			m := 0
+			for _, c := range ranked[:n] {
+				m += stats[c].N - stats[c].Dead
+			}
+			return float64(m)
+		}
+		need := recall * float64(total)
+		if mass(d.NProbe) < need {
+			t.Errorf("recall %.1f: prefix %d covers %.0f < %.0f", recall, d.NProbe, mass(d.NProbe), need)
+		}
+		if d.NProbe > 1 && mass(d.NProbe-1) >= need {
+			t.Errorf("recall %.1f: prefix %d not minimal", recall, d.NProbe)
+		}
+	}
+	if last != len(ranked) && last != firstFullCover(ranked, stats) {
+		// recall 1.0 must cover all live mass.
+		t.Errorf("recall 1.0 chose nprobe %d of %d cells", last, len(ranked))
+	}
+}
+
+func firstFullCover(ranked []int, stats []index.PlanStat) int {
+	total := 0
+	for _, st := range stats {
+		total += st.N - st.Dead
+	}
+	m := 0
+	for i, c := range ranked {
+		m += stats[c].N - stats[c].Dead
+		if m >= total {
+			return i + 1
+		}
+	}
+	return len(ranked)
+}
+
+func TestWarmObservationsPickCheapestClass(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	defer scan.ResetCostObservations()
+	Reset()
+
+	// Teach the planner that the exact loop is (implausibly) cheapest.
+	scan.ResetCostObservations()
+	scan.ObserveScan(scan.CostExact, false, 1000, 100*time.Nanosecond) // 0.1 ns/code
+	for _, be := range dispatch.AvailableBackends() {
+		scan.ObserveScan(scan.FastClassFor(be), false, 1000, 10*time.Microsecond) // 10 ns/code
+	}
+	d := Decide(ix, allOpen(row(2), 0))
+	if d.Cold {
+		t.Fatalf("warm planner reported cold: %+v", d)
+	}
+	if d.Kernel != index.KernelNaive {
+		t.Errorf("planner ignored observations: picked %v over cheap exact", d.Kernel)
+	}
+
+	// Now teach it the opposite: Fast Scan on a concrete backend wins.
+	scan.ResetCostObservations()
+	scan.ObserveScan(scan.CostExact, false, 1000, 10*time.Microsecond)
+	best := dispatch.AvailableBackends()[0]
+	scan.ObserveScan(scan.FastClassFor(best), false, 1000, 100*time.Nanosecond)
+	d = Decide(ix, allOpen(row(2), 0))
+	if d.Kernel != index.KernelFastScan || d.Backend != best {
+		t.Errorf("planner picked %v/%v, want fastpq/%v", d.Kernel, d.Backend, best)
+	}
+
+	s := Snapshot()
+	if len(s.KernelPicks) == 0 || len(s.Observations) == 0 {
+		t.Errorf("stats missing picks or observations: %+v", s)
+	}
+}
+
+func TestExplicitDimensionsAreNotPlanned(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+	// nprobe pinned: the decision carries it through untouched even
+	// with a recall target that would pick differently.
+	d := Decide(ix, Request{
+		Query: row(3), Recall: 1.0,
+		PlanKernel: true, PlanBackend: true, PlanParallel: true,
+		FixedNProbe: 2,
+	})
+	if d.NProbe != 2 {
+		t.Errorf("pinned nprobe overridden: %+v", d)
+	}
+}
+
+func TestParallelNeedsMultiProbeAndWeight(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	defer scan.ResetCostObservations()
+
+	// Single-probe queries never parallelize.
+	slowAll := func() {
+		scan.ResetCostObservations()
+		scan.ObserveScan(scan.CostExact, false, 10, time.Second) // absurdly slow
+		for _, be := range dispatch.AvailableBackends() {
+			scan.ObserveScan(scan.FastClassFor(be), false, 10, time.Second)
+		}
+	}
+	slowAll()
+	d := Decide(ix, allOpen(row(4), 0))
+	if d.Parallel {
+		t.Errorf("single-probe query parallelized: %+v", d)
+	}
+	// Heavy multi-probe queries do — when there is more than one core
+	// to fan out over.
+	slowAll()
+	d = Decide(ix, allOpen(row(4), 1.0))
+	if runtime.GOMAXPROCS(0) > 1 {
+		if d.NProbe > 1 && !d.Parallel {
+			t.Errorf("heavy multi-probe query stayed sequential: %+v", d)
+		}
+	} else if d.Parallel {
+		t.Errorf("single-core host parallelized: %+v", d)
+	}
+	// Light multi-probe queries stay sequential.
+	scan.ResetCostObservations()
+	scan.ObserveScan(scan.CostExact, false, 1<<30, time.Nanosecond) // ~0 ns/code
+	for _, be := range dispatch.AvailableBackends() {
+		scan.ObserveScan(scan.FastClassFor(be), false, 1<<30, time.Nanosecond)
+	}
+	d = Decide(ix, allOpen(row(4), 1.0))
+	if d.Parallel {
+		t.Errorf("light multi-probe query parallelized: %+v", d)
+	}
+}
+
+func TestDecideDoesNotAllocate(t *testing.T) {
+	ix, row := buildIndex(t, 8)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+	q := row(5)
+	// Warm the pooled scratch.
+	Decide(ix, allOpen(q, 0.9))
+	allocs := testing.AllocsPerRun(200, func() {
+		Decide(ix, allOpen(q, 0.9))
+	})
+	if allocs != 0 {
+		t.Errorf("Decide allocates %.1f per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,254 @@
+package scan
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan/internal/perf"
+	"pqfastscan/internal/simd/dispatch"
+)
+
+// Online scan-cost observations for the adaptive query planner
+// (internal/plan). Every native partition scan reports its wall-clock
+// duration here, bucketed by cost class — which execution path ran
+// (exact loop, Fast Scan per block-kernel backend, model) — and by
+// whether the partition was disk-resident (the paging tax of pinning
+// and hydrating shows up in the observed time, which is exactly what a
+// planner choosing between resident and paged probes needs to see).
+//
+// The store is a fixed array of EWMAs updated with a CAS loop on the
+// float64 bit pattern: observers never block each other or the scan
+// (an interleaved pair of updates loses one sample, never corrupts the
+// average), and readers pay one atomic load. Before the first
+// observation arrives, each class answers with a prior priced by the
+// internal/perf instruction-count model on the reference Haswell
+// profile — so a cold planner ranks the classes the way the paper's
+// counting argument does, and warm observations then correct the
+// magnitudes to the actual host.
+
+// CostClass identifies one scan execution path for cost accounting.
+type CostClass uint8
+
+const (
+	// CostExact is the native exact-scan loop shared by the naive,
+	// libpq, avx and gather kernel selections.
+	CostExact CostClass = iota
+	// CostFastSWAR, CostFastAVX2 and CostFastNEON are the native Fast
+	// Scan block kernels per backend.
+	CostFastSWAR
+	CostFastAVX2
+	CostFastNEON
+	// CostModel is every instruction-counting (model engine) path. The
+	// planner never chooses it; it is observed so /stats shows what
+	// instrumented queries cost.
+	CostModel
+	numCostClasses
+)
+
+// String names the class for reports ("exact", "fastpq-swar", ...).
+func (c CostClass) String() string {
+	switch c {
+	case CostExact:
+		return "exact"
+	case CostFastSWAR:
+		return "fastpq-swar"
+	case CostFastAVX2:
+		return "fastpq-asm-avx2"
+	case CostFastNEON:
+		return "fastpq-asm-neon"
+	case CostModel:
+		return "model"
+	default:
+		return "unknown"
+	}
+}
+
+// FastClassFor maps a block-kernel backend to its Fast Scan cost class.
+// Auto resolves through the startup feature detection, so the class
+// always names the backend that actually executed.
+func FastClassFor(be dispatch.Backend) CostClass {
+	if be == dispatch.Auto {
+		be = dispatch.Active()
+	}
+	switch be {
+	case dispatch.AVX2:
+		return CostFastAVX2
+	case dispatch.NEON:
+		return CostFastNEON
+	default:
+		return CostFastSWAR
+	}
+}
+
+// ewmaAlpha is the smoothing factor of the per-class ns/code average.
+// 1/8 remembers roughly the last few dozen scans — fast enough to track
+// a pool warming up, slow enough that one descheduled scan does not
+// flip a planner decision.
+const ewmaAlpha = 1.0 / 8
+
+type costCell struct {
+	bits    atomic.Uint64 // float64 bits of the ns/code EWMA
+	samples atomic.Uint64
+}
+
+// costCells is indexed [class][paged]: resident and disk-backed scans
+// of the same path keep separate averages, because the pin/hydrate/
+// fault tax is the planner's whole reason to treat them differently.
+var costCells [numCostClasses][2]costCell
+
+func pagedIdx(paged bool) int {
+	if paged {
+		return 1
+	}
+	return 0
+}
+
+// ObserveScan folds one scan of codes codes taking d into the class's
+// EWMA. Lock-free; safe from any goroutine; a no-op for empty scans.
+//
+// One observation moves the average by at most a factor of two in
+// either direction. Scan durations have a heavy tail the cost itself
+// does not — a GC pause or a descheduling lands in whichever class
+// happened to be running — and an unclamped EWMA lets one such outlier
+// multiply the average past a competing class's. That poisoned value
+// then sticks: the planner stops choosing the class, so no further
+// observation corrects it, and decisions oscillate against stale
+// noise. Clamped, an isolated outlier moves the estimate at most 2x
+// (not enough to invert a real ranking), while a genuine shift — a
+// pool going cold, a frequency change — still converges in a handful
+// of scans.
+func ObserveScan(class CostClass, paged bool, codes int, d time.Duration) {
+	if class >= numCostClasses || codes <= 0 || d <= 0 {
+		return
+	}
+	x := float64(d.Nanoseconds()) / float64(codes)
+	cell := &costCells[class][pagedIdx(paged)]
+	for {
+		old := cell.bits.Load()
+		var next float64
+		if cell.samples.Load() == 0 {
+			next = x
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + ewmaAlpha*(x-prev)
+			if next > 2*prev {
+				next = 2 * prev
+			} else if next < prev/2 {
+				next = prev / 2
+			}
+		}
+		if cell.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			cell.samples.Add(1)
+			return
+		}
+	}
+}
+
+// ObservedNsPerCode returns the class's current ns/code average and how
+// many scans produced it. Zero samples means cold: the caller should
+// fall back to PriorNsPerCode.
+func ObservedNsPerCode(class CostClass, paged bool) (nsPerCode float64, samples uint64) {
+	if class >= numCostClasses {
+		return 0, 0
+	}
+	cell := &costCells[class][pagedIdx(paged)]
+	return math.Float64frombits(cell.bits.Load()), cell.samples.Load()
+}
+
+// ResetCostObservations clears every EWMA back to the cold state.
+// Benchmarks and tests use it to measure from a known prior.
+func ResetCostObservations() {
+	for c := range costCells {
+		for p := range costCells[c] {
+			costCells[c][p].bits.Store(0)
+			costCells[c][p].samples.Store(0)
+		}
+	}
+}
+
+// CostObservation is one class's state for reports (/stats planner
+// section, pqbench -planner).
+type CostObservation struct {
+	Class     string  `json:"class"`
+	Paged     bool    `json:"paged"`
+	NsPerCode float64 `json:"ns_per_code"`
+	Samples   uint64  `json:"samples"`
+	PriorNs   float64 `json:"prior_ns_per_code"`
+}
+
+// CostSnapshot lists every class that has at least one observation,
+// resident entries first.
+func CostSnapshot() []CostObservation {
+	var out []CostObservation
+	for p := 0; p < 2; p++ {
+		for c := CostClass(0); c < numCostClasses; c++ {
+			ns, n := ObservedNsPerCode(c, p == 1)
+			if n == 0 {
+				continue
+			}
+			out = append(out, CostObservation{
+				Class: c.String(), Paged: p == 1,
+				NsPerCode: ns, Samples: n, PriorNs: PriorNsPerCode(c),
+			})
+		}
+	}
+	return out
+}
+
+// Priors: the per-code operation mix of each class priced by
+// perf.Estimate on the reference Haswell profile (the paper's machine
+// A), converted to nanoseconds at its clock. The exact loop pays the
+// libpq-style mix (one packed load, shift extraction, eight table
+// adds); a Fast Scan block resolves 16 codes with eight pshufb+padd
+// pairs, a compare and a movemask, so its per-code share is that block
+// mix divided by 16. SWAR emulates each 128-bit SIMD operation with
+// roughly four 64-bit scalar ALU operations. The absolute numbers only
+// anchor the cold start — what matters is that they rank the classes
+// the way the paper's Table 2 counting argument does (asm Fast Scan ≪
+// SWAR Fast Scan ≪ exact) until real observations take over.
+var priorNs [numCostClasses]float64
+
+func init() {
+	arch := perf.Haswell
+	perCode := func(c perf.OpCounts, codes float64) float64 {
+		return perf.Estimate(c, arch).Seconds(arch) * 1e9 / codes
+	}
+	// Native exact loop ≈ the libpq mix (its model-engine counterpart).
+	priorNs[CostExact] = perCode(libpqPerVector, 1)
+	// One Fast Scan block: 8 shuffles + 8 saturated adds + compare +
+	// movemask + load of the packed block, over 16 codes.
+	fastBlock := perf.OpCounts{
+		SIMDLoad: 1, SIMDShuffle: 8, SIMDALU: 9, SIMDCompare: 1, SIMDMovmsk: 1,
+	}
+	priorNs[CostFastAVX2] = perCode(fastBlock, 16)
+	priorNs[CostFastNEON] = perCode(fastBlock, 16)
+	// SWAR: every SIMD op becomes ~4 scalar 64-bit ALU ops.
+	swarBlock := perf.OpCounts{
+		ScalarLoad64: 2, ScalarALU: 4 * (8 + 9 + 1 + 1), ScalarBranch: 2,
+	}
+	priorNs[CostFastSWAR] = perCode(swarBlock, 16)
+	// Model engine: the libpq mix plus the interpretation overhead of
+	// counting it — call it an order of magnitude over exact, matching
+	// the measured native ≈ 12.6x model gap of BENCH_pr2.
+	priorNs[CostModel] = priorNs[CostExact] * 12
+}
+
+// PriorNsPerCode is the internal/perf-seeded cold-start estimate of a
+// class's ns/code (paging tax excluded: the prior has no opinion on the
+// pool, only on the compute).
+func PriorNsPerCode(class CostClass) float64 {
+	if class >= numCostClasses {
+		return 0
+	}
+	return priorNs[class]
+}
+
+// EstimatedNsPerCode is the planner's working estimate: the observed
+// EWMA when the class has samples, the perf prior otherwise.
+func EstimatedNsPerCode(class CostClass, paged bool) float64 {
+	if ns, n := ObservedNsPerCode(class, paged); n > 0 {
+		return ns
+	}
+	return PriorNsPerCode(class)
+}

@@ -1,0 +1,128 @@
+package scan
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pqfastscan/internal/simd/dispatch"
+)
+
+func TestCostPriorsRankClasses(t *testing.T) {
+	// The perf-seeded priors must reproduce the paper's ordering: asm
+	// Fast Scan beats SWAR Fast Scan beats the exact loop beats the
+	// model engine. The planner's cold-start defaults depend on it.
+	if !(PriorNsPerCode(CostFastAVX2) < PriorNsPerCode(CostFastSWAR)) {
+		t.Errorf("prior: fast-avx2 %.3f !< fast-swar %.3f",
+			PriorNsPerCode(CostFastAVX2), PriorNsPerCode(CostFastSWAR))
+	}
+	if !(PriorNsPerCode(CostFastSWAR) < PriorNsPerCode(CostExact)) {
+		t.Errorf("prior: fast-swar %.3f !< exact %.3f",
+			PriorNsPerCode(CostFastSWAR), PriorNsPerCode(CostExact))
+	}
+	if !(PriorNsPerCode(CostExact) < PriorNsPerCode(CostModel)) {
+		t.Errorf("prior: exact %.3f !< model %.3f",
+			PriorNsPerCode(CostExact), PriorNsPerCode(CostModel))
+	}
+}
+
+func TestObserveScanEWMA(t *testing.T) {
+	ResetCostObservations()
+	defer ResetCostObservations()
+
+	if ns, n := ObservedNsPerCode(CostExact, false); n != 0 || ns != 0 {
+		t.Fatalf("cold class not zero: ns=%v n=%d", ns, n)
+	}
+	// Cold estimate falls back to the prior.
+	if got, want := EstimatedNsPerCode(CostExact, false), PriorNsPerCode(CostExact); got != want {
+		t.Fatalf("cold estimate %v, want prior %v", got, want)
+	}
+
+	// First observation seeds the average exactly.
+	ObserveScan(CostExact, false, 1000, 2*time.Microsecond) // 2 ns/code
+	if ns, n := ObservedNsPerCode(CostExact, false); n != 1 || ns != 2 {
+		t.Fatalf("after first observation: ns=%v n=%d, want 2, 1", ns, n)
+	}
+	// Subsequent observations move it by alpha.
+	ObserveScan(CostExact, false, 1000, 10*time.Microsecond) // 10 ns/code
+	ns, _ := ObservedNsPerCode(CostExact, false)
+	want := 2 + ewmaAlpha*(10-2)
+	if ns != want {
+		t.Fatalf("after second observation: ns=%v, want %v", ns, want)
+	}
+	if got := EstimatedNsPerCode(CostExact, false); got != ns {
+		t.Fatalf("warm estimate %v, want observed %v", got, ns)
+	}
+
+	// Paged and resident observations stay separate.
+	ObserveScan(CostExact, true, 100, 5*time.Microsecond) // 50 ns/code
+	if pns, n := ObservedNsPerCode(CostExact, true); n != 1 || pns != 50 {
+		t.Fatalf("paged cell: ns=%v n=%d, want 50, 1", pns, n)
+	}
+	if rns, _ := ObservedNsPerCode(CostExact, false); rns != ns {
+		t.Fatalf("resident cell moved with paged observation: %v != %v", rns, ns)
+	}
+
+	// Degenerate inputs are dropped.
+	ObserveScan(CostExact, false, 0, time.Second)
+	ObserveScan(CostExact, false, 100, 0)
+	ObserveScan(numCostClasses, false, 100, time.Second)
+	if got, _ := ObservedNsPerCode(CostExact, false); got != ns {
+		t.Fatalf("degenerate observation moved the average: %v != %v", got, ns)
+	}
+
+	snap := CostSnapshot()
+	seen := map[string]bool{}
+	for _, o := range snap {
+		seen[o.Class] = true
+		if o.Samples == 0 {
+			t.Errorf("snapshot lists cold class %q", o.Class)
+		}
+	}
+	if !seen["exact"] {
+		t.Errorf("snapshot missing observed class exact: %+v", snap)
+	}
+}
+
+func TestObserveScanConcurrent(t *testing.T) {
+	ResetCostObservations()
+	defer ResetCostObservations()
+
+	// Hammer one cell from many goroutines with a constant-rate sample;
+	// the EWMA of a constant is that constant, whatever the interleaving.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ObserveScan(CostFastSWAR, false, 100, 300*time.Nanosecond) // 3 ns/code
+			}
+		}()
+	}
+	wg.Wait()
+	ns, n := ObservedNsPerCode(CostFastSWAR, false)
+	if ns != 3 {
+		t.Errorf("constant-rate EWMA drifted: %v", ns)
+	}
+	if n == 0 {
+		t.Errorf("no samples recorded")
+	}
+}
+
+func TestFastClassFor(t *testing.T) {
+	if got := FastClassFor(dispatch.SWAR); got != CostFastSWAR {
+		t.Errorf("FastClassFor(SWAR) = %v", got)
+	}
+	if got := FastClassFor(dispatch.AVX2); got != CostFastAVX2 {
+		t.Errorf("FastClassFor(AVX2) = %v", got)
+	}
+	if got := FastClassFor(dispatch.NEON); got != CostFastNEON {
+		t.Errorf("FastClassFor(NEON) = %v", got)
+	}
+	// Auto resolves to the active backend's class, never a zero value.
+	auto := FastClassFor(dispatch.Auto)
+	if auto != FastClassFor(dispatch.Active()) {
+		t.Errorf("FastClassFor(Auto) = %v, active = %v", auto, FastClassFor(dispatch.Active()))
+	}
+}

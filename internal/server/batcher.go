@@ -37,12 +37,18 @@ var errClosed = errors.New("server: shutting down")
 // the coarse quantizer): router sub-requests for the same cell set —
 // the common case under scatter-gather fanout, where a hot query
 // population probes the same top cells — coalesce exactly like
-// same-nprobe client requests do.
+// same-nprobe client requests do. Planned requests carry the planner's
+// concrete choices (backend, parallel) in the key, so planned and
+// explicit requests resolving to the same configuration coalesce too;
+// planned marks the plan class, which picks the collection window.
 type batchKey struct {
-	k      int
-	nprobe int
-	kernel pqfastscan.Kernel
-	cells  string
+	k        int
+	nprobe   int
+	kernel   pqfastscan.Kernel
+	backend  pqfastscan.Backend
+	parallel bool
+	planned  bool
+	cells    string
 }
 
 // cellsKey canonicalizes an explicit cell list for batch grouping. The
@@ -148,7 +154,17 @@ func (b *batcher) run() {
 			return
 		}
 		pending = append(pending[:0], first)
-		timer := time.NewTimer(b.window)
+		// The collection window follows the first job's plan class: a
+		// planned single-probe query declared a min-latency objective, so
+		// charging it the full coalescing window would spend on waiting
+		// what the planner just saved on scanning. Recall-targeted plans
+		// (nprobe > 1) and explicit requests keep the full window — their
+		// scan time dominates it.
+		win := b.window
+		if first.key.planned && first.key.nprobe <= 1 && first.key.cells == "" {
+			win /= 4
+		}
+		timer := time.NewTimer(win)
 	collect:
 		for len(pending) < b.max {
 			select {
@@ -228,6 +244,12 @@ func (b *batcher) execute(key batchKey, group []*searchJob) {
 	}
 	b.metrics.observeBatch(len(group))
 	opts := []pqfastscan.SearchOption{pqfastscan.WithKernel(key.kernel)}
+	if key.backend != pqfastscan.BackendAuto {
+		opts = append(opts, pqfastscan.WithBackend(key.backend))
+	}
+	if key.parallel {
+		opts = append(opts, pqfastscan.WithParallel())
+	}
 	if len(group[0].cells) > 0 {
 		// All jobs in a group share the same canonical cell list (it is
 		// part of the batch key), so the first job's slice speaks for all.

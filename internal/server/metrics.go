@@ -7,6 +7,7 @@ import (
 
 	"pqfastscan"
 	"pqfastscan/internal/hist"
+	"pqfastscan/internal/plan"
 )
 
 // Observability is lock-free: every counter is an atomic, so recording a
@@ -155,9 +156,15 @@ type Stats struct {
 	PartitionStats []pqfastscan.PartitionStat `json:"partition_stats"`
 	Endpoints      map[string]EndpointStats   `json:"endpoints"`
 	Batch          BatchStats                 `json:"batch"`
-	Admission      AdmissionStats             `json:"admission"`
-	Snapshot       SnapshotStats              `json:"snapshot"`
-	Compaction     CompactionStats            `json:"compaction"`
+	// Planner reports the adaptive per-query planner: decision counters
+	// (nprobe histogram, kernel/backend picks, cold fallbacks) and the
+	// scan-cost observations behind them. Always present — even without
+	// Config.Auto, individual requests invoke the planner with ?auto=1
+	// or ?recall=.
+	Planner    PlannerStats    `json:"planner"`
+	Admission  AdmissionStats  `json:"admission"`
+	Snapshot   SnapshotStats   `json:"snapshot"`
+	Compaction CompactionStats `json:"compaction"`
 	// WAL is present only when the server runs durably (-wal-dir): log
 	// size, record count and fsync latency quantiles.
 	WAL *pqfastscan.WALStats `json:"wal,omitempty"`
@@ -191,6 +198,14 @@ func readMemStats() MemStats {
 		SysBytes:       ms.Sys,
 		NumGC:          ms.NumGC,
 	}
+}
+
+// PlannerStats is the /stats projection of the adaptive planner:
+// whether Config.Auto plans every request by default, plus the
+// process-wide decision counters and cost observations.
+type PlannerStats struct {
+	Enabled bool `json:"enabled"`
+	plan.Stats
 }
 
 // CompactionStats is the /stats projection of online compaction.

@@ -25,12 +25,14 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pqfastscan"
+	"pqfastscan/internal/plan"
 )
 
 // Config configures a Server. The zero value of every tuning field
@@ -60,6 +62,16 @@ type Config struct {
 	// is global, and a scan of a cell the shard does not hold simply
 	// finds an empty partition.
 	Cells []int
+
+	// Auto enables the adaptive per-query planner for every /search by
+	// default: dimensions the request leaves open (nprobe, kernel,
+	// backend, parallelism) are chosen from live cost observations
+	// (DESIGN.md §16) as if each request carried ?auto=1. Individual
+	// requests opt out with ?auto=0. Without Auto, a request still opts
+	// in with ?auto=1 or by setting a ?recall= target. Planned answers
+	// are bit-identical to the fixed-option request probing the same
+	// cell prefix.
+	Auto bool
 
 	// BatchWindow is the longest a /search request waits for companions
 	// to coalesce with (default 1ms). Zero selects the default; negative
@@ -532,13 +544,17 @@ func (s *Server) release() { <-s.sem }
 // Kernel to the engine default (PQ Fast Scan) when omitted. Cells, when
 // present, scans exactly those IVF cells instead of routing through the
 // coarse quantizer — the sub-request shape a cluster router sends to
-// its shards (nprobe must then be omitted).
+// its shards (nprobe must then be omitted). Backend pins the Fast Scan
+// block-kernel backend ("swar", "asm-avx2", "asm-neon"); omitted means
+// automatic. Omitted fields are exactly the ones the planner fills when
+// the request is planned (?auto=1, ?recall=, or Config.Auto).
 type SearchRequest struct {
-	Query  []float32 `json:"query"`
-	K      int       `json:"k"`
-	NProbe int       `json:"nprobe,omitempty"`
-	Cells  []int     `json:"cells,omitempty"`
-	Kernel string    `json:"kernel,omitempty"`
+	Query   []float32 `json:"query"`
+	K       int       `json:"k"`
+	NProbe  int       `json:"nprobe,omitempty"`
+	Cells   []int     `json:"cells,omitempty"`
+	Kernel  string    `json:"kernel,omitempty"`
+	Backend string    `json:"backend,omitempty"`
 }
 
 // SearchNeighbor is one neighbor in a /search response.
@@ -568,11 +584,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if idx == nil {
 		return
 	}
+	// Planner activation: ?recall=0.95 sets a recall target (and implies
+	// planning); ?auto=1 asks for min-latency planning; Config.Auto makes
+	// planning the default, which ?auto=0 opts a single request out of.
+	planned := s.cfg.Auto
+	if v := r.URL.Query().Get("auto"); v != "" {
+		planned = v == "1" || v == "true"
+	}
+	recall := 0.0
+	if v := r.URL.Query().Get("recall"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		// The affirmative range check also rejects NaN, which slips
+		// through ParseFloat and compares false against every bound.
+		if err != nil || !(f > 0 && f <= 1) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("recall must be a number in (0,1], got %q", v))
+			return
+		}
+		recall = f
+		planned = true
+	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
+	// Which dimensions the request pins explicitly — captured before
+	// defaults are applied, because the planner fills only open ones.
+	nprobeSet := req.NProbe != 0
+	kernelSet := req.Kernel != ""
+	backendSet := req.Backend != ""
 	if req.K == 0 {
 		req.K = 10
 	}
@@ -620,6 +660,46 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		kernel = k
 	}
+	backend := pqfastscan.BackendAuto
+	if req.Backend != "" {
+		b, err := pqfastscan.ParseBackend(req.Backend)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		backend = b
+	}
+
+	// Plan before admission and batching, so jobs enter the batcher with
+	// concrete parameters and coalesce by planned class — two planned
+	// requests that resolve to the same (nprobe, kernel, backend) share
+	// one SearchBatch call exactly like explicitly-optioned ones.
+	parallel := false
+	if planned {
+		fast := kernel == pqfastscan.KernelFastScan || kernel == pqfastscan.KernelFastScan256
+		preq := plan.Request{
+			Query:        req.Query,
+			Recall:       recall,
+			PlanNProbe:   !nprobeSet && len(req.Cells) == 0,
+			PlanKernel:   !kernelSet,
+			PlanBackend:  !backendSet && (!kernelSet || fast),
+			PlanParallel: true,
+			FixedNProbe:  req.NProbe,
+			Cells:        req.Cells,
+			FastKernel:   fast,
+		}
+		d := plan.Decide(idx.Internal(), preq)
+		if preq.PlanNProbe {
+			req.NProbe = d.NProbe
+		}
+		if preq.PlanKernel {
+			kernel = d.Kernel
+		}
+		if preq.PlanBackend {
+			backend = d.Backend
+		}
+		parallel = d.Parallel
+	}
 
 	switch s.admit(r) {
 	case admitOK:
@@ -640,7 +720,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	job := &searchJob{
-		key:   batchKey{k: req.K, nprobe: req.NProbe, kernel: kernel, cells: cellsKey(req.Cells)},
+		key: batchKey{
+			k: req.K, nprobe: req.NProbe, kernel: kernel, backend: backend,
+			parallel: parallel, planned: planned, cells: cellsKey(req.Cells),
+		},
 		cells: req.Cells,
 		query: req.Query,
 		done:  make(chan struct{}),
@@ -816,13 +899,23 @@ type MetaResponse struct {
 	// formats them shortest-form and parses back to the same bits), so
 	// the router's cell ranking matches the engine's bit-for-bit.
 	Centroids [][]float32 `json:"centroids"`
-	Backend   string      `json:"backend"`
+	// CellSizes is the live row count per cell (cells this server does
+	// not hold report 0) — the mass signal a router needs to map a
+	// ?recall= target to the same probe-prefix length a single node's
+	// planner would pick (DESIGN.md §16).
+	CellSizes []int  `json:"cell_sizes,omitempty"`
+	Backend   string `json:"backend"`
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	idx := s.requireIndex(w)
 	if idx == nil {
 		return
+	}
+	pstats := idx.PartitionStats()
+	sizes := make([]int, len(pstats))
+	for i, ps := range pstats {
+		sizes[i] = ps.Live
 	}
 	writeJSON(w, http.StatusOK, MetaResponse{
 		Dim:        idx.Dim(),
@@ -831,6 +924,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		Live:       idx.Live(),
 		Cells:      s.cfg.Cells,
 		Centroids:  idx.CoarseCentroids(),
+		CellSizes:  sizes,
 		Backend:    pqfastscan.ActiveBackend().String(),
 	})
 }
@@ -872,6 +966,7 @@ func (s *Server) StatsSnapshot() Stats {
 		PartitionStats: pstats,
 		Endpoints:      make(map[string]EndpointStats, len(endpointNames)),
 		Batch:          s.metrics.batchStats(),
+		Planner:        PlannerStats{Enabled: s.cfg.Auto, Stats: plan.Snapshot()},
 		Compaction: CompactionStats{
 			Threshold:       s.cfg.CompactThreshold,
 			Runs:            s.metrics.compactions.Load(),

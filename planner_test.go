@@ -1,0 +1,208 @@
+package pqfastscan_test
+
+import (
+	"context"
+	"testing"
+
+	"pqfastscan"
+	"pqfastscan/internal/scan"
+)
+
+func buildPlannerIndex(t *testing.T) (*pqfastscan.Index, pqfastscan.Matrix) {
+	t.Helper()
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: 99})
+	learn := gen.Generate(3000)
+	base := gen.Generate(16000)
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = 8
+	opt.Seed = 99
+	opt.OrderGroups = true
+	idx, err := pqfastscan.Build(learn, base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, gen.Generate(6)
+}
+
+// TestAutoColdStartDefaults: with no scan observations, WithAuto() must
+// behave exactly like the documented defaults — same results as a
+// no-option Search, deterministically.
+func TestAutoColdStartDefaults(t *testing.T) {
+	idx, queries := buildPlannerIndex(t)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+	ctx := context.Background()
+
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
+		want, err := idx.Search(ctx, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			// Keep the planner cold across repetitions: the searches
+			// themselves feed the EWMAs.
+			scan.ResetCostObservations()
+			got, err := idx.Search(ctx, q, 10, pqfastscan.WithAuto())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResultSlices(t, "cold WithAuto vs default", got.Results, want.Results)
+			if len(got.Partitions) != len(want.Partitions) || got.Partitions[0] != want.Partitions[0] {
+				t.Fatalf("cold WithAuto probed %v, default probed %v", got.Partitions, want.Partitions)
+			}
+		}
+	}
+}
+
+// TestAutoConflictSemantics: explicit options always override the
+// planner, dimension by dimension.
+func TestAutoConflictSemantics(t *testing.T) {
+	idx, queries := buildPlannerIndex(t)
+	defer scan.ResetCostObservations()
+	ctx := context.Background()
+	q := queries.Row(0)
+
+	// Explicit nprobe wins over the planner's choice (planner would
+	// pick 1 under min-latency; recall target would pick otherwise).
+	for _, opts := range [][]pqfastscan.SearchOption{
+		{pqfastscan.WithAuto(), pqfastscan.WithNProbe(3)},
+		{pqfastscan.WithTargetRecall(0.5), pqfastscan.WithNProbe(3)},
+	} {
+		got, err := idx.Search(ctx, q, 10, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Partitions) != 3 {
+			t.Fatalf("explicit WithNProbe(3) overridden: probed %v", got.Partitions)
+		}
+		want, err := idx.Search(ctx, q, 10, pqfastscan.WithNProbe(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResultSlices(t, "auto+nprobe vs nprobe", got.Results, want.Results)
+	}
+
+	// Explicit backend wins and stays bit-identical.
+	got, err := idx.Search(ctx, q, 10, pqfastscan.WithAuto(), pqfastscan.WithBackend(pqfastscan.BackendSWAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := idx.Search(ctx, q, 10, pqfastscan.WithBackend(pqfastscan.BackendSWAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResultSlices(t, "auto+backend vs backend", got.Results, want.Results)
+
+	// Explicit kernel wins.
+	got, err = idx.Search(ctx, q, 10, pqfastscan.WithAuto(), pqfastscan.WithKernel(pqfastscan.KernelNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = idx.Search(ctx, q, 10, pqfastscan.WithKernel(pqfastscan.KernelNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResultSlices(t, "auto+kernel vs kernel", got.Results, want.Results)
+
+	// Explicit cells pin routing entirely.
+	got, err = idx.Search(ctx, q, 10, pqfastscan.WithTargetRecall(1.0), pqfastscan.WithCells(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Partitions) != 2 || got.Partitions[0] != 1 || got.Partitions[1] != 2 {
+		t.Fatalf("explicit WithCells overridden: probed %v", got.Partitions)
+	}
+
+	// WithStats composes: the planner only plans nprobe on the model
+	// engine, and the statistics still arrive.
+	got, err = idx.Search(ctx, q, 10, pqfastscan.WithAuto(), pqfastscan.WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil {
+		t.Fatal("WithAuto+WithStats lost the statistics")
+	}
+
+	// Invalid recall targets are rejected.
+	for _, r := range []float64{0, -0.5, 1.01} {
+		if _, err := idx.Search(ctx, q, 10, pqfastscan.WithTargetRecall(r)); err == nil {
+			t.Errorf("WithTargetRecall(%g) accepted", r)
+		}
+	}
+}
+
+// TestPlannedBitIdentity: whatever the planner picks — cold or after
+// warmup, min-latency or recall-targeted — the answer must be
+// bit-identical to the fixed-option query probing the same prefix.
+func TestPlannedBitIdentity(t *testing.T) {
+	idx, queries := buildPlannerIndex(t)
+	defer scan.ResetCostObservations()
+	ctx := context.Background()
+
+	// Warm the cost model with real scans so the planner leaves the
+	// cold path and exercises its argmin.
+	for qi := 0; qi < queries.Rows(); qi++ {
+		if _, err := idx.Search(ctx, queries.Row(qi), 10, pqfastscan.WithNProbe(8)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.Search(ctx, queries.Row(qi), 10, pqfastscan.WithKernel(pqfastscan.KernelNaive)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, recall := range []float64{0, 0.3, 0.7, 0.95, 1.0} {
+		for qi := 0; qi < queries.Rows(); qi++ {
+			q := queries.Row(qi)
+			var opts []pqfastscan.SearchOption
+			if recall == 0 {
+				opts = []pqfastscan.SearchOption{pqfastscan.WithAuto()}
+			} else {
+				opts = []pqfastscan.SearchOption{pqfastscan.WithTargetRecall(recall)}
+			}
+			got, err := idx.Search(ctx, q, 10, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The planned probe set must be a prefix of the WithNProbe
+			// ranking: reproduce it with the explicit option.
+			want, err := idx.Search(ctx, q, 10, pqfastscan.WithNProbe(len(got.Partitions)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Partitions) != len(want.Partitions) {
+				t.Fatalf("recall %g q%d: planned probes %v vs fixed %v", recall, qi, got.Partitions, want.Partitions)
+			}
+			for i := range want.Partitions {
+				if got.Partitions[i] != want.Partitions[i] {
+					t.Fatalf("recall %g q%d: planned probe order %v vs fixed %v", recall, qi, got.Partitions, want.Partitions)
+				}
+			}
+			sameResultSlices(t, "planned vs fixed", got.Results, want.Results)
+		}
+	}
+}
+
+// TestAutoSearchBatch: batches accept the planner options and stay
+// bit-identical to the fixed-option batch.
+func TestAutoSearchBatch(t *testing.T) {
+	idx, queries := buildPlannerIndex(t)
+	scan.ResetCostObservations()
+	defer scan.ResetCostObservations()
+	ctx := context.Background()
+
+	got, err := idx.SearchBatch(ctx, queries, 10, pqfastscan.WithAuto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := idx.SearchBatch(ctx, queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		sameResultSlices(t, "cold auto batch vs default batch", got[i].Results, want[i].Results)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pqfastscan/internal/index"
+	"pqfastscan/internal/plan"
 )
 
 // Searcher is the query surface of the package: one context-aware entry
@@ -35,12 +36,24 @@ type searchConfig struct {
 	cells     []int
 	parallel  bool
 	stats     bool
+
+	// Adaptive planning (WithAuto / WithTargetRecall). The *Set flags
+	// record which knobs the caller pinned explicitly: the planner
+	// fills only the open ones, so explicit options always win
+	// (conflict semantics pinned by TestAutoConflictSemantics).
+	auto        bool
+	recall      float64
+	recallSet   bool
+	nprobeSet   bool
+	kernelSet   bool
+	backendSet  bool
+	parallelSet bool
 }
 
 // WithKernel selects the scan kernel. All kernels return identical
 // results; they differ only in cost.
 func WithKernel(k Kernel) SearchOption {
-	return func(c *searchConfig) { c.kernel = k }
+	return func(c *searchConfig) { c.kernel = k; c.kernelSet = true }
 }
 
 // WithEngine selects the execution engine. EngineNative (the default) is
@@ -63,7 +76,7 @@ func WithEngine(e Engine) SearchOption {
 // WithEngine(EngineModel)) — the model counts instructions rather than
 // executing a backend's.
 func WithBackend(b Backend) SearchOption {
-	return func(c *searchConfig) { c.backend = b }
+	return func(c *searchConfig) { c.backend = b; c.backendSet = true }
 }
 
 // WithNProbe scans the nprobe closest partitions and merges their
@@ -71,7 +84,7 @@ func WithBackend(b Backend) SearchOption {
 // [1, Partitions]; any other value (including 0) is rejected by the
 // search call.
 func WithNProbe(nprobe int) SearchOption {
-	return func(c *searchConfig) { c.nprobe = nprobe }
+	return func(c *searchConfig) { c.nprobe = nprobe; c.nprobeSet = true }
 }
 
 // WithCells scans exactly the listed IVF cells, in order, instead of
@@ -102,7 +115,37 @@ func WithCells(cells ...int) SearchOption {
 // attached Stats (operation counts included) are identical to the
 // sequential multi-probe scan's. A test pins this equivalence.
 func WithParallel() SearchOption {
-	return func(c *searchConfig) { c.parallel = true }
+	return func(c *searchConfig) { c.parallel = true; c.parallelSet = true }
+}
+
+// WithAuto lets the adaptive planner (internal/plan, DESIGN.md §16)
+// choose nprobe, kernel, backend and sequential-vs-parallel probing per
+// query from live signals — partition sizes and dead ratios along the
+// cell ranking, paged-vs-resident status, and the online per-class
+// ns/code cost observations seeded by the internal/perf model. Without
+// a recall target it optimizes for latency; with no observations yet it
+// degrades deterministically to the documented defaults (PQ Fast Scan,
+// automatic backend, single probe, sequential).
+//
+// The planner only selects among bit-identical configurations, and its
+// probe set is always a prefix of the WithNProbe ranking — a planned
+// query returns exactly what the fixed-option query built from its
+// decision would. Explicit options always override it: combining
+// WithAuto with WithNProbe, WithKernel, WithBackend or WithParallel
+// pins that knob and plans only the rest; WithCells pins routing
+// entirely; WithStats (model engine) restricts planning to nprobe.
+func WithAuto() SearchOption {
+	return func(c *searchConfig) { c.auto = true }
+}
+
+// WithTargetRecall asks the planner for the cheapest configuration
+// expected to reach recall r in (0, 1]: it probes the closest cells
+// until they cover at least fraction r of the live database mass (the
+// structural surrogate for routing recall — see DESIGN.md §16), then
+// picks kernel, backend and parallelism as WithAuto does. It implies
+// WithAuto; any other r is rejected by the search call.
+func WithTargetRecall(r float64) SearchOption {
+	return func(c *searchConfig) { c.auto = true; c.recall = r; c.recallSet = true }
 }
 
 // WithStats attaches the scan statistics (pruning power, operation
@@ -137,6 +180,7 @@ func (ix *Index) Search(ctx context.Context, query []float32, k int, opts ...Sea
 	if err != nil {
 		return nil, err
 	}
+	cfg = ix.expandAuto(cfg, query)
 	resp, err := ix.load().Query(ctx, index.Request{
 		Query: query, K: k, Kernel: cfg.kernel, Engine: cfg.engine,
 		Backend: cfg.backend, NProbe: cfg.nprobe, Cells: cfg.cells,
@@ -155,6 +199,12 @@ func (ix *Index) SearchBatch(ctx context.Context, queries Matrix, k int, opts ..
 	cfg, err := resolveOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	// One Request serves the whole batch, so the planner sees the first
+	// row: batches are assumed homogeneous (the server coalesces by
+	// plan class). An empty batch has nothing to plan.
+	if queries.Rows() > 0 {
+		cfg = ix.expandAuto(cfg, queries.Row(0))
 	}
 	resps, err := ix.load().QueryBatch(ctx, queries, index.Request{
 		K: k, Kernel: cfg.kernel, Engine: cfg.engine,
@@ -192,7 +242,48 @@ func resolveOptions(opts []SearchOption) (searchConfig, error) {
 	if cfg.backend != BackendAuto && cfg.engine == EngineModel {
 		return cfg, fmt.Errorf("pqfastscan: WithBackend selects native block kernels; the model engine (WithStats / WithEngine(EngineModel)) has none")
 	}
+	if cfg.recallSet && (cfg.recall <= 0 || cfg.recall > 1) {
+		return cfg, fmt.Errorf("pqfastscan: target recall must be in (0, 1], got %g", cfg.recall)
+	}
 	return cfg, nil
+}
+
+// expandAuto runs the adaptive planner over the knobs the caller left
+// open and writes its decision into the configuration — the point where
+// WithAuto/WithTargetRecall become the concrete options an explicit
+// query would carry. Called after resolveOptions, so the engine and
+// conflict checks have already settled.
+func (ix *Index) expandAuto(cfg searchConfig, query []float32) searchConfig {
+	if !cfg.auto {
+		return cfg
+	}
+	native := cfg.engine == EngineNative
+	fastKernel := cfg.kernel == KernelFastScan || cfg.kernel == KernelFastScan256
+	req := plan.Request{
+		Query:        query,
+		Recall:       cfg.recall,
+		PlanNProbe:   !cfg.nprobeSet && len(cfg.cells) == 0,
+		PlanKernel:   !cfg.kernelSet && native,
+		PlanBackend:  !cfg.backendSet && native && (!cfg.kernelSet || fastKernel),
+		PlanParallel: !cfg.parallelSet,
+		FixedNProbe:  cfg.nprobe,
+		Cells:        cfg.cells,
+		FastKernel:   fastKernel,
+	}
+	d := plan.Decide(ix.load(), req)
+	if req.PlanNProbe {
+		cfg.nprobe = d.NProbe
+	}
+	if req.PlanKernel {
+		cfg.kernel = d.Kernel
+	}
+	if req.PlanBackend {
+		cfg.backend = d.Backend
+	}
+	if req.PlanParallel && d.Parallel {
+		cfg.parallel = true
+	}
+	return cfg
 }
 
 func toSearchResult(r *index.Response, withStats bool) *SearchResult {
