@@ -81,6 +81,22 @@
 //	pqbench -planner
 //	pqbench -planner -planner-pool 0.25
 //	pqbench -json -planner > BENCH_prN.json
+//
+// -chaos runs the self-healing benchmark (DESIGN.md §17): a 2-shard ×
+// 2-replica fleet behind a router whose HTTP client injects faults via
+// internal/faultnet — a healthy window, then a fault window (one
+// primary completely dark, the other resetting a fraction of its
+// connections mid-flight), then the recovery after the faults lift.
+// Every complete answer in every window is verified bit-identical to a
+// single-node oracle; the report records goodput, p50/p99, the
+// partial-answer rate per window, the time back to sustained full
+// answers, and the immune-system counters (failovers, hedges, breaker
+// fast-fails, quarantines, reinstatements). Combine with -json for the
+// pqfastscan-bench/v9 document (the BENCH_pr10.json baseline):
+//
+//	pqbench -chaos
+//	pqbench -chaos -chaos-reset-p 0.6
+//	pqbench -json -chaos > BENCH_prN.json
 package main
 
 import (
@@ -140,6 +156,12 @@ func main() {
 		planPool    = flag.Float64("planner-pool", 0.1, "paged-regime pool capacity for -planner, as a fraction of the extent footprint")
 		planRecall  = flag.Float64("planner-recall", 0.9, "recall target measured beside the min-latency auto point for -planner")
 
+		chaosOut    = flag.Bool("chaos", false, "run the self-healing chaos benchmark (goodput/p99/partial rate under injected faults, recovery time after they lift); with -json, emit one combined report")
+		chaosN      = flag.Int("chaos-n", 100000, "database size for the -chaos benchmark")
+		chaosWindow = flag.Duration("chaos-window", 3*time.Second, "length of the healthy and fault windows for -chaos")
+		chaosConc   = flag.Int("chaos-conc", 8, "concurrent load-generator clients for -chaos")
+		chaosResetP = flag.Float64("chaos-reset-p", 0.4, "mid-flight connection-reset probability injected on one primary during the fault window")
+
 		shardsFlag = flag.String("shards", "", "comma-separated shard counts for the cluster scaling benchmark, e.g. \"1,2,4\"; with -json/-serve/-mixed, emit one combined report")
 		shardN     = flag.Int("shard-n", 100000, "database size for the -shards benchmark")
 		shardParts = flag.Int("shard-partitions", 8, "IVF cells for the -shards benchmark")
@@ -158,8 +180,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *jsonOut || *serveOut || *mixedOut || *durOut || *coldOut || *planOut || len(shardCounts) > 0 {
-		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, *coldOut, *planOut, shardCounts, *seed, *jsonSize, *jsonK,
+	if *jsonOut || *serveOut || *mixedOut || *durOut || *coldOut || *planOut || *chaosOut || len(shardCounts) > 0 {
+		runMachineReadable(*jsonOut, *serveOut, *mixedOut, *durOut, *coldOut, *planOut, *chaosOut, shardCounts, *seed, *jsonSize, *jsonK,
 			bench.ServeConfig{
 				URL:         *serveURL,
 				BaseN:       *serveN,
@@ -209,6 +231,14 @@ func main() {
 				Rounds:       *planRounds,
 				PoolFraction: *planPool,
 				Recall:       *planRecall,
+			},
+			bench.ChaosConfig{
+				BaseN:       *chaosN,
+				Seed:        *seed,
+				K:           *jsonK,
+				Concurrency: *chaosConc,
+				Window:      *chaosWindow,
+				ResetP:      *chaosResetP,
 			})
 		return
 	}
@@ -312,12 +342,13 @@ func parseShardCounts(s string) ([]int, error) {
 }
 
 // runMachineReadable dispatches the -json / -serve / -mixed /
-// -durability / -shards / -coldstart / -planner modes: a single report
-// alone, or the combined pqfastscan-bench/v8 document when several are
-// requested (the BENCH_pr9.json baseline format: kernels per backend +
-// serving + durability + cluster scaling + the beyond-RAM cold-start
-// sweep + the adaptive-planner sweep).
-func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig, coldCfg bench.ColdstartConfig, planCfg bench.PlannerConfig) {
+// -durability / -shards / -coldstart / -planner / -chaos modes: a
+// single report alone, or the combined pqfastscan-bench/v9 document
+// when several are requested (the BENCH_pr10.json baseline format:
+// kernels per backend + serving + durability + cluster scaling + the
+// beyond-RAM cold-start sweep + the adaptive-planner sweep + the
+// self-healing chaos run).
+func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner, chaos bool, shardCounts []int, seed uint64, sizeList string, k int, serveCfg bench.ServeConfig, mixedCfg bench.MixedConfig, durCfg bench.DurabilityConfig, clusterCfg bench.ClusterConfig, coldCfg bench.ColdstartConfig, planCfg bench.PlannerConfig, chaosCfg bench.ChaosConfig) {
 	var sizes []int
 	if kernels {
 		for _, s := range strings.Split(sizeList, ",") {
@@ -330,7 +361,7 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bo
 	}
 	shards := len(shardCounts) > 0
 	single := 0
-	for _, on := range []bool{kernels, serve, mixed, durability, shards, coldstart, planner} {
+	for _, on := range []bool{kernels, serve, mixed, durability, shards, coldstart, planner, chaos} {
 		if on {
 			single++
 		}
@@ -350,6 +381,8 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bo
 			err = bench.RunColdstart(os.Stdout, coldCfg)
 		case planner:
 			err = bench.RunPlanner(os.Stdout, planCfg)
+		case chaos:
+			err = bench.RunChaos(os.Stdout, chaosCfg)
 		default:
 			err = bench.RunWallClock(os.Stdout, seed, sizes, k)
 		}
@@ -359,13 +392,13 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bo
 		return
 	}
 
-	// v8: adds the adaptive-planner section; v7 the coldstart section
-	// and the mem record in the kernels header; v6 the durability
-	// section; v5 the cluster scaling section; v4's kernels section
-	// carries the block-kernel backend record (active/available
-	// backends, CPU features, per-backend native Fast Scan rows) and
-	// the mixed section names its backend.
-	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v8"}
+	// v9: adds the self-healing chaos section; v8 the adaptive-planner
+	// section; v7 the coldstart section and the mem record in the
+	// kernels header; v6 the durability section; v5 the cluster scaling
+	// section; v4's kernels section carries the block-kernel backend
+	// record (active/available backends, CPU features, per-backend
+	// native Fast Scan rows) and the mixed section names its backend.
+	combined := bench.CombinedReport{Schema: "pqfastscan-bench/v9"}
 	if kernels {
 		fmt.Fprintln(os.Stderr, "running wall-clock kernel benchmarks...")
 		kr, err := bench.MeasureWallClock(seed, sizes, k)
@@ -421,6 +454,14 @@ func runMachineReadable(kernels, serve, mixed, durability, coldstart, planner bo
 			log.Fatal(err)
 		}
 		combined.Planner = pr
+	}
+	if chaos {
+		fmt.Fprintln(os.Stderr, "running self-healing chaos benchmark...")
+		cr, err := bench.MeasureChaos(chaosCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.Chaos = cr
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -33,6 +33,24 @@
 // and the fleet never mixes epochs for longer than one commit round.
 // SIGTERM drains gracefully: /readyz goes 503, in-flight fanouts
 // finish, then the process exits 0.
+//
+// Self-healing (DESIGN.md §17). Every endpoint has a circuit breaker:
+// -breaker-threshold consecutive failures trip it open, attempts fail
+// fast for -breaker-cooldown, then a single half-open probe decides
+// recovery. With -probe-interval set, a background prober walks every
+// endpoint's /readyz, quarantines endpoints failing -quarantine-after
+// consecutive probes out of the candidate set, and reinstates them
+// after -reinstate-after healthy ones — so failover and hedging pick
+// among live replicas instead of rediscovering deadness per request.
+// Per-attempt timeouts adapt to each endpoint's latency EWMA once it
+// has warmed up, capped by -shard-timeout. Clients may bound a query
+// end-to-end with an X-Pq-Deadline-Ms header (relative milliseconds):
+// the remaining budget is forwarded on every sub-request and expired
+// work is rejected 504 before any scanning. Mutations (/add, /delete)
+// are forwarded to shard primaries and never re-sent after an
+// ambiguous failure — the reply is a 502 with "outcome": "unknown".
+// Breaker states, quarantine events, retry and deadline-reject
+// counters all surface on /stats.
 package main
 
 import (
@@ -76,6 +94,13 @@ func main() {
 		allowPartial = flag.Bool("allow-partial", false, "degrade instead of failing when shards are down: merge surviving shards and report coverage (per-request opt-in stays available via ?partial=1)")
 		auto         = flag.Bool("auto", false, "plan every query adaptively by default: ?recall= targets map to a probe prefix over the fleet's cell sizes and shards plan kernel/backend locally via forwarded ?auto=1 (requests opt out with ?auto=0)")
 		maxK         = flag.Int("max-k", 1000, "largest accepted k")
+
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that trip an endpoint's circuit breaker open (negative disables breakers)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker fails fast before half-open admits a probe request")
+		probeInterval    = flag.Duration("probe-interval", time.Second, "background /readyz probe cadence for health-driven quarantine (0 disables)")
+		probeTimeout     = flag.Duration("probe-timeout", 500*time.Millisecond, "budget for one health probe")
+		quarantineAfter  = flag.Int("quarantine-after", 3, "consecutive failed probes that quarantine an endpoint out of the candidate set")
+		reinstateAfter   = flag.Int("reinstate-after", 2, "consecutive healthy probes that reinstate a quarantined endpoint")
 	)
 	flag.Var(&shards, "shard", "cell range and endpoints, \"LO-HI=URL[,URL...]\" (primary first; repeatable)")
 	flag.Parse()
@@ -84,18 +109,25 @@ func main() {
 		log.Fatal("at least one -shard is required")
 	}
 	router, err := cluster.New(cluster.Config{
-		Shards:       shards,
-		ShardTimeout: *shardTimeout,
-		HedgeDelay:   *hedgeDelay,
-		MaxAttempts:  *maxAttempts,
-		AllowPartial: *allowPartial,
-		Auto:         *auto,
-		MaxK:         *maxK,
-		Logf:         log.Printf,
+		Shards:           shards,
+		ShardTimeout:     *shardTimeout,
+		HedgeDelay:       *hedgeDelay,
+		MaxAttempts:      *maxAttempts,
+		AllowPartial:     *allowPartial,
+		Auto:             *auto,
+		MaxK:             *maxK,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		QuarantineAfter:  *quarantineAfter,
+		ReinstateAfter:   *reinstateAfter,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer router.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: router.Handler()}
 	done := make(chan struct{})

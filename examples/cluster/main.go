@@ -11,6 +11,27 @@
 //	pqserve  -addr :8082 -index full.idx -cells 4-7
 //	pqrouter -addr :8080 -shard 0-3=http://localhost:8081 \
 //	                     -shard 4-7=http://localhost:8082
+//
+// The router self-heals around network faults (DESIGN.md §17); the
+// defaults are sensible, and each knob is tunable:
+//
+//	pqrouter -addr :8080 \
+//	    -shard 0-3=http://10.0.0.1:8081,http://10.0.0.3:8081 \
+//	    -shard 4-7=http://10.0.0.2:8081,http://10.0.0.4:8081 \
+//	    -breaker-threshold 5 -breaker-cooldown 1s \
+//	    -probe-interval 1s -probe-timeout 500ms \
+//	    -quarantine-after 3 -reinstate-after 2
+//
+// Consecutive failures trip an endpoint's circuit breaker (attempts
+// then fail fast until a half-open probe succeeds); the background
+// prober quarantines endpoints whose /readyz keeps failing and
+// reinstates them when it recovers, so queries route around known-dead
+// endpoints without paying a timeout each. Clients can bound a query
+// end to end with an X-Pq-Deadline-Ms header (relative milliseconds) —
+// expired work is rejected with 504 before any scanning — and routed
+// mutations are never re-sent after an ambiguous failure (the reply is
+// 502 with "outcome": "unknown"). Breaker states, quarantine events
+// and deadline rejects all surface on the router's /stats.
 package main
 
 import (

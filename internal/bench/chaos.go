@@ -1,0 +1,441 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/cluster"
+	"pqfastscan/internal/faultnet"
+	"pqfastscan/internal/server"
+)
+
+// Chaos benchmarking: quantify what the cluster immune system
+// (DESIGN.md §17) buys under injected network faults. One synthetic
+// index is split over a 2-shard × 2-replica fleet behind a router whose
+// HTTP client runs through an internal/faultnet transport. The run
+// measures three windows: a healthy baseline, a fault window (one
+// primary completely dark, the other resetting a fraction of its
+// connections mid-flight), and the recovery after the faults lift —
+// reporting goodput, tail latency, the partial-answer rate, and how
+// long the fleet takes to return to sustained bit-identical answers.
+// Every full (non-partial) answer in every window is checked against
+// the single-node oracle; a silently wrong answer fails the run.
+
+// ChaosConfig parameterizes a chaos run.
+type ChaosConfig struct {
+	BaseN      int    // database size (default 100000)
+	LearnN     int    // training size (default BaseN/10, min 1000)
+	Partitions int    // IVF cells (default 8)
+	Seed       uint64 // build, query, and fault-schedule seed (default 42)
+
+	K           int           // neighbors per query (default 100)
+	NProbe      int           // cells probed per query (default 2)
+	Concurrency int           // concurrent clients (default 8)
+	Window      time.Duration // length of the healthy and fault windows (default 3s)
+
+	// ResetP is the mid-flight connection-reset probability injected on
+	// the second shard's primary during the fault window (default 0.4).
+	ResetP float64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.BaseN <= 0 {
+		c.BaseN = 100000
+	}
+	if c.LearnN <= 0 {
+		c.LearnN = c.BaseN / 10
+		if c.LearnN < 1000 {
+			c.LearnN = 1000
+		}
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.K <= 0 {
+		c.K = 100
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 2
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 3 * time.Second
+	}
+	if c.ResetP <= 0 {
+		c.ResetP = 0.4
+	}
+	return c
+}
+
+// ChaosWindow is one measurement window's outcome.
+type ChaosWindow struct {
+	DurationS float64 `json:"duration_s"`
+
+	Requests int64 `json:"requests"`
+	FullOK   int64 `json:"full_ok"` // complete, oracle-verified answers
+	Partial  int64 `json:"partial"` // honestly degraded (Coverage set)
+	Failed   int64 `json:"failed"`  // non-200
+	Wrong    int64 `json:"wrong"`   // silently wrong (must be 0)
+
+	GoodputQPS  float64 `json:"goodput_qps"` // full + partial per second
+	PartialRate float64 `json:"partial_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// ChaosReport is the JSON document of one chaos run.
+type ChaosReport struct {
+	Schema      string  `json:"schema"`
+	BaseN       int     `json:"base_n"`
+	Partitions  int     `json:"partitions"`
+	K           int     `json:"k"`
+	NProbe      int     `json:"nprobe"`
+	Concurrency int     `json:"concurrency"`
+	ResetP      float64 `json:"reset_p"`
+
+	Healthy ChaosWindow `json:"healthy"`
+	Faulted ChaosWindow `json:"faulted"`
+
+	// RecoveryMs: faults lifted → 10 consecutive strict (partial
+	// disallowed) oracle-identical answers. Negative means the fleet
+	// never recovered within the recovery budget.
+	RecoveryMs float64 `json:"recovery_ms"`
+
+	// Immune-system counters over the whole run, from the router.
+	Failovers        int64 `json:"failovers"`
+	Hedges           int64 `json:"hedges"`
+	Retries          int64 `json:"retries"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	Quarantines      int64 `json:"quarantines"`
+	Reinstatements   int64 `json:"reinstatements"`
+
+	// Fault-injection counters, from the faultnet transport.
+	InjectedDrops  int64 `json:"injected_drops"`
+	InjectedResets int64 `json:"injected_resets"`
+
+	OracleOK bool `json:"oracle_ok"` // no window saw a silently wrong answer
+}
+
+// chaosFleet is the standing 2×2 fleet of one chaos run.
+type chaosFleet struct {
+	router    *cluster.Router
+	routerURL string
+	transport *faultnet.Transport
+	p0URL     string // shard 0 primary — goes dark in the fault window
+	p1URL     string // shard 1 primary — resets connections in the fault window
+	stops     []func()
+}
+
+func (f *chaosFleet) close() {
+	if f.router != nil {
+		f.router.Close()
+	}
+	for i := len(f.stops) - 1; i >= 0; i-- {
+		f.stops[i]()
+	}
+}
+
+// startChaosFleet builds the index, stands up 2 shards × 2 replicas,
+// and fronts them with a router whose client injects faults.
+func startChaosFleet(cfg ChaosConfig) (*chaosFleet, *pqfastscan.Index, error) {
+	gen := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed})
+	opt := pqfastscan.DefaultBuildOptions()
+	opt.Partitions = cfg.Partitions
+	opt.Seed = cfg.Seed
+	full, err := pqfastscan.Build(gen.Generate(cfg.LearnN), gen.Generate(cfg.BaseN), opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: build chaos index: %w", err)
+	}
+
+	f := &chaosFleet{}
+	specs := splitRanges(cfg.Partitions, 2)
+	for i := range specs {
+		cells := specs[i].Cells()
+		for replica := 0; replica < 2; replica++ {
+			restricted, err := full.RestrictCells(cells...)
+			if err != nil {
+				f.close()
+				return nil, nil, err
+			}
+			srv, err := server.New(server.Config{
+				Index:       restricted,
+				Cells:       cells,
+				MaxInFlight: 4 * cfg.Concurrency,
+			})
+			if err != nil {
+				f.close()
+				return nil, nil, err
+			}
+			f.stops = append(f.stops, func() { _ = srv.Close() })
+			url, stop, err := startHTTP(srv.Handler())
+			if err != nil {
+				f.close()
+				return nil, nil, err
+			}
+			f.stops = append(f.stops, stop)
+			specs[i].Endpoints = append(specs[i].Endpoints, url)
+		}
+	}
+	f.p0URL = specs[0].Endpoints[0]
+	f.p1URL = specs[1].Endpoints[0]
+
+	f.transport = faultnet.New(nil, cfg.Seed)
+	f.router, err = cluster.New(cluster.Config{
+		Shards:           specs,
+		Client:           &http.Client{Transport: f.transport},
+		ShardTimeout:     2 * time.Second,
+		HedgeDelay:       25 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     300 * time.Millisecond,
+		QuarantineAfter:  2,
+		ReinstateAfter:   2,
+	})
+	if err != nil {
+		f.close()
+		return nil, nil, err
+	}
+	url, stop, err := startHTTP(f.router.Handler())
+	if err != nil {
+		f.close()
+		return nil, nil, err
+	}
+	f.routerURL = url
+	f.stops = append(f.stops, stop)
+	return f, full, nil
+}
+
+// chaosOracle precomputes the single-node answers the fleet's full
+// responses must match bit-identically.
+func chaosOracle(cfg ChaosConfig, full *pqfastscan.Index) ([][]byte, []server.SearchResponse, error) {
+	queries := pqfastscan.NewSyntheticDataset(pqfastscan.DatasetConfig{Seed: cfg.Seed + 1}).Generate(16)
+	bodies := make([][]byte, queries.Rows())
+	want := make([]server.SearchResponse, queries.Rows())
+	for i := range bodies {
+		raw, err := json.Marshal(server.SearchRequest{Query: queries.Row(i), K: cfg.K, NProbe: cfg.NProbe})
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies[i] = raw
+		res, err := full.Search(context.Background(), queries.Row(i), cfg.K, pqfastscan.WithNProbe(cfg.NProbe))
+		if err != nil {
+			return nil, nil, err
+		}
+		want[i].Results = make([]server.SearchNeighbor, len(res.Results))
+		for j, r := range res.Results {
+			want[i].Results[j] = server.SearchNeighbor{ID: r.ID, Distance: r.Distance}
+		}
+	}
+	return bodies, want, nil
+}
+
+// classify matches one 200 response against its oracle: "full" when
+// bit-identical without a coverage marker, "partial" when honestly
+// degraded, "wrong" otherwise.
+func classify(body []byte, want *server.SearchResponse) string {
+	var resp server.SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return "wrong"
+	}
+	if resp.Coverage != nil {
+		if resp.Coverage.CellsAnswered >= resp.Coverage.CellsTotal {
+			return "wrong" // claims partial but is not — dishonest coverage
+		}
+		return "partial"
+	}
+	if len(resp.Results) != len(want.Results) {
+		return "wrong"
+	}
+	for i, w := range want.Results {
+		if resp.Results[i].ID != w.ID || resp.Results[i].Distance != w.Distance {
+			return "wrong"
+		}
+	}
+	return "full"
+}
+
+// chaosWindow drives the worker pool for one window, verifying every
+// full answer against the oracle.
+func chaosWindow(f *chaosFleet, bodies [][]byte, want []server.SearchResponse, cfg ChaosConfig, d time.Duration) ChaosWindow {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
+	type workerOut struct {
+		lats                         []time.Duration
+		full, partial, failed, wrong int64
+	}
+	outs := make([]workerOut, cfg.Concurrency)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			for qi := w; time.Now().Before(deadline); qi++ {
+				i := qi % len(bodies)
+				t0 := time.Now()
+				resp, err := client.Post(f.routerURL+"/search?partial=1", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					o.failed++
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					o.failed++
+					continue
+				}
+				o.lats = append(o.lats, time.Since(t0))
+				switch classify(raw, &want[i]) {
+				case "full":
+					o.full++
+				case "partial":
+					o.partial++
+				default:
+					o.wrong++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var win ChaosWindow
+	var lats []time.Duration
+	for _, o := range outs {
+		win.FullOK += o.full
+		win.Partial += o.partial
+		win.Failed += o.failed
+		win.Wrong += o.wrong
+		lats = append(lats, o.lats...)
+	}
+	win.Requests = win.FullOK + win.Partial + win.Failed + win.Wrong
+	win.DurationS = elapsed.Seconds()
+	win.GoodputQPS = float64(win.FullOK+win.Partial) / elapsed.Seconds()
+	if answered := win.FullOK + win.Partial; answered > 0 {
+		win.PartialRate = float64(win.Partial) / float64(answered)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / 1e6
+	}
+	win.P50Ms = q(0.50)
+	win.P99Ms = q(0.99)
+	return win
+}
+
+// MeasureChaos runs the fault schedule and returns its report.
+func MeasureChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	f, full, err := startChaosFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+	bodies, want, err := chaosOracle(cfg, full)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ChaosReport{
+		Schema:      "pqfastscan-chaos/v1",
+		BaseN:       cfg.BaseN,
+		Partitions:  cfg.Partitions,
+		K:           cfg.K,
+		NProbe:      cfg.NProbe,
+		Concurrency: cfg.Concurrency,
+		ResetP:      cfg.ResetP,
+	}
+
+	report.Healthy = chaosWindow(f, bodies, want, cfg, cfg.Window)
+
+	f.transport.SetRules(
+		faultnet.Rule{Target: f.p0URL, Kind: faultnet.KindDrop},
+		faultnet.Rule{Target: f.p1URL + "/search", Kind: faultnet.KindReset, P: cfg.ResetP},
+	)
+	report.Faulted = chaosWindow(f, bodies, want, cfg, cfg.Window)
+
+	// Lift the faults and time the road back: 10 consecutive strict
+	// (partial disallowed) oracle-identical answers.
+	f.transport.SetRules()
+	healed := time.Now()
+	report.RecoveryMs = -1
+	client := &http.Client{}
+	recoveryBudget := healed.Add(cfg.Window + 5*time.Second)
+	streak := 0
+	for qi := 0; streak < 10 && time.Now().Before(recoveryBudget); qi++ {
+		i := qi % len(bodies)
+		resp, err := client.Post(f.routerURL+"/search", "application/json", bytes.NewReader(bodies[i]))
+		if err != nil {
+			streak = 0
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && classify(raw, &want[i]) == "full" {
+			streak++
+		} else {
+			streak = 0
+		}
+	}
+	if streak >= 10 {
+		report.RecoveryMs = float64(time.Since(healed)) / 1e6
+	}
+
+	// The query path recovers before the prober's reinstate streak
+	// completes; give the prober a bounded moment so the report shows
+	// the whole quarantine → reinstate cycle.
+	reinstateDeadline := time.Now().Add(2 * time.Second)
+	for f.router.Stats().Reinstatements < f.router.Stats().Quarantines && time.Now().Before(reinstateDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := f.router.Stats()
+	report.Failovers = st.Failovers
+	report.Hedges = st.Hedges
+	report.Retries = st.Retries
+	report.BreakerFastFails = st.BreakerFastFails
+	report.Quarantines = st.Quarantines
+	report.Reinstatements = st.Reinstatements
+	fs := f.transport.Stats()
+	report.InjectedDrops = fs.Drops
+	report.InjectedResets = fs.Resets
+	report.OracleOK = report.Healthy.Wrong == 0 && report.Faulted.Wrong == 0
+	if !report.OracleOK {
+		return report, fmt.Errorf("bench: chaos run produced %d silently wrong answers",
+			report.Healthy.Wrong+report.Faulted.Wrong)
+	}
+	if report.RecoveryMs < 0 {
+		return report, fmt.Errorf("bench: fleet did not recover to sustained full answers after faults lifted")
+	}
+	return report, nil
+}
+
+// RunChaos measures the fault schedule and writes the report as JSON.
+func RunChaos(w io.Writer, cfg ChaosConfig) error {
+	report, err := MeasureChaos(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureChaosMicro runs the full fault schedule at micro scale —
+// including the per-answer oracle check and the recovery gate, the
+// parts that must never regress.
+func TestMeasureChaosMicro(t *testing.T) {
+	report, err := MeasureChaos(ChaosConfig{
+		BaseN:       12000,
+		LearnN:      3000,
+		Partitions:  4,
+		Seed:        42,
+		K:           10,
+		NProbe:      2,
+		Concurrency: 4,
+		Window:      400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OracleOK {
+		t.Fatal("oracle verification did not run clean")
+	}
+	if report.Healthy.Wrong != 0 || report.Faulted.Wrong != 0 {
+		t.Fatalf("silently wrong answers: healthy=%d faulted=%d", report.Healthy.Wrong, report.Faulted.Wrong)
+	}
+	if report.Healthy.FullOK == 0 {
+		t.Fatal("healthy window saw no full answers")
+	}
+	if report.Faulted.FullOK+report.Faulted.Partial == 0 {
+		t.Fatal("fault window had zero goodput — the immune system is not routing around the faults")
+	}
+	if report.RecoveryMs < 0 {
+		t.Fatal("fleet never recovered after the faults lifted")
+	}
+	if report.InjectedDrops == 0 && report.InjectedResets == 0 {
+		t.Fatal("fault window injected nothing; schedule is broken")
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"pqfastscan"
+	"pqfastscan/internal/faultnet"
+	"pqfastscan/internal/server"
+	"pqfastscan/internal/topk"
+)
+
+// TestChaosSoak is the end-to-end immune-system exercise: a router over
+// a 2-shard × 2-replica fleet runs a scripted fault schedule — one
+// primary goes completely dark, the other starts resetting connections
+// mid-flight — while a query loop checks every answer against a
+// single-node oracle. The invariants:
+//
+//   - An answer without a Coverage field is bit-identical to the oracle.
+//     Partial answers carry Coverage honestly. Never silently wrong.
+//   - The fleet keeps answering through the fault window (goodput > 0).
+//   - The prober quarantines the dark primary; after the faults lift,
+//     it is reinstated and the fleet recovers to a sustained streak of
+//     full-coverage, bit-identical answers within the healed window.
+//
+// The default soak is a few seconds; CHAOS_SECONDS stretches the
+// schedule for CI soak jobs. Run under -race.
+func TestChaosSoak(t *testing.T) {
+	phase := time.Second // healthy, chaos, healed — 3 phases of this length
+	if v := os.Getenv("CHAOS_SECONDS"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad CHAOS_SECONDS=%q", v)
+		}
+		phase = time.Duration(secs) * time.Second / 3
+	}
+
+	full, queries := fullIndex(t)
+	p0 := shardServer(t, full, []int{0, 1, 2, 3})
+	r0 := shardServer(t, full, []int{0, 1, 2, 3})
+	p1 := shardServer(t, full, []int{4, 5, 6, 7})
+	r1 := shardServer(t, full, []int{4, 5, 6, 7})
+
+	ft := faultnet.New(nil, 20240807) // healthy: no rules yet
+	router := newRouter(t, 8, [][]string{{p0.URL, r0.URL}, {p1.URL, r1.URL}}, func(c *Config) {
+		c.Client = &http.Client{Transport: ft}
+		c.ShardTimeout = 2 * time.Second
+		c.HedgeDelay = 25 * time.Millisecond
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = 100 * time.Millisecond
+		c.ProbeInterval = 25 * time.Millisecond
+		c.ProbeTimeout = 300 * time.Millisecond
+		c.QuarantineAfter = 2
+		c.ReinstateAfter = 2
+	})
+	t.Cleanup(router.Close)
+	handler := router.Handler()
+
+	// Oracle answers from the full single-node index: the router's
+	// correctness contract is bit-identical equality with these.
+	const k, nprobe = 10, 4
+	oracle := make([][]topk.Result, 16)
+	for i := range oracle {
+		res, err := full.Search(t.Context(), queries.Row(i), k, pqfastscan.WithNProbe(nprobe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = res.Results
+	}
+
+	// ask issues one query (optionally accepting partial coverage) and
+	// classifies the answer: "full" (must be bit-identical), "partial"
+	// (must carry honest coverage), or "failed".
+	ask := func(qi int, allowPartial bool) string {
+		raw, _ := json.Marshal(server.SearchRequest{Query: queries.Row(qi), K: k, NProbe: nprobe})
+		target := "/search"
+		if allowPartial {
+			target += "?partial=1"
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, target, bytes.NewReader(raw)))
+		if rec.Code != http.StatusOK {
+			return "failed"
+		}
+		var resp server.SearchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("query %d: undecodable 200: %v (%s)", qi, err, rec.Body.String())
+		}
+		if resp.Coverage != nil {
+			if resp.Coverage.CellsAnswered >= resp.Coverage.CellsTotal {
+				t.Fatalf("query %d: coverage %d/%d claims to be partial but is not",
+					qi, resp.Coverage.CellsAnswered, resp.Coverage.CellsTotal)
+			}
+			return "partial"
+		}
+		want := oracle[qi]
+		if len(resp.Results) != len(want) {
+			t.Fatalf("SILENTLY WRONG: query %d returned %d results without coverage, oracle has %d",
+				qi, len(resp.Results), len(want))
+		}
+		for r := range want {
+			if resp.Results[r].ID != want[r].ID || resp.Results[r].Distance != want[r].Distance {
+				t.Fatalf("SILENTLY WRONG: query %d rank %d: got %+v, oracle %+v (no coverage marker)",
+					qi, r, resp.Results[r], want[r])
+			}
+		}
+		return "full"
+	}
+
+	soak := func(d time.Duration, allowPartial bool) (full, partial, failed int) {
+		deadline := time.Now().Add(d)
+		for qi := 0; time.Now().Before(deadline); qi = (qi + 1) % len(oracle) {
+			switch ask(qi, allowPartial) {
+			case "full":
+				full++
+			case "partial":
+				partial++
+			default:
+				failed++
+			}
+		}
+		return
+	}
+
+	// --- phase 1: healthy baseline --------------------------------------
+	okBefore, partialBefore, failedBefore := soak(phase, true)
+	if okBefore == 0 || partialBefore != 0 || failedBefore != 0 {
+		t.Fatalf("healthy phase: full=%d partial=%d failed=%d, want only full answers",
+			okBefore, partialBefore, failedBefore)
+	}
+
+	// --- phase 2: chaos --------------------------------------------------
+	// Shard 0's primary goes completely dark (every request dropped —
+	// probes included, so the prober sees it too). Shard 1's primary
+	// resets 40% of /search mid-flight. Both shards keep a clean
+	// replica, so the fleet can still answer everything.
+	ft.SetRules(
+		faultnet.Rule{Target: p0.URL, Kind: faultnet.KindDrop},
+		faultnet.Rule{Target: p1.URL + "/search", Kind: faultnet.KindReset, P: 0.4},
+	)
+	okChaos, partialChaos, failedChaos := soak(phase, true)
+	if okChaos == 0 {
+		t.Fatalf("chaos phase: no full answers at all (partial=%d failed=%d) — failover/hedging is not routing around the faults",
+			partialChaos, failedChaos)
+	}
+	t.Logf("chaos phase: full=%d partial=%d failed=%d", okChaos, partialChaos, failedChaos)
+	if router.metrics.quarantines.Load() == 0 {
+		t.Fatal("dark primary was never quarantined during the fault window")
+	}
+
+	// --- phase 3: heal ----------------------------------------------------
+	ft.SetRules() // lift all faults
+	// Recovery: within the healed window the fleet must reach a
+	// sustained streak of strict (no-partial-allowed) bit-identical
+	// answers, and the quarantined primary must be reinstated.
+	deadline := time.Now().Add(phase)
+	streak := 0
+	const wantStreak = 10
+	for qi := 0; streak < wantStreak; qi = (qi + 1) % len(oracle) {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not recover to %d consecutive strict answers within %v (streak %d)",
+				wantStreak, phase, streak)
+		}
+		if ask(qi, false) == "full" {
+			streak++
+		} else {
+			streak = 0
+		}
+	}
+	waitDeadline := time.Now().Add(phase)
+	for router.endpoints[p0.URL].quarantined.Load() {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("dark primary was never reinstated after the faults lifted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if router.metrics.reinstatements.Load() == 0 {
+		t.Fatal("reinstatement counter did not move after recovery")
+	}
+
+	st := router.Stats()
+	t.Logf("post-soak stats: failovers=%d hedges=%d retries=%d breaker_fast_fails=%d quarantines=%d reinstatements=%d",
+		st.Failovers, st.Hedges, st.Retries, st.BreakerFastFails, st.Quarantines, st.Reinstatements)
+}

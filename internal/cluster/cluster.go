@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -157,6 +158,29 @@ type Config struct {
 	// MaxBodyBytes caps a request body (default 8 MiB).
 	MaxBodyBytes int64
 
+	// BreakerThreshold is how many consecutive failures trip an
+	// endpoint's circuit breaker open (default 5; negative disables
+	// breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-open admits a single probe request (default 1s).
+	BreakerCooldown time.Duration
+
+	// ProbeInterval enables the background health prober: every
+	// interval each distinct endpoint's /readyz is checked, failing
+	// endpoints are quarantined out of the candidate set, and
+	// recovered ones reinstated. Zero disables probing (library and
+	// test default); cmd/pqrouter passes -probe-interval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz check (default 500ms).
+	ProbeTimeout time.Duration
+	// QuarantineAfter is the consecutive probe failures that
+	// quarantine an endpoint (default 3).
+	QuarantineAfter int
+	// ReinstateAfter is the consecutive probe successes that reinstate
+	// a quarantined endpoint (default 2).
+	ReinstateAfter int
+
 	// Client overrides the HTTP client (tests inject httptest
 	// transports). Defaults to a pooled transport sized for fanout.
 	Client *http.Client
@@ -203,6 +227,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 1000
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.ReinstateAfter <= 0 {
+		c.ReinstateAfter = 2
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -255,12 +294,20 @@ type shard struct {
 // Create with New, mount Handler behind an http.Server (cmd/pqrouter),
 // or call Search directly.
 type Router struct {
-	cfg      Config
-	shards   []*shard
-	byCell   []int // cell id -> index into shards
-	meta     atomicMeta
-	metrics  *routerMetrics
-	draining atomic.Bool
+	cfg    Config
+	shards []*shard
+	byCell []int // cell id -> index into shards
+	// endpoints holds per-endpoint health state (breaker, latency
+	// EWMA, quarantine), shared across shards listing the same URL.
+	// The map is built once in New and never mutated after — reads
+	// are lock-free.
+	endpoints map[string]*endpointState
+	meta      atomicMeta
+	metrics   *routerMetrics
+	draining  atomic.Bool
+	stop      chan struct{}
+	stopOnce  sync.Once
+	proberWG  sync.WaitGroup
 }
 
 // New validates the shard map against the live fleet and returns a
@@ -273,14 +320,38 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: no shards configured")
 	}
 	cfg = cfg.withDefaults()
-	r := &Router{cfg: cfg, metrics: newRouterMetrics()}
+	r := &Router{
+		cfg:       cfg,
+		metrics:   newRouterMetrics(),
+		endpoints: make(map[string]*endpointState),
+		stop:      make(chan struct{}),
+	}
 	for _, spec := range cfg.Shards {
 		r.shards = append(r.shards, &shard{spec: spec, cells: spec.Cells()})
+		for _, ep := range spec.Endpoints {
+			if _, ok := r.endpoints[ep]; !ok {
+				r.endpoints[ep] = &endpointState{
+					url:     ep,
+					breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+				}
+			}
+		}
 	}
 	if err := r.refreshMeta(); err != nil {
 		return nil, err
 	}
+	if cfg.ProbeInterval > 0 {
+		r.proberWG.Add(1)
+		go r.probeLoop()
+	}
 	return r, nil
+}
+
+// Close stops the background health prober (a no-op when probing is
+// disabled). The router remains usable for queries after Close.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.proberWG.Wait()
 }
 
 // refreshMeta fetches /meta from every shard, checks the fleet agrees,

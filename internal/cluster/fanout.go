@@ -6,9 +6,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,14 +187,25 @@ func (r *Router) Search(ctx context.Context, query []float32, opt SearchOptions)
 	return resp, nil
 }
 
+// errAllTripped fails an attempt fast when every candidate endpoint is
+// refused by its circuit breaker: no network I/O is spent on a shard
+// known to be dark. The retry budget's backoff rounds keep re-asking,
+// so the first breaker to reach half-open admits a probe and recovery
+// happens inside the same query when the cooldown allows it.
+var errAllTripped = errors.New("cluster: circuit open: every endpoint tripped or quarantined")
+
 // shardSearch runs one shard sub-request under a bounded retry budget.
+// Candidates are the shard's endpoints minus quarantined ones (unless
+// that empties the list) and minus those whose circuit breaker refuses.
 // The primary is asked first; an error moves on to the next replica
 // immediately (failover), and a primary that is merely slow gets a
 // replica launched beside it after HedgeDelay (hedge) — first success
 // wins, the loser's response is discarded. Once every endpoint has been
 // tried, remaining budget re-cycles the list with exponential backoff
 // and full jitter between rounds. Everything shares one ShardTimeout
-// deadline, and nothing is launched after the context is done.
+// deadline; individual attempts additionally run under an adaptive
+// timeout derived from the endpoint's latency EWMA, and nothing is
+// launched after the context is done.
 func (r *Router) shardSearch(ctx context.Context, sh *shard, subQuery string, req server.SearchRequest) (*server.SearchResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
@@ -212,13 +225,69 @@ func (r *Router) shardSearch(ctx context.Context, sh *shard, subQuery string, re
 	wake := make(chan struct{}, 1)
 	launched, inflight := 0, 0
 	retryPending := false
+	// pick rotates from the failover cursor preferring live endpoints:
+	// pass 0 skips quarantined ones, pass 1 admits them anyway (better
+	// a long-shot attempt than none), and a breaker that refuses is
+	// skipped in both passes. No admissible endpoint means fail fast.
+	pick := func() (string, *endpointState, bool) {
+		now := time.Now()
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < len(eps); i++ {
+				ep := eps[(launched+i)%len(eps)]
+				st := r.endpoints[ep]
+				if st == nil {
+					return ep, nil, true
+				}
+				if pass == 0 && st.quarantined.Load() {
+					continue
+				}
+				if r.cfg.BreakerThreshold < 0 || st.breaker.Allow(now) {
+					return ep, st, true
+				}
+			}
+		}
+		return "", nil, false
+	}
 	launch := func() {
-		ep := eps[launched%len(eps)]
+		ep, st, ok := pick()
 		launched++
 		inflight++
+		if !ok {
+			r.metrics.breakerFastFails.Add(1)
+			results <- outcome{nil, errAllTripped}
+			return
+		}
 		go func() {
+			attempt := r.cfg.ShardTimeout
+			if st != nil {
+				attempt = st.attemptTimeout(r.cfg.ShardTimeout)
+			}
+			actx, acancel := context.WithTimeout(ctx, attempt)
+			t0 := time.Now()
 			var out server.SearchResponse
-			err := r.postJSON(ctx, ep+"/search"+subQuery, req, &out)
+			err := r.postJSON(actx, ep+"/search"+subQuery, req, &out)
+			acancel()
+			if st != nil {
+				if err == nil {
+					st.latency.Observe(time.Since(t0))
+				}
+				if r.cfg.BreakerThreshold >= 0 {
+					switch {
+					case err == nil:
+						st.breaker.Success()
+					case ctx.Err() != nil:
+						// The sub-request as a whole was cancelled or
+						// timed out around this attempt — a hedge
+						// sibling won, or the caller's deadline fired.
+						// That verdict is about the race, not the
+						// endpoint: release any probe slot, count no
+						// failure.
+						st.breaker.Cancel()
+					default:
+						st.breaker.Failure(time.Now())
+					}
+				}
+			}
 			results <- outcome{&out, err}
 		}()
 	}
@@ -317,7 +386,11 @@ func (e *httpStatusError) Error() string {
 	return fmt.Sprintf("status %d: %s", e.status, e.body)
 }
 
-// postJSON posts body to url and decodes a 200 reply into out.
+// postJSON posts body to url and decodes a 200 reply into out. When
+// ctx carries a deadline, the remaining budget is forwarded as a
+// relative X-Pq-Deadline-Ms header (relative, so clock skew between
+// router and shard cannot corrupt it) and already-expired work is
+// rejected here without touching the network.
 func (r *Router) postJSON(ctx context.Context, url string, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -328,6 +401,13 @@ func (r *Router) postJSON(ctx context.Context, url string, body, out any) error 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms <= 0 {
+			return context.DeadlineExceeded
+		}
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	return r.doJSON(req, out)
 }
 

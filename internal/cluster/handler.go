@@ -5,10 +5,12 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -19,16 +21,21 @@ import (
 
 // routerMetrics aggregates the router's counters.
 type routerMetrics struct {
-	start     time.Time
-	queries   atomic.Int64
-	errors    atomic.Int64
-	rejected  atomic.Int64
-	lat       hist.Hist
-	failovers atomic.Int64
-	hedges    atomic.Int64
-	retries   atomic.Int64
-	partials  atomic.Int64
-	swaps     atomic.Int64
+	start            time.Time
+	queries          atomic.Int64
+	errors           atomic.Int64
+	rejected         atomic.Int64
+	lat              hist.Hist
+	failovers        atomic.Int64
+	hedges           atomic.Int64
+	retries          atomic.Int64
+	partials         atomic.Int64
+	swaps            atomic.Int64
+	quarantines      atomic.Int64 // endpoints quarantined by the prober
+	reinstatements   atomic.Int64 // endpoints reinstated by the prober
+	breakerFastFails atomic.Int64 // attempts refused without network I/O
+	deadlineRejects  atomic.Int64 // requests rejected already-expired
+	ambiguous        atomic.Int64 // mutations failed with unknown outcome
 }
 
 func newRouterMetrics() *routerMetrics { return &routerMetrics{start: time.Now()} }
@@ -45,38 +52,62 @@ type ShardStats struct {
 	Retries   int64    `json:"retries"`
 }
 
+// EndpointStats is one endpoint's health row in /stats: breaker state,
+// quarantine status, and the adaptive-timeout inputs.
+type EndpointStats struct {
+	Endpoint       string  `json:"endpoint"`
+	Breaker        string  `json:"breaker"` // closed | open | half-open
+	BreakerOpens   int64   `json:"breaker_opens"`
+	Quarantined    bool    `json:"quarantined"`
+	Quarantines    int64   `json:"quarantines"`
+	Reinstatements int64   `json:"reinstatements"`
+	LatencyEwmaMs  float64 `json:"latency_ewma_ms"`
+	LatencySamples int64   `json:"latency_samples"`
+}
+
 // RouterStats is the /stats document of a router.
 type RouterStats struct {
-	UptimeS    float64      `json:"uptime_s"`
-	Partitions int          `json:"partitions"`
-	Queries    int64        `json:"queries"`
-	Errors     int64        `json:"errors"`
-	Rejected   int64        `json:"rejected"`
-	P50Ms      float64      `json:"p50_ms"`
-	P99Ms      float64      `json:"p99_ms"`
-	Failovers  int64        `json:"failovers"`
-	Hedges     int64        `json:"hedges"`
-	Retries    int64        `json:"retries"`
-	Partials   int64        `json:"partials"`
-	FleetSwaps int64        `json:"fleet_swaps"`
-	Shards     []ShardStats `json:"shards"`
+	UptimeS          float64         `json:"uptime_s"`
+	Partitions       int             `json:"partitions"`
+	Queries          int64           `json:"queries"`
+	Errors           int64           `json:"errors"`
+	Rejected         int64           `json:"rejected"`
+	P50Ms            float64         `json:"p50_ms"`
+	P99Ms            float64         `json:"p99_ms"`
+	Failovers        int64           `json:"failovers"`
+	Hedges           int64           `json:"hedges"`
+	Retries          int64           `json:"retries"`
+	Partials         int64           `json:"partials"`
+	FleetSwaps       int64           `json:"fleet_swaps"`
+	Quarantines      int64           `json:"quarantines"`
+	Reinstatements   int64           `json:"reinstatements"`
+	BreakerFastFails int64           `json:"breaker_fast_fails"`
+	DeadlineRejects  int64           `json:"deadline_rejects"`
+	AmbiguousFails   int64           `json:"ambiguous_mutations"`
+	Shards           []ShardStats    `json:"shards"`
+	Endpoints        []EndpointStats `json:"endpoints"`
 }
 
 // Stats assembles the current /stats document.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		UptimeS:    time.Since(r.metrics.start).Seconds(),
-		Partitions: r.Partitions(),
-		Queries:    r.metrics.queries.Load(),
-		Errors:     r.metrics.errors.Load(),
-		Rejected:   r.metrics.rejected.Load(),
-		P50Ms:      r.metrics.lat.QuantileMs(0.50),
-		P99Ms:      r.metrics.lat.QuantileMs(0.99),
-		Failovers:  r.metrics.failovers.Load(),
-		Hedges:     r.metrics.hedges.Load(),
-		Retries:    r.metrics.retries.Load(),
-		Partials:   r.metrics.partials.Load(),
-		FleetSwaps: r.metrics.swaps.Load(),
+		UptimeS:          time.Since(r.metrics.start).Seconds(),
+		Partitions:       r.Partitions(),
+		Queries:          r.metrics.queries.Load(),
+		Errors:           r.metrics.errors.Load(),
+		Rejected:         r.metrics.rejected.Load(),
+		P50Ms:            r.metrics.lat.QuantileMs(0.50),
+		P99Ms:            r.metrics.lat.QuantileMs(0.99),
+		Failovers:        r.metrics.failovers.Load(),
+		Hedges:           r.metrics.hedges.Load(),
+		Retries:          r.metrics.retries.Load(),
+		Partials:         r.metrics.partials.Load(),
+		FleetSwaps:       r.metrics.swaps.Load(),
+		Quarantines:      r.metrics.quarantines.Load(),
+		Reinstatements:   r.metrics.reinstatements.Load(),
+		BreakerFastFails: r.metrics.breakerFastFails.Load(),
+		DeadlineRejects:  r.metrics.deadlineRejects.Load(),
+		AmbiguousFails:   r.metrics.ambiguous.Load(),
 	}
 	for _, sh := range r.shards {
 		st.Shards = append(st.Shards, ShardStats{
@@ -88,6 +119,25 @@ func (r *Router) Stats() RouterStats {
 			Failovers: sh.failovers.Load(),
 			Hedges:    sh.hedges.Load(),
 			Retries:   sh.retries.Load(),
+		})
+	}
+	eps := make([]string, 0, len(r.endpoints))
+	for ep := range r.endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		es := r.endpoints[ep]
+		avg, n := es.latency.Load()
+		st.Endpoints = append(st.Endpoints, EndpointStats{
+			Endpoint:       ep,
+			Breaker:        es.breaker.State().String(),
+			BreakerOpens:   es.breaker.Opens(),
+			Quarantined:    es.quarantined.Load(),
+			Quarantines:    es.quarantines.Load(),
+			Reinstatements: es.reinstatements.Load(),
+			LatencyEwmaMs:  float64(avg) / 1e6,
+			LatencySamples: n,
 		})
 	}
 	return st
@@ -109,6 +159,17 @@ func (r *Router) Handler() http.Handler {
 		}
 		start := time.Now()
 		r.metrics.queries.Add(1)
+		// A client deadline arrives as a relative millisecond budget;
+		// already-expired work is rejected before any fanout, and the
+		// remaining budget rides the context so every sub-request
+		// forwards what is left of it.
+		ctx, cancel, err := withDeadlineBudget(req)
+		if err != nil {
+			r.metrics.deadlineRejects.Add(1)
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		defer cancel()
 		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
 		var sr server.SearchRequest
 		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
@@ -138,19 +199,24 @@ func (r *Router) Handler() http.Handler {
 			recall = f
 			auto = true
 		}
-		resp, err := r.Search(req.Context(), sr.Query, SearchOptions{
+		resp, err := r.Search(ctx, sr.Query, SearchOptions{
 			K: sr.K, NProbe: sr.NProbe, Cells: sr.Cells, Kernel: sr.Kernel,
 			Auto: auto, Recall: recall,
 			AllowPartial: partial == "1" || partial == "true",
 		})
 		if err != nil {
-			// Validation failures are the client's; anything that made it
-			// to the fanout and failed there is the fleet's.
+			// Validation failures are the client's; a blown client
+			// deadline is the client's budget running out mid-fanout;
+			// anything else that failed in the fanout is the fleet's.
 			var ve *validationError
-			if errors.As(err, &ve) {
+			switch {
+			case errors.As(err, &ve):
 				r.metrics.rejected.Add(1)
 				httpError(w, http.StatusBadRequest, err.Error())
-			} else {
+			case ctx.Err() != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+				r.metrics.deadlineRejects.Add(1)
+				httpError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+			default:
 				r.metrics.errors.Add(1)
 				httpError(w, http.StatusBadGateway, err.Error())
 			}
@@ -158,6 +224,48 @@ func (r *Router) Handler() http.Handler {
 		}
 		r.metrics.lat.Observe(time.Since(start))
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/add", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		var ar server.AddRequest
+		if err := json.NewDecoder(req.Body).Decode(&ar); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		ids, err := r.Add(req.Context(), ar.Vectors)
+		if err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, server.AddResponse{IDs: ids})
+	})
+
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		var dr server.DeleteRequest
+		if err := json.NewDecoder(req.Body).Decode(&dr); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		deleted, err := r.Delete(req.Context(), dr.ID)
+		if err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		if !deleted {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("id %d not found on any shard", dr.ID))
+			return
+		}
+		writeJSON(w, http.StatusOK, server.DeleteResponse{Deleted: true})
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
@@ -207,6 +315,52 @@ func (r *Router) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// withDeadlineBudget applies a client's X-Pq-Deadline-Ms header (a
+// relative millisecond budget) to the request context. A missing
+// header leaves the context untouched; a malformed or already-spent
+// budget returns an error the caller maps to 504.
+func withDeadlineBudget(req *http.Request) (context.Context, context.CancelFunc, error) {
+	v := req.Header.Get(server.DeadlineHeader)
+	if v == "" {
+		return req.Context(), func() {}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad %s header %q", server.DeadlineHeader, v)
+	}
+	if ms <= 0 {
+		return nil, nil, fmt.Errorf("deadline already expired (%s: %d)", server.DeadlineHeader, ms)
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// writeMutationError maps a mutation failure: validation to 400, an
+// ambiguous outcome to 502 with an explicit "outcome": "unknown" field
+// (the one thing a client must not interpret as "not applied"), and
+// everything else to 502.
+func writeMutationError(w http.ResponseWriter, err error) {
+	var ve *validationError
+	if errors.As(err, &ve) {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var ae *AmbiguousError
+	if errors.As(err, &ae) {
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error":   err.Error(),
+			"outcome": "unknown",
+		})
+		return
+	}
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		httpError(w, he.status, err.Error())
+		return
+	}
+	httpError(w, http.StatusBadGateway, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,93 @@
+// Health-driven membership: a background prober walks every distinct
+// endpoint's /readyz, quarantines endpoints that fail consecutively,
+// and reinstates them after consecutive successes — so failover and
+// hedging pick among live replicas instead of rediscovering deadness
+// per request. The search path treats quarantine as a preference, not
+// a verdict: when quarantine would leave a shard with no candidates,
+// the full endpoint list is used anyway (the breakers then decide).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// probeLoop drives probeOnce every ProbeInterval until Close.
+func (r *Router) probeLoop() {
+	defer r.proberWG.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeOnce()
+		}
+	}
+}
+
+// probeOnce checks every endpoint's /readyz concurrently and updates
+// quarantine state from the consecutive-outcome counters.
+func (r *Router) probeOnce() {
+	var wg sync.WaitGroup
+	for _, st := range r.endpoints {
+		wg.Add(1)
+		go func(st *endpointState) {
+			defer wg.Done()
+			r.recordProbe(st, r.probeReady(st.url))
+		}(st)
+	}
+	wg.Wait()
+}
+
+// probeReady performs one /readyz check under ProbeTimeout.
+func (r *Router) probeReady(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// recordProbe folds one probe outcome into the endpoint's streaks and
+// flips quarantine at the configured thresholds. Only the prober
+// goroutine calls this (the streak counters are unsynchronized by
+// design); tests drive it directly.
+func (r *Router) recordProbe(st *endpointState, err error) {
+	if err != nil {
+		st.probeOKs = 0
+		st.probeFails++
+		if st.probeFails >= r.cfg.QuarantineAfter && !st.quarantined.Load() {
+			st.quarantined.Store(true)
+			st.quarantines.Add(1)
+			r.metrics.quarantines.Add(1)
+			r.cfg.Logf("cluster: quarantined %s after %d failed probes: %v", st.url, st.probeFails, err)
+		}
+		return
+	}
+	st.probeFails = 0
+	st.probeOKs++
+	if st.quarantined.Load() && st.probeOKs >= r.cfg.ReinstateAfter {
+		st.quarantined.Store(false)
+		st.reinstatements.Add(1)
+		r.metrics.reinstatements.Add(1)
+		// A reinstated endpoint earned its way back: clear its breaker
+		// too, so the first real request is not a half-open gamble.
+		st.breaker.Success()
+		r.cfg.Logf("cluster: reinstated %s after %d healthy probes", st.url, st.probeOKs)
+	}
+}

@@ -30,12 +30,12 @@ type FleetSwapResult struct {
 	Endpoints []EndpointSwap `json:"endpoints"`
 }
 
-// endpoints lists every endpoint in the fleet — primaries and replicas
+// allEndpoints lists every endpoint in the fleet — primaries and replicas
 // of every shard — each exactly once, in shard order. Replicas serve
 // reads during failover and hedging, so they swap with the fleet; a
 // replica left on the old snapshot would leak stale results into
 // merges.
-func (r *Router) endpoints() []string {
+func (r *Router) allEndpoints() []string {
 	seen := make(map[string]bool)
 	var out []string
 	for _, sh := range r.shards {
@@ -63,7 +63,7 @@ func (r *Router) SwapAll(ctx context.Context, path string) (*FleetSwapResult, er
 	if strings.TrimSpace(path) == "" {
 		return nil, fmt.Errorf("cluster: swap path must be non-empty")
 	}
-	eps := r.endpoints()
+	eps := r.allEndpoints()
 	result := &FleetSwapResult{Path: path, Endpoints: make([]EndpointSwap, len(eps))}
 	for i, ep := range eps {
 		result.Endpoints[i].Endpoint = ep

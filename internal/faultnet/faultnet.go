@@ -1,0 +1,388 @@
+// Package faultnet injects deterministic network faults into HTTP
+// traffic — the network sibling of internal/crashtest's fault
+// filesystem. A Transport wraps any http.RoundTripper and applies a
+// scripted set of Rules (added latency, drops, resets, error bursts,
+// one-way partitions, slow-trickle bodies), each optionally scoped to a
+// scheduled time window and a target endpoint, with every random draw
+// taken from a seeded internal/rng stream so a failing chaos run
+// replays exactly.
+//
+// Fault semantics mirror what the real network does to a client, which
+// is what the router's retry-safety classification keys on:
+//
+//   - Drop fails before the request is sent: the server never saw it,
+//     so the error is a *net.OpError with Op "dial" — unambiguous, safe
+//     to retry even for mutations.
+//   - Reset forwards the request (the server does the work) and then
+//     severs the reply: either no response bytes at all, or BodyBytes
+//     of the body followed by a mid-stream reset. The error is a
+//     *net.OpError with Op "read" — ambiguous, a mutation may or may
+//     not have been applied.
+//   - Blackhole hangs until the request's context expires, like a
+//     partition that silently eats packets (no RST). With OneWay set
+//     the request is forwarded first — the one-way partition where the
+//     server hears you but you never hear it.
+//   - Error synthesizes an HTTP error status without forwarding.
+//   - Latency sleeps (base + seeded jitter) before forwarding,
+//     respecting the request context.
+//   - Trickle forwards but meters the response body out in ChunkSize
+//     pieces with ChunkDelay between them.
+//
+// Rules are matched in order; the first active match wins. SetRules
+// swaps the whole program atomically, which is how chaos tests script
+// phases; Start/Duration windows do the same declaratively against the
+// transport's clock (injectable for tests).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqfastscan/internal/rng"
+)
+
+// Kind selects a fault behavior.
+type Kind int
+
+const (
+	// KindLatency delays the request by Latency plus a uniform draw
+	// from [0, Jitter), then forwards it.
+	KindLatency Kind = iota
+	// KindDrop refuses the request before sending it (dial-class
+	// error; the server never sees it).
+	KindDrop
+	// KindReset forwards the request and severs the response
+	// (read-class error; the server did the work). BodyBytes > 0
+	// delivers that many body bytes before the mid-stream reset.
+	KindReset
+	// KindError synthesizes an HTTP Status response (default 500)
+	// without forwarding.
+	KindError
+	// KindTrickle forwards the request and meters the response body.
+	KindTrickle
+	// KindBlackhole hangs until the request context is done. OneWay
+	// forwards the request first.
+	KindBlackhole
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindDrop:
+		return "drop"
+	case KindReset:
+		return "reset"
+	case KindError:
+		return "error"
+	case KindTrickle:
+		return "trickle"
+	case KindBlackhole:
+		return "blackhole"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is one scripted fault. The zero value of every scoping field
+// widens the rule: empty Target matches every endpoint, zero Duration
+// never expires, zero P fires always.
+type Rule struct {
+	// Target scopes the rule to requests whose URL contains this
+	// substring (host:port is the usual key). Empty matches all.
+	Target string
+	// Start and Duration schedule the rule's active window relative to
+	// the transport's creation (or last ResetClock). Zero Duration
+	// keeps the rule active from Start forever.
+	Start, Duration time.Duration
+	// P is the per-request firing probability in (0,1]; zero means 1.
+	P float64
+
+	Kind Kind
+
+	// Latency/Jitter parameterize KindLatency.
+	Latency, Jitter time.Duration
+	// Status parameterizes KindError (default 500).
+	Status int
+	// BodyBytes parameterizes KindReset: response body bytes delivered
+	// before the reset (0 severs before the first byte).
+	BodyBytes int
+	// ChunkSize/ChunkDelay parameterize KindTrickle (defaults 64 bytes
+	// per 1ms).
+	ChunkSize  int
+	ChunkDelay time.Duration
+	// OneWay makes KindBlackhole forward the request before hanging.
+	OneWay bool
+}
+
+// Stats counts faults the transport actually injected, by kind.
+type Stats struct {
+	Delays, Drops, Resets, Errors, Trickles, Blackholes int64
+	Forwarded                                           int64 // requests passed through un-faulted
+}
+
+// Transport is a fault-injecting http.RoundTripper. Safe for
+// concurrent use; random draws are serialized under a mutex so a
+// seeded run is deterministic up to goroutine interleaving of which
+// request draws first.
+type Transport struct {
+	base http.RoundTripper
+	now  func() time.Time
+
+	mu    sync.Mutex
+	src   *rng.Source
+	rules []Rule
+	start time.Time
+
+	delays, drops, resets, errBursts, trickles, blackholes, forwarded atomic.Int64
+}
+
+// New wraps base (nil means http.DefaultTransport) with the given
+// fault program, seeding every random draw from seed.
+func New(base http.RoundTripper, seed uint64, rules ...Rule) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{base: base, now: time.Now, src: rng.New(seed)}
+	t.start = t.now()
+	t.rules = append(t.rules, rules...)
+	return t
+}
+
+// SetClock injects a clock for window scheduling (tests). Resets the
+// schedule origin to the injected clock's current reading.
+func (t *Transport) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.start = now()
+}
+
+// SetRules atomically replaces the fault program and restarts the
+// schedule clock — phase changes in a chaos script.
+func (t *Transport) SetRules(rules ...Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules[:0:0], rules...)
+	t.start = t.now()
+}
+
+// Stats returns the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Delays:     t.delays.Load(),
+		Drops:      t.drops.Load(),
+		Resets:     t.resets.Load(),
+		Errors:     t.errBursts.Load(),
+		Trickles:   t.trickles.Load(),
+		Blackholes: t.blackholes.Load(),
+		Forwarded:  t.forwarded.Load(),
+	}
+}
+
+var (
+	errDropped = errors.New("faultnet: dropped before send")
+	errReset   = errors.New("faultnet: connection reset")
+)
+
+// dropError mimics a connect-refused failure: the request was never
+// written, so retrying cannot double-apply anything.
+func dropError() error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: errDropped}
+}
+
+// resetError mimics a connection reset after the request was written:
+// the server may have done the work.
+func resetError() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: errReset}
+}
+
+// match returns the first rule active for this request, drawing the
+// probability and jitter under the lock for determinism.
+func (t *Transport) match(req *http.Request) (Rule, time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := t.now().Sub(t.start)
+	for _, r := range t.rules {
+		if r.Target != "" && !strings.Contains(req.URL.String(), r.Target) {
+			continue
+		}
+		if elapsed < r.Start {
+			continue
+		}
+		if r.Duration > 0 && elapsed >= r.Start+r.Duration {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && t.src.Float64() >= r.P {
+			continue
+		}
+		var jitter time.Duration
+		if r.Jitter > 0 {
+			jitter = time.Duration(t.src.Uint64() % uint64(r.Jitter))
+		}
+		return r, jitter, true
+	}
+	return Rule{}, 0, false
+}
+
+// RoundTrip applies the first matching active rule, or forwards.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r, jitter, ok := t.match(req)
+	if !ok {
+		t.forwarded.Add(1)
+		return t.base.RoundTrip(req)
+	}
+	switch r.Kind {
+	case KindLatency:
+		t.delays.Add(1)
+		if !sleepCtx(req, r.Latency+jitter) {
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+
+	case KindDrop:
+		t.drops.Add(1)
+		return nil, dropError()
+
+	case KindReset:
+		t.resets.Add(1)
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if r.BodyBytes <= 0 {
+			// Severed before the status line arrived.
+			resp.Body.Close()
+			return nil, resetError()
+		}
+		// Severed mid-body: the caller sees a valid response whose body
+		// errors after BodyBytes bytes.
+		resp.Body = &cutBody{rc: resp.Body, remain: r.BodyBytes}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+
+	case KindError:
+		t.errBursts.Add(1)
+		status := r.Status
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		return &http.Response{
+			StatusCode: status,
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("faultnet: injected error burst")),
+			Request: req,
+		}, nil
+
+	case KindTrickle:
+		t.trickles.Add(1)
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		size, delay := r.ChunkSize, r.ChunkDelay
+		if size <= 0 {
+			size = 64
+		}
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+		resp.Body = &trickleBody{rc: resp.Body, ctx: req.Context(), size: size, delay: delay}
+		return resp, nil
+
+	case KindBlackhole:
+		t.blackholes.Add(1)
+		if r.OneWay {
+			// One-way partition: the server hears the request and does
+			// the work; the reply vanishes.
+			if resp, err := t.base.RoundTrip(req); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}
+		<-req.Context().Done()
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: req.Context().Err()}
+	}
+	t.forwarded.Add(1)
+	return t.base.RoundTrip(req)
+}
+
+// sleepCtx waits d or until the request context is done, reporting
+// whether the full wait elapsed.
+func sleepCtx(req *http.Request, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-req.Context().Done():
+		return false
+	}
+}
+
+// cutBody yields remain bytes of the wrapped body, then a reset error.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, resetError()
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= n
+	if err != nil {
+		return n, err
+	}
+	if c.remain <= 0 {
+		return n, resetError()
+	}
+	return n, nil
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
+
+// trickleBody meters reads out in size-byte chunks with delay between
+// them, respecting the request context.
+type trickleBody struct {
+	rc    io.ReadCloser
+	ctx   interface{ Done() <-chan struct{} }
+	size  int
+	delay time.Duration
+	first bool
+}
+
+func (t *trickleBody) Read(p []byte) (int, error) {
+	if t.first {
+		timer := time.NewTimer(t.delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-t.ctx.Done():
+			return 0, resetError()
+		}
+	}
+	t.first = true
+	if len(p) > t.size {
+		p = p[:t.size]
+	}
+	return t.rc.Read(p)
+}
+
+func (t *trickleBody) Close() error { return t.rc.Close() }

@@ -1,0 +1,299 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with a fixed body and counts hits.
+func echoServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func clientWith(tr *Transport) *http.Client {
+	return &http.Client{Transport: tr}
+}
+
+func TestDropNeverReachesServer(t *testing.T) {
+	srv, hits := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindDrop})
+	_, err := clientWith(tr).Get(srv.URL)
+	if err == nil {
+		t.Fatal("want error from dropped request")
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "dial" {
+		t.Fatalf("drop must classify as a dial error (never sent), got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests; drop must fail before send", hits.Load())
+	}
+	if s := tr.Stats(); s.Drops != 1 {
+		t.Fatalf("stats = %+v, want Drops=1", s)
+	}
+}
+
+func TestResetReachesServerButSeversReply(t *testing.T) {
+	srv, hits := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindReset})
+	_, err := clientWith(tr).Get(srv.URL)
+	if err == nil {
+		t.Fatal("want error from reset request")
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "read" {
+		t.Fatalf("reset must classify as a read error (maybe sent), got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests; reset must forward first", hits.Load())
+	}
+}
+
+func TestResetMidBody(t *testing.T) {
+	srv, hits := echoServer(t, strings.Repeat("x", 1000))
+	tr := New(nil, 1, Rule{Kind: KindReset, BodyBytes: 10})
+	resp, err := clientWith(tr).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("mid-body reset must deliver the status line: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("want mid-body read error, got %d clean bytes", len(data))
+	}
+	if len(data) != 10 {
+		t.Fatalf("got %d bytes before reset, want 10", len(data))
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests", hits.Load())
+	}
+}
+
+func TestErrorBurstSynthesizesWithoutForwarding(t *testing.T) {
+	srv, hits := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindError, Status: 503})
+	resp, err := clientWith(tr).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("error burst is an HTTP response, not a transport error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests; burst must not forward", hits.Load())
+	}
+}
+
+func TestLatencyDelaysButSucceeds(t *testing.T) {
+	srv, _ := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindLatency, Latency: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := clientWith(tr).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms", d)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	srv, _ := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindLatency, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := clientWith(tr).Do(req)
+	if err == nil {
+		t.Fatal("want context deadline error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v; latency sleep must respect ctx", d)
+	}
+}
+
+func TestBlackholeHangsUntilDeadline(t *testing.T) {
+	srv, hits := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindBlackhole, OneWay: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	_, err := clientWith(tr).Do(req)
+	if err == nil {
+		t.Fatal("want error from blackholed request")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("one-way blackhole must forward the request; server saw %d", hits.Load())
+	}
+}
+
+func TestTrickleDeliversSlowly(t *testing.T) {
+	body := strings.Repeat("y", 256)
+	srv, _ := echoServer(t, body)
+	tr := New(nil, 1, Rule{Kind: KindTrickle, ChunkSize: 64, ChunkDelay: 5 * time.Millisecond})
+	start := time.Now()
+	resp, err := clientWith(tr).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != body {
+		t.Fatalf("trickle corrupted the body: %d bytes", len(data))
+	}
+	// 256 bytes at 64/chunk = 4 chunks, 3 inter-chunk delays minimum.
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("read completed in %v, want trickled delivery", d)
+	}
+}
+
+func TestTargetScoping(t *testing.T) {
+	a, hitsA := echoServer(t, "a")
+	b, hitsB := echoServer(t, "b")
+	tr := New(nil, 1, Rule{Kind: KindDrop, Target: strings.TrimPrefix(a.URL, "http://")})
+	c := clientWith(tr)
+	if _, err := c.Get(a.URL); err == nil {
+		t.Fatal("request to a must be dropped")
+	}
+	resp, err := c.Get(b.URL)
+	if err != nil {
+		t.Fatalf("request to b must pass: %v", err)
+	}
+	resp.Body.Close()
+	if hitsA.Load() != 0 || hitsB.Load() != 1 {
+		t.Fatalf("hits a=%d b=%d, want 0/1", hitsA.Load(), hitsB.Load())
+	}
+}
+
+func TestScheduledWindow(t *testing.T) {
+	srv, _ := echoServer(t, "ok")
+	now := time.Unix(1000, 0)
+	tr := New(nil, 1, Rule{Kind: KindDrop, Start: 50 * time.Millisecond, Duration: 100 * time.Millisecond})
+	tr.SetClock(func() time.Time { return now })
+	c := clientWith(tr)
+
+	get := func() error {
+		resp, err := c.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+	if err := get(); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	now = now.Add(60 * time.Millisecond)
+	if err := get(); err == nil {
+		t.Fatal("inside window: want drop")
+	}
+	now = now.Add(200 * time.Millisecond)
+	if err := get(); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+}
+
+func TestProbabilityDeterministicAcrossSeeds(t *testing.T) {
+	srv, _ := echoServer(t, "ok")
+	run := func(seed uint64) []bool {
+		tr := New(nil, seed, Rule{Kind: KindDrop, P: 0.5})
+		c := clientWith(tr)
+		out := make([]bool, 20)
+		for i := range out {
+			resp, err := c.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	dropped := 0
+	for _, d := range a {
+		if d {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("P=0.5 dropped %d/%d; want a mix", dropped, len(a))
+	}
+}
+
+func TestSetRulesSwitchesPhases(t *testing.T) {
+	srv, _ := echoServer(t, "ok")
+	tr := New(nil, 1, Rule{Kind: KindDrop})
+	c := clientWith(tr)
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("phase 1: want drop")
+	}
+	tr.SetRules() // clear faults
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("phase 2 (clear): %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestListenerSever(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := Wrap(inner)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})}
+	go srv.Serve(fl)
+	t.Cleanup(func() { srv.Close() })
+
+	url := "http://" + inner.Addr().String()
+	// No keep-alives: each request must traverse the listener.
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 2 * time.Second}
+
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("healthy listener: %v", err)
+	}
+	resp.Body.Close()
+
+	fl.Sever(true)
+	if _, err := c.Get(url); err == nil {
+		t.Fatal("severed listener must refuse")
+	}
+	if fl.Refusals() == 0 {
+		t.Fatal("refusal counter did not move")
+	}
+
+	fl.Sever(false)
+	resp, err = c.Get(url)
+	if err != nil {
+		t.Fatalf("healed listener: %v", err)
+	}
+	resp.Body.Close()
+}

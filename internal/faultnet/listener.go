@@ -1,0 +1,42 @@
+// Listener-side fault injection: sever a live server from the network
+// without stopping its process.
+package faultnet
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Listener wraps a net.Listener so tests can partition a server away
+// from clients while it keeps running: while severed, every newly
+// accepted connection is closed immediately (clients see a reset).
+// Note that already-established keep-alive connections bypass the
+// listener entirely — clients that should observe the partition must
+// either disable keep-alives or also carry a Transport rule.
+type Listener struct {
+	net.Listener
+	severed  atomic.Bool
+	refusals atomic.Int64
+}
+
+// Wrap returns l with a severable accept path.
+func Wrap(l net.Listener) *Listener { return &Listener{Listener: l} }
+
+// Sever toggles the partition: true refuses all new connections.
+func (l *Listener) Sever(on bool) { l.severed.Store(on) }
+
+// Refusals counts connections closed while severed.
+func (l *Listener) Refusals() int64 { return l.refusals.Load() }
+
+// Accept implements net.Listener: while severed, accepted connections
+// are closed immediately and the loop continues waiting.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil || !l.severed.Load() {
+			return c, err
+		}
+		l.refusals.Add(1)
+		c.Close()
+	}
+}

@@ -30,6 +30,13 @@ import (
 // errClosed is returned to requests that race server shutdown.
 var errClosed = errors.New("server: shutting down")
 
+// errExpiredInBatch is returned to a request whose deadline (or
+// client connection) expired while it was parked in the micro-batch
+// window: it is dropped from the batch before any scan work is spent
+// on it, and the handler answers 504. The rest of its batch runs
+// unaffected.
+var errExpiredInBatch = errors.New("server: deadline expired while queued for batching")
+
 // batchKey identifies searches that may share one SearchBatch call.
 // Fields are the normalized search parameters (defaults applied), so two
 // requests spelling the default differently still coalesce. cells is
@@ -72,7 +79,13 @@ func cellsKey(cells []int) string {
 
 // searchJob is one /search request in flight through the batcher.
 type searchJob struct {
-	key   batchKey
+	key batchKey
+	// ctx is the request's deadline-carrying context. The batch itself
+	// never runs under it (shared work must not be cancelled by one
+	// client) — it is only consulted at dispatch time to drop jobs
+	// whose budget expired while parked in the window. nil means no
+	// deadline tracking (tests construct bare jobs).
+	ctx   context.Context
 	cells []int
 	query []float32
 	resp  *pqfastscan.SearchResult
@@ -230,8 +243,24 @@ func (b *batcher) dispatch(jobs []*searchJob) {
 // execute runs one coalesced SearchBatch call and fans results back out.
 // The call runs under a server-owned deadline, not any one client's
 // context: the work is shared across requests, so a single disconnecting
-// client must not cancel its neighbors' queries.
+// client must not cancel its neighbors' queries. Jobs whose own
+// deadline expired while parked in the window are dropped here — their
+// budget is spent, scanning for them would be pure waste — and the
+// rest of the group runs as if they were never submitted.
 func (b *batcher) execute(key batchKey, group []*searchJob) {
+	live := group[:0:0]
+	for _, j := range group {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.err = errExpiredInBatch
+			close(j.done)
+			continue
+		}
+		live = append(live, j)
+	}
+	group = live
+	if len(group) == 0 {
+		return
+	}
 	ctx := context.Background()
 	if b.timeout > 0 {
 		var cancel context.CancelFunc

@@ -65,7 +65,8 @@ type metrics struct {
 	batchWidths  [batchWidthBuckets]atomic.Int64
 
 	// Admission control.
-	shed atomic.Int64 // requests rejected 429 by admission control
+	shed            atomic.Int64 // requests rejected 429 by admission control
+	deadlineRejects atomic.Int64 // requests answered 504: budget spent before scanning
 
 	// Snapshot lifecycle.
 	swaps      atomic.Int64
@@ -223,6 +224,10 @@ type AdmissionStats struct {
 	InFlight     int    `json:"in_flight"`
 	Shed         int64  `json:"shed"`
 	QueueTimeout string `json:"queue_timeout"`
+	// DeadlineRejects counts requests answered 504 because their
+	// forwarded deadline budget was spent before any scan work ran —
+	// rejected at the door or dropped from a micro-batch window.
+	DeadlineRejects int64 `json:"deadline_rejects"`
 }
 
 // SnapshotStats is the /stats projection of the snapshot lifecycle.

@@ -19,6 +19,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -491,6 +492,33 @@ func (w *statusWriter) WriteHeader(code int) {
 // abandoned by the client; net/http has no named constant for it.
 const statusClientClosedRequest = 499
 
+// DeadlineHeader carries a request's remaining deadline budget as a
+// relative millisecond count. Relative, not an absolute timestamp, so
+// clock skew between router and shard cannot corrupt it: each hop
+// reads the remainder of its own context deadline and forwards that.
+// A shard receiving an expired or non-positive budget answers 504
+// before doing any scan work.
+const DeadlineHeader = "X-Pq-Deadline-Ms"
+
+// deadlineContext applies a DeadlineHeader budget to the request
+// context. Missing header: untouched context. Malformed or spent
+// budget: an error the handler answers with 504.
+func deadlineContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return r.Context(), func() {}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad %s header %q", DeadlineHeader, v)
+	}
+	if ms <= 0 {
+		return nil, nil, fmt.Errorf("deadline already expired (%s: %d)", DeadlineHeader, ms)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -584,6 +612,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if idx == nil {
 		return
 	}
+	// An expired forwarded deadline is rejected at the door: no
+	// parsing beyond the header, no planning, no admission token, no
+	// scan work.
+	ctx, cancelDeadline, derr := deadlineContext(r)
+	if derr != nil {
+		s.metrics.deadlineRejects.Add(1)
+		httpError(w, http.StatusGatewayTimeout, derr.Error())
+		return
+	}
+	defer cancelDeadline()
 	// Planner activation: ?recall=0.95 sets a recall target (and implies
 	// planning); ?auto=1 asks for min-latency planning; Config.Auto makes
 	// planning the default, which ?auto=0 opts a single request out of.
@@ -724,6 +762,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k: req.K, nprobe: req.NProbe, kernel: kernel, backend: backend,
 			parallel: parallel, planned: planned, cells: cellsKey(req.Cells),
 		},
+		ctx:   ctx,
 		cells: req.Cells,
 		query: req.Query,
 		done:  make(chan struct{}),
@@ -737,6 +776,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// must reflect engine occupancy, not socket liveness.
 	<-job.done
 	if job.err != nil {
+		// A job whose deadline expired while parked in the batch window
+		// was dropped before any scan work; the batch it was parked in
+		// ran without it.
+		if errors.Is(job.err, errExpiredInBatch) {
+			s.metrics.deadlineRejects.Add(1)
+			httpError(w, http.StatusGatewayTimeout, job.err.Error())
+			return
+		}
 		httpError(w, http.StatusInternalServerError, job.err.Error())
 		return
 	}
@@ -975,10 +1022,11 @@ func (s *Server) StatsSnapshot() Stats {
 			LastCompactUnix: s.metrics.lastCompact.Load(),
 		},
 		Admission: AdmissionStats{
-			MaxInFlight:  s.cfg.MaxInFlight,
-			InFlight:     len(s.sem),
-			Shed:         s.metrics.shed.Load(),
-			QueueTimeout: s.cfg.QueueTimeout.String(),
+			MaxInFlight:     s.cfg.MaxInFlight,
+			InFlight:        len(s.sem),
+			Shed:            s.metrics.shed.Load(),
+			QueueTimeout:    s.cfg.QueueTimeout.String(),
+			DeadlineRejects: s.metrics.deadlineRejects.Load(),
 		},
 		Snapshot: SnapshotStats{
 			Swaps:        s.metrics.swaps.Load(),
